@@ -1,0 +1,29 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper at full
+experiment scale, prints the rows next to the paper's numbers, and asserts
+the qualitative *shape* claims of DESIGN.md section 2.  Absolute values are
+not asserted: our substrate is a transaction-level simulator, not the
+paper's MPC755 co-verification testbed (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+
+def print_table(title, lines):
+    print("\n" + "=" * 72)
+    print(title)
+    print("-" * 72)
+    for line in lines:
+        print(line)
+    print("=" * 72)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

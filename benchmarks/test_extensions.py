@@ -1,0 +1,107 @@
+"""Extension benches: GBAVII across all three applications, and DMA.
+
+GBAVII is the architecture the paper names but omits "due to space
+constraints" (section IV.B); we generate and evaluate it.  Expected
+profile, from its structure (GBAVI's segmented ring + a global memory
+reachable over the bridges):
+
+* OFDM PPA: identical to GBAVI (same neighbour channels);
+* OFDM FPA: between GGBA and GBAVIII (shared memory exists, but global
+  accesses pay bridge hops instead of a single arbitrated bus);
+* MPEG2 / database: close behind GBAVIII.
+
+The DMA bench reproduces section IV.C.3's remark that a DMA device "can be
+supported in GBAVIII": offloading the raw-data distribution copy overlaps
+it with PE compute.
+"""
+
+from conftest import print_table
+
+from repro.apps.database import run_database
+from repro.apps.mpeg2.codec import synthetic_video
+from repro.apps.mpeg2.parallel import run_mpeg2
+from repro.apps.ofdm import OfdmParameters, run_ofdm
+from repro.options import presets
+from repro.sim.dma import DmaEngine
+from repro.sim.fabric import build_machine
+from repro.soc.api import SocAPI
+
+
+def test_gbavii_across_applications(once):
+    def run():
+        rows = {}
+        params = OfdmParameters(packets=8)
+        for name in ("GBAVI", "GBAVII", "GBAVIII", "GGBA"):
+            if name != "GBAVI":
+                machine = build_machine(presets.preset(name, 4))
+                rows[(name, "ofdm_fpa")] = run_ofdm(machine, "FPA", params).throughput_mbps
+            machine = build_machine(presets.preset(name, 4))
+            rows[(name, "ofdm_ppa")] = run_ofdm(machine, "PPA", params).throughput_mbps
+        video = synthetic_video(16)
+        for name in ("GBAVII", "GBAVIII"):
+            machine = build_machine(presets.preset(name, 4))
+            rows[(name, "mpeg2")] = run_mpeg2(machine, video).throughput_mbps
+        for name in ("GBAVII", "GBAVIII", "GGBA"):
+            machine = build_machine(presets.preset(name, 4))
+            rows[(name, "db")] = run_database(machine).execution_time_ns
+        return rows
+
+    rows = once(run)
+    print_table(
+        "Extension -- GBAVII (the bus the paper omitted) vs its neighbours",
+        ["%-8s %-9s %12.4f" % (bus, app, value) for (bus, app), value in sorted(rows.items())],
+    )
+    # OFDM PPA: GBAVII uses the same neighbour handshake as GBAVI.
+    assert abs(rows[("GBAVII", "ofdm_ppa")] - rows[("GBAVI", "ofdm_ppa")]) < 0.02 * rows[
+        ("GBAVI", "ofdm_ppa")
+    ]
+    # OFDM FPA interpolation: GGBA < GBAVII < GBAVIII.
+    assert (
+        rows[("GGBA", "ofdm_fpa")]
+        < rows[("GBAVII", "ofdm_fpa")]
+        < rows[("GBAVIII", "ofdm_fpa")]
+    )
+    # MPEG2: within 5% of GBAVIII (global traffic is small there).
+    assert rows[("GBAVII", "mpeg2")] > 0.9 * rows[("GBAVIII", "mpeg2")]
+    # Database: slower than GBAVIII, faster than GGBA.
+    assert rows[("GBAVIII", "db")] < rows[("GBAVII", "db")] < rows[("GGBA", "db")]
+
+
+def test_dma_offload(once):
+    """DMA distribution copy overlapped with PE compute (section IV.C.3)."""
+
+    def run():
+        times = {}
+        for use_dma in (False, True):
+            machine = build_machine(presets.preset("GBAVIII", 4))
+            api = SocAPI(machine, "A")
+            machine.memory("GLOBAL_SRAM_G").write(0, [3] * 4096)
+
+            def program():
+                if use_dma:
+                    dma = DmaEngine(machine)
+                    done = dma.copy(("GLOBAL_SRAM_G", 0), ("GLOBAL_SRAM_G", 8192), 4096)
+                    yield from api.compute(40_000)
+                    yield done
+                else:
+                    values = yield from api.read(("GLOBAL_SRAM_G", 0), 4096)
+                    yield from api.mem_write(values, ("GLOBAL_SRAM_G", 8192))
+                    yield from api.compute(40_000)
+
+            machine.pe("A").run(program())
+            machine.sim.run()
+            times["dma" if use_dma else "pe"] = machine.sim.now
+        return times
+
+    times = once(run)
+    saving = 1 - times["dma"] / times["pe"]
+    print_table(
+        "Extension -- DMA-offloaded distribution (4096-word copy + compute)",
+        [
+            "PE-driven copy: %d cycles" % times["pe"],
+            "DMA + overlapped compute: %d cycles" % times["dma"],
+            "saving: %.1f%%" % (saving * 100),
+        ],
+    )
+    assert times["dma"] < times["pe"]
+    assert saving > 0.2

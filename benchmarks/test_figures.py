@@ -1,0 +1,55 @@
+"""Figures 11/12/13 (handshake state diagrams), 26 (PPA/FPA schedules)
+and 27 (MPEG2 GOP distribution)."""
+
+from conftest import print_table
+
+from repro.experiments import figures
+
+
+def test_figure11_gbavi_handshake(once):
+    trace = once(figures.run_handshake_trace, "GBAVI")
+    print_table(
+        "Figure 11 -- GBAVI handshake steps (label @ cycle)",
+        ["%-22s @ %d" % (label, cycle) for label, cycle in trace],
+    )
+    assert figures.check_step_order(trace, figures.FIGURE11_ORDER) == []
+
+
+def test_figure12_bfba_handshake(once):
+    trace = once(figures.run_handshake_trace, "BFBA")
+    print_table(
+        "Figure 12 -- BFBA interrupt handshake steps (label @ cycle)",
+        ["%-22s @ %d" % (label, cycle) for label, cycle in trace],
+    )
+    assert figures.check_step_order(trace, figures.FIGURE12_ORDER) == []
+
+
+def test_figure13_gbaviii_handshake(once):
+    trace = once(figures.run_handshake_trace, "GBAVIII")
+    print_table(
+        "Figure 13 -- GBAVIII shared-variable handshake steps (label @ cycle)",
+        ["%-22s @ %d" % (label, cycle) for label, cycle in trace],
+    )
+    assert figures.check_step_order(trace, figures.FIGURE13_ORDER) == []
+
+
+def test_figure26_ppa_fpa_schedules(once):
+    schedules = once(figures.run_figure26)
+    lines = []
+    for style in ("PPA", "FPA"):
+        lines.append("%s:" % style)
+        for ban, group, packet, start, end in schedules[style]:
+            lines.append(
+                "  BAN %s  %-4s packet %d  [%d, %d)" % (ban, group, packet, start, end)
+            )
+    print_table("Figure 26 -- software programming styles (occupancy)", lines)
+    assert figures.check_figure26(schedules) == []
+
+
+def test_figure27_gop_distribution(once):
+    assignment = once(figures.run_figure27)
+    print_table(
+        "Figure 27 -- MPEG2 functional parallel operation",
+        ["GOP%d -> BAN %s" % (index + 1, ban) for index, ban in sorted(assignment.items())],
+    )
+    assert figures.check_figure27(assignment) == []

@@ -1,0 +1,44 @@
+"""Scalability bench: throughput and area as the PE count grows.
+
+The paper's scalability claim is structural ("by simply repeating generated
+BANs, a Bus Subsystem can be a scalable structure", section IV.A) and
+Table V shows gate counts to 24 processors.  This bench adds the runtime
+side: OFDM-FPA throughput on GBAVIII as PEs grow, against the bus-gate
+cost, showing the throughput-per-gate trade the generator lets a designer
+explore.
+"""
+
+from conftest import print_table
+
+from repro.apps.ofdm import OfdmParameters, run_ofdm
+from repro.core.busyn import BusSyn
+from repro.options import presets
+from repro.sim.fabric import build_machine
+
+
+def test_throughput_scaling_with_pes(once):
+    def run():
+        tool = BusSyn()
+        params = OfdmParameters(packets=16)
+        rows = []
+        for pe_count in (2, 4, 8):
+            spec = presets.preset("GBAVIII", pe_count)
+            gates = tool.generate(spec).report.gate_count
+            result = run_ofdm(build_machine(spec), "FPA", params)
+            rows.append((pe_count, result.throughput_mbps, gates))
+        return rows
+
+    rows = once(run)
+    print_table(
+        "Scalability -- GBAVIII OFDM-FPA throughput vs bus gates (16 packets)",
+        [
+            "%2d PEs: %8.4f Mbps  %7d gates  %.4f kbps/gate"
+            % (n, mbps, gates, 1000 * mbps / gates)
+            for n, mbps, gates in rows
+        ],
+    )
+    throughputs = [mbps for _n, mbps, _g in rows]
+    # More PEs decode more packets concurrently; speedup is sublinear
+    # (shared-bus contention + distribution serialization) but real.
+    assert throughputs[0] < throughputs[1] < throughputs[2]
+    assert throughputs[2] > 2.0 * throughputs[0]

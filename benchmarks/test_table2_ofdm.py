@@ -1,0 +1,31 @@
+"""Table II: OFDM transmitter throughput, nine bus/style cases.
+
+Regenerates the paper's Table II at full scale (8 packets of 2048+512
+complex samples on four PEs) and checks every qualitative claim the paper
+makes about it, including the 16.44 % SplitBA-over-GGBA headline.
+"""
+
+from conftest import print_table
+
+from repro.experiments.table2 import check_table2_shape, run_table2
+
+
+def test_table2_ofdm_throughput(once):
+    rows = once(run_table2)
+    print_table(
+        "Table II -- OFDM transmitter throughput [Mbps] (paper values in parens)",
+        [row.text() for row in rows],
+    )
+    failures = check_table2_shape(rows)
+    assert failures == [], failures
+
+    value = {(row.bus_system, row.style): row.throughput_mbps for row in rows}
+    # Headline: SplitBA-FPA over GGBA-FPA (paper: +16.44 %).
+    gain = value[("SPLITBA", "FPA")] / value[("GGBA", "FPA")] - 1
+    print("SplitBA-FPA over GGBA-FPA: +%.2f%% (paper: +16.44%%)" % (gain * 100))
+    assert 0.08 <= gain <= 0.30
+
+    # FPA/PPA ratio near the paper's ~2.02x on GBAVIII.
+    ratio = value[("GBAVIII", "FPA")] / value[("GBAVIII", "PPA")]
+    print("GBAVIII FPA/PPA ratio: %.2f (paper: 2.02)" % ratio)
+    assert 1.5 <= ratio <= 3.0

@@ -1,0 +1,32 @@
+"""Table III: MPEG2 decoder throughput over five bus systems.
+
+Full scale: 16 frames (8 I+P GOPs, 16x16 pictures) decoded functionally
+parallel on four PEs, with every decoded frame verified against a serial
+reference decode.  Checks the paper's ordering and the 15.54 %
+Hybrid-over-CoreConnect headline.
+"""
+
+from conftest import print_table
+
+from repro.experiments.table3 import check_table3_shape, run_table3
+
+
+def test_table3_mpeg2_throughput(once):
+    rows = once(run_table3)
+    print_table(
+        "Table III -- MPEG2 decoder throughput [Mbps] (paper values in parens)",
+        [row.text() for row in rows],
+    )
+    failures = check_table3_shape(rows)
+    assert failures == [], failures
+
+    value = {row.bus_system: row.throughput_mbps for row in rows}
+    gain = value["HYBRID"] / value["CCBA"] - 1
+    print("Hybrid over CCBA: +%.2f%% (paper: +15.54%%)" % (gain * 100))
+    assert 0.05 <= gain <= 0.40
+
+    # CCBA sits between GBAVIII and the relay architectures, close to the
+    # paper's CCBA/GBAVIII ratio of 0.881.
+    ratio = value["CCBA"] / value["GBAVIII"]
+    print("CCBA/GBAVIII ratio: %.3f (paper: 0.881)" % ratio)
+    assert 0.75 <= ratio <= 0.97

@@ -1,0 +1,25 @@
+"""Table IV: database example execution time, GGBA vs SplitBA.
+
+Full scale: 1 server + 40 client tasks on the RTOS over four PEs, 100
+32-bit words per task access.  Checks the paper's 41 % execution-time
+reduction headline.
+"""
+
+from conftest import print_table
+
+from repro.experiments.table4 import check_table4_shape, run_table4
+
+
+def test_table4_database_execution_time(once):
+    rows = once(run_table4)
+    print_table(
+        "Table IV -- database example execution time [ns] (paper in parens)",
+        [row.text() for row in rows],
+    )
+    failures = check_table4_shape(rows)
+    assert failures == [], failures
+
+    by_bus = {row.bus_system: row for row in rows}
+    reduction = 1 - by_bus["SPLITBA"].execution_time_ns / by_bus["GGBA"].execution_time_ns
+    print("SplitBA reduction: %.1f%% (paper: 41%%)" % (reduction * 100))
+    assert 0.30 <= reduction <= 0.55

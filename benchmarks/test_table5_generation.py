@@ -1,0 +1,32 @@
+"""Table V: BusSyn generation time and gate count.
+
+Generates every bus architecture at 1/8/16/24 processors, measuring the
+generator's wall-clock time and the NAND2 gate estimate of the bus logic.
+Checks sub-second generation ("a matter of seconds instead of weeks"),
+lint-clean output, near-linear gate scaling and the per-PE cost ordering.
+"""
+
+from conftest import print_table
+
+from repro.experiments.table5 import TABLE5_PAPER, check_table5_shape, run_table5
+
+
+def test_table5_generation_time_and_gates(once):
+    rows = once(run_table5)
+    print_table(
+        "Table V -- generation time [ms] and NAND2 gate count",
+        [row.text() for row in rows],
+    )
+    failures = check_table5_shape(rows)
+    assert failures == [], failures
+
+    # Every generated system within a factor of two of the paper's count.
+    for row in rows:
+        if row.paper_gates:
+            ratio = row.gate_count / row.paper_gates
+            assert 0.5 <= ratio <= 2.0, (row.bus_system, row.pe_count, ratio)
+
+    # The whole 19-configuration sweep generated in seconds.
+    total_ms = sum(row.generation_time_ms for row in rows)
+    print("total generation time: %.0f ms for %d bus systems" % (total_ms, len(rows)))
+    assert total_ms < 60_000

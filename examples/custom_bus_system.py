@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Building a custom Bus System from raw user options (Example 10 style).
+
+Instead of a preset, this example assembles the spec by hand -- the way a
+user walks Figure 18's input list -- for a heterogeneous two-subsystem
+system: a BFBA pipeline of three MPC755s feeding a GBAVIII island with one
+ARM9TDMI and a global memory, bridged together.  It then generates the
+Verilog, writes the files to ./generated_custom/, and prints the module
+hierarchy.
+"""
+
+import os
+
+from repro import BANSpec, BusSpec, BusSubsystemSpec, BusSystemSpec, BusSyn, MemorySpec
+from repro.hdl import elaborate
+
+
+def build_spec() -> BusSystemSpec:
+    # Subsystem 1: three-PE Bi-FIFO pipeline (user options 2.x, 3.x).
+    pipeline = BusSubsystemSpec(
+        name="PIPE",
+        bans=[
+            BANSpec(
+                name=letter,
+                cpu_type="MPC755",
+                memories=[MemorySpec("SRAM", address_width=18, data_width=64)],
+            )
+            for letter in ("A", "B", "C")
+        ],
+        buses=[BusSpec("BFBA", address_width=32, data_width=64, fifo_depth=512)],
+    )
+    for ban in pipeline.bans:
+        ban.memories[0].name = "SRAM_%s" % ban.name
+
+    # Subsystem 2: an ARM island on a global bus with shared memory.
+    island = BusSubsystemSpec(
+        name="ISLAND",
+        bans=[
+            BANSpec(
+                name="D",
+                cpu_type="ARM9TDMI",
+                memories=[MemorySpec("SRAM", address_width=18, data_width=64, name="SRAM_D")],
+            ),
+            BANSpec(
+                name="G1",
+                cpu_type="NONE",
+                memories=[MemorySpec("SRAM", address_width=20, data_width=64, name="GLOBAL_SRAM_G1")],
+                is_global_resource=True,
+            ),
+        ],
+        buses=[BusSpec("GBAVIII")],
+    )
+
+    spec = BusSystemSpec(name="CUSTOM", subsystems=[pipeline, island])
+    spec.validate()
+    return spec
+
+
+def main() -> None:
+    spec = build_spec()
+    generated = BusSyn().generate(spec)
+    print(generated.report.row())
+    print("lint:", "clean" if not generated.lint_errors() else generated.lint_errors())
+
+    out_dir = os.path.join(os.path.dirname(__file__), "generated_custom")
+    os.makedirs(out_dir, exist_ok=True)
+    for file_name, text in generated.files().items():
+        with open(os.path.join(out_dir, file_name), "w") as handle:
+            handle.write(text)
+    print("wrote %d Verilog files to %s" % (len(generated.files()), out_dir))
+
+    print("\nModule hierarchy (instance counts):")
+    for name, count in sorted(elaborate(generated.design()).items()):
+        print("  %3dx %s" % (count, name))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""MPEG2 decoding on the Hybrid bus (the paper's Table III winner).
+
+Encodes a synthetic 16-frame video with the bundled MPEG2-profile codec,
+decodes it functionally parallel on the Hybrid bus system (Bi-FIFOs for
+adjacent-BAN frame handover, global memory for distribution -- Figure 6),
+verifies every decoded frame against a serial reference decode, and
+compares the throughput against GBAVIII and the CoreConnect-style CCBA
+baseline.
+"""
+
+import numpy as np
+
+from repro import build_machine, presets
+from repro.apps.mpeg2 import (
+    decode_sequence,
+    encode_sequence,
+    psnr,
+    run_mpeg2,
+    synthetic_video,
+)
+
+
+def main() -> None:
+    video = synthetic_video(16)
+    stream = encode_sequence(video)
+    print("input: %d frames -> %d byte MPEG2 stream (%d GOPs)" % (
+        len(video), len(stream), len(stream and video) // 2))
+
+    # Reference serial decode for verification.
+    reference_gops, stats = decode_sequence(stream)
+    reference = {
+        (gop.index, i): frame
+        for gop in reference_gops
+        for i, frame in enumerate(gop.frames)
+    }
+    quality = min(
+        psnr(original.y, decoded.y)
+        for original, decoded in zip(video, [f for g in reference_gops for f in g.frames])
+    )
+    print("codec quality: >= %.1f dB PSNR; %d coefficients decoded" % (
+        quality, stats.coefficients))
+
+    for bus_name in ("HYBRID", "GBAVIII", "CCBA"):
+        machine = build_machine(presets.preset(bus_name, 4))
+        result = run_mpeg2(machine, video)
+        exact = all(
+            np.allclose(result.frames[key].y, reference[key].y, atol=0.51)
+            for key in reference
+        )
+        print("%-8s %.4f Mbps  (%.2f ms)  frames %s  GOP map: %s" % (
+            bus_name,
+            result.throughput_mbps,
+            result.seconds * 1e3,
+            "verified" if exact else "MISMATCH",
+            "".join(result.gop_to_ban[i] for i in sorted(result.gop_to_ban)),
+        ))
+    print("\n(Paper: Hybrid 1.1650 > GBAVIII 1.1444 > CCBA 1.0083 Mbps; "
+          "Hybrid beats CoreConnect by 15.54%.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Application workloads used to evaluate generated bus systems.
+
+Three applications, matching section VI.A of the paper:
+
+* :mod:`repro.apps.ofdm` -- an OFDM wireless transmitter (2048-sample
+  packets with 512-sample cyclic guard), run in both pipelined-parallel
+  (PPA) and functional-parallel (FPA) styles;
+* :mod:`repro.apps.mpeg2` -- an MPEG2-profile video decoder (and the
+  encoder needed to make its input streams) on 16x16 pictures with I+P
+  GOPs, run functionally parallel;
+* :mod:`repro.apps.database` -- a server/client object database with
+  lock-based transactions running on the RTOS (41 tasks).
+"""

@@ -1,0 +1,6 @@
+"""Database example application (section VI.A.1, Table IV)."""
+
+from .store import DbObject, ObjectStore
+from .workload import DatabaseResult, run_database
+
+__all__ = ["DbObject", "ObjectStore", "DatabaseResult", "run_database"]

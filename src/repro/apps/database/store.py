@@ -1,0 +1,109 @@
+"""Object store for the database example (section VI.A.1).
+
+The paper's database example keeps objects in shared memory; transactions
+from tasks on any PE lock an object, access its words, and release it
+(Figure 21).  :class:`ObjectStore` lays the objects out in a shared memory
+and pairs each with a lock from the shared-memory lock manager, so "the
+lock is used to synchronize mutually exclusive accesses of the database
+objects in a multiprocessor system".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Tuple
+
+from ...sim.fabric import Machine
+from ...soc.api import SocAPI
+from ...soc.rtos import LockManager, Rtos, SpinLock
+
+__all__ = ["DbObject", "ObjectStore"]
+
+
+@dataclass
+class DbObject:
+    """One database object: a named span of words in shared memory."""
+
+    name: str
+    memory: str
+    offset: int
+    size_words: int
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.memory, self.offset
+
+
+class ObjectStore:
+    """Objects + their locks, shared by every PE's tasks.
+
+    All PEs must construct their view over the same machine with the same
+    ``object_count``/``size_words`` so the layout matches; the store
+    allocates deterministically from the shared memory.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        api: SocAPI,
+        object_count: int,
+        size_words: int,
+        memory: str = None,
+        lock_region: Tuple[str, int] = None,
+    ):
+        self.machine = machine
+        self.api = api
+        self.memory = memory or api.shared_memory()
+        if lock_region is None:
+            lock_region = (self.memory, machine.reserve(self.memory, 64))
+        self.locks = LockManager(api, lock_region)
+        self.objects: List[DbObject] = []
+        for index in range(object_count):
+            offset = machine.reserve(self.memory, size_words)
+            self.objects.append(
+                DbObject("O%d" % index, self.memory, offset, size_words)
+            )
+
+    @classmethod
+    def attach(
+        cls,
+        machine: Machine,
+        api: SocAPI,
+        template: "ObjectStore",
+    ) -> "ObjectStore":
+        """Another PE's view onto an existing store (same layout, own API)."""
+        view = cls.__new__(cls)
+        view.machine = machine
+        view.api = api
+        view.memory = template.memory
+        view.locks = LockManager(api, template.locks.base)
+        view.objects = template.objects
+        return view
+
+    def object(self, index: int) -> DbObject:
+        return self.objects[index % len(self.objects)]
+
+    def lock_of(self, obj: DbObject) -> SpinLock:
+        return self.locks.lock(obj.name)
+
+    # -- transactional access (RTOS task context) ------------------------
+    def read_object(self, rtos: Rtos, obj: DbObject, words: int) -> Generator:
+        """Lock, read up to ``words`` from the object, unlock."""
+        words = min(words, obj.size_words)
+        lock = self.lock_of(obj)
+        yield from lock.acquire(rtos)
+        try:
+            values = yield from self.api.read(obj.address, words)
+        finally:
+            yield from lock.release(self.api)
+        return values
+
+    def write_object(self, rtos: Rtos, obj: DbObject, values) -> Generator:
+        """Lock, write ``values`` into the object, unlock."""
+        values = list(values)[: obj.size_words]
+        lock = self.lock_of(obj)
+        yield from lock.acquire(rtos)
+        try:
+            yield from self.api.mem_write(values, obj.address)
+        finally:
+            yield from lock.release(self.api)

@@ -1,0 +1,46 @@
+"""MPEG2 decoder application (section VI.A.3, Table III)."""
+
+from .bitstream import BitReader, BitWriter
+from .codec import (
+    DecodeStats,
+    Frame,
+    Gop,
+    SequenceHeader,
+    decode_gop_payloads,
+    decode_sequence,
+    encode_sequence,
+    iter_decode_chunk,
+    psnr,
+    split_stream,
+    synthetic_video,
+)
+from .dct import dct2, dezigzag, idct2, zigzag
+from .parallel import Mpeg2Result, gop_assignment, run_mpeg2
+from .quant import dequantize, quantize
+from . import cost
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "DecodeStats",
+    "Frame",
+    "Gop",
+    "SequenceHeader",
+    "decode_gop_payloads",
+    "decode_sequence",
+    "encode_sequence",
+    "iter_decode_chunk",
+    "psnr",
+    "split_stream",
+    "synthetic_video",
+    "dct2",
+    "dezigzag",
+    "idct2",
+    "zigzag",
+    "Mpeg2Result",
+    "gop_assignment",
+    "run_mpeg2",
+    "dequantize",
+    "quantize",
+    "cost",
+]

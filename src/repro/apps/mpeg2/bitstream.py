@@ -1,0 +1,149 @@
+"""Bit-level stream I/O for the MPEG2 codec.
+
+MPEG2 is a bit-oriented format: headers start on byte-aligned start codes
+(``00 00 01 xx``) and entropy-coded coefficients are variable-length.  The
+writer and reader here provide exactly what the compact codec needs:
+
+* raw fixed-width bit fields,
+* unsigned and signed Exp-Golomb codes (the codec's VLC family),
+* byte-aligned start codes with scan-forward search.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = [
+    "START_CODE_PREFIX",
+    "SEQUENCE_START",
+    "GOP_START",
+    "PICTURE_START",
+    "END_CODE",
+    "BitWriter",
+    "BitReader",
+]
+
+START_CODE_PREFIX = 0x000001
+SEQUENCE_START = 0xB3
+GOP_START = 0xB8
+PICTURE_START = 0x00
+END_CODE = 0xB7
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a byte string."""
+
+    def __init__(self):
+        self._bytes = bytearray()
+        self._accumulator = 0
+        self._bit_count = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        if width < 0 or (width and value < 0):
+            raise ValueError("negative width or value")
+        if width and value >= (1 << width):
+            raise ValueError("value %d does not fit in %d bits" % (value, width))
+        for shift in range(width - 1, -1, -1):
+            self._accumulator = (self._accumulator << 1) | ((value >> shift) & 1)
+            self._bit_count += 1
+            if self._bit_count == 8:
+                self._bytes.append(self._accumulator)
+                self._accumulator = 0
+                self._bit_count = 0
+
+    def write_ue(self, value: int) -> None:
+        """Unsigned Exp-Golomb."""
+        if value < 0:
+            raise ValueError("write_ue takes non-negative values")
+        stem = value + 1
+        width = stem.bit_length()
+        self.write_bits(0, width - 1)
+        self.write_bits(stem, width)
+
+    def write_se(self, value: int) -> None:
+        """Signed Exp-Golomb: 0, 1, -1, 2, -2, ... -> 0, 1, 2, 3, 4, ..."""
+        mapped = 2 * value - 1 if value > 0 else -2 * value
+        self.write_ue(mapped)
+
+    def byte_align(self) -> None:
+        if self._bit_count:
+            self.write_bits(0, 8 - self._bit_count)
+
+    def start_code(self, code: int) -> None:
+        self.byte_align()
+        self._bytes.extend((0x00, 0x00, 0x01, code & 0xFF))
+
+    def getvalue(self) -> bytes:
+        self.byte_align()
+        return bytes(self._bytes)
+
+    def __len__(self) -> int:
+        return len(self._bytes) * 8 + self._bit_count
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.position = 0  # in bits
+
+    @property
+    def bits_left(self) -> int:
+        return len(self.data) * 8 - self.position
+
+    def read_bits(self, width: int) -> int:
+        if width > self.bits_left:
+            raise EOFError("bitstream exhausted")
+        value = 0
+        position = self.position
+        for _ in range(width):
+            byte = self.data[position >> 3]
+            bit = (byte >> (7 - (position & 7))) & 1
+            value = (value << 1) | bit
+            position += 1
+        self.position = position
+        return value
+
+    def read_ue(self) -> int:
+        zeros = 0
+        while self.read_bits(1) == 0:
+            zeros += 1
+            if zeros > 64:
+                raise ValueError("malformed Exp-Golomb code")
+        value = 1
+        if zeros:
+            value = (1 << zeros) | self.read_bits(zeros)
+        return value - 1
+
+    def read_se(self) -> int:
+        mapped = self.read_ue()
+        if mapped % 2:
+            return (mapped + 1) // 2
+        return -(mapped // 2)
+
+    def byte_align(self) -> None:
+        remainder = self.position & 7
+        if remainder:
+            self.position += 8 - remainder
+
+    def next_start_code(self) -> Optional[int]:
+        """Scan forward to the next start code; returns its code byte."""
+        self.byte_align()
+        data = self.data
+        index = self.position >> 3
+        while index + 3 < len(data):
+            if data[index] == 0 and data[index + 1] == 0 and data[index + 2] == 1:
+                self.position = (index + 4) * 8
+                return data[index + 3]
+            index += 1
+        self.position = len(data) * 8
+        return None
+
+    def expect_start_code(self, code: int) -> None:
+        found = self.next_start_code()
+        if found != code:
+            raise ValueError(
+                "expected start code 0x%02X, found %s"
+                % (code, "end of stream" if found is None else "0x%02X" % found)
+            )

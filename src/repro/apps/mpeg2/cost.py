@@ -1,0 +1,60 @@
+"""Instruction-cost constants for the MPEG2 decoder.
+
+The paper ran the MSSG reference decoder (8788 lines of C); for 16x16
+pictures its fixed per-picture machinery (header parsing, slice and
+macroblock state, buffer management) dwarfs the per-coefficient work, which
+is why the constants below put most of the weight on the picture layer.
+Calibrated so one GOP (I+P, 16x16, 4:2:0) decodes in roughly 400-500 k
+bus-clock cycles, landing system throughput near Table III's ~1 Mbps scale.
+"""
+
+from __future__ import annotations
+
+from .codec import DecodeStats
+
+__all__ = [
+    "PARSE_SH_INSTR",
+    "PARSE_GOP_INSTR",
+    "PARSE_PICTURE_INSTR",
+    "VLC_PER_COEFF",
+    "DEQUANT_PER_BLOCK",
+    "IDCT_PER_BLOCK",
+    "RECON_PER_BLOCK",
+    "MC_PER_BLOCK",
+    "OUTPUT_PER_WORD",
+    "INPUT_IO_PER_WORD",
+    "UNCACHED_WORD_OPS_PER_PICTURE",
+    "picture_instructions",
+    "sh_gop_parse_instructions",
+]
+
+PARSE_SH_INSTR = 30_000
+PARSE_GOP_INSTR = 20_000
+PARSE_PICTURE_INSTR = 400_000
+VLC_PER_COEFF = 150
+DEQUANT_PER_BLOCK = 2_500
+IDCT_PER_BLOCK = 14_000
+RECON_PER_BLOCK = 3_000
+MC_PER_BLOCK = 5_000
+OUTPUT_PER_WORD = 60  # BAN D's decoded-data output loop
+INPUT_IO_PER_WORD = 40  # BAN A's raw stream input loop
+# Word-granular accesses per picture to the decoder's (cache-inhibited)
+# working buffers: bitstream window, block staging, reconstruction stores.
+# Each one re-arbitrates for the bus holding the buffer, which is the local
+# SRAM on GBAVIII/Hybrid but the shared PLB on CCBA (5-cycle read grant).
+UNCACHED_WORD_OPS_PER_PICTURE = 1_400
+
+
+def sh_gop_parse_instructions() -> int:
+    """Cost of parsing one sequence header + GOP header."""
+    return PARSE_SH_INSTR + PARSE_GOP_INSTR
+
+
+def picture_instructions(stats: DecodeStats) -> int:
+    """Cost of decoding one picture, from its operation counts."""
+    return (
+        PARSE_PICTURE_INSTR * stats.pictures
+        + VLC_PER_COEFF * stats.coefficients
+        + (DEQUANT_PER_BLOCK + IDCT_PER_BLOCK + RECON_PER_BLOCK) * stats.blocks
+        + MC_PER_BLOCK * stats.motion_blocks
+    )

@@ -1,0 +1,84 @@
+"""8x8 forward/inverse DCT and zig-zag scan for the MPEG2 codec.
+
+The type-II DCT over 8x8 blocks is the transform MPEG2 specifies; the
+decoder applies the type-III inverse.  Both are implemented as separable
+matrix products against a precomputed orthonormal basis, which the tests
+check for orthogonality and perfect round-trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BLOCK",
+    "dct_matrix",
+    "dct2",
+    "idct2",
+    "ZIGZAG_ORDER",
+    "zigzag",
+    "dezigzag",
+]
+
+BLOCK = 8
+
+
+def dct_matrix(n: int = BLOCK) -> np.ndarray:
+    """Orthonormal type-II DCT basis matrix C with X = C x C^T."""
+    k = np.arange(n).reshape(-1, 1)
+    i = np.arange(n).reshape(1, -1)
+    matrix = np.sqrt(2.0 / n) * np.cos((2 * i + 1) * k * np.pi / (2 * n))
+    matrix[0, :] = 1.0 / np.sqrt(n)
+    return matrix
+
+
+_C = dct_matrix()
+
+
+def dct2(block: np.ndarray) -> np.ndarray:
+    """Forward 8x8 DCT (type II, orthonormal)."""
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape != (BLOCK, BLOCK):
+        raise ValueError("dct2 expects an 8x8 block, got %r" % (block.shape,))
+    return _C @ block @ _C.T
+
+
+def idct2(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse 8x8 DCT (type III, orthonormal)."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.shape != (BLOCK, BLOCK):
+        raise ValueError("idct2 expects an 8x8 block, got %r" % (coefficients.shape,))
+    return _C.T @ coefficients @ _C
+
+
+def _build_zigzag(n: int = BLOCK) -> np.ndarray:
+    """Classic zig-zag scan order over an n x n block."""
+    order = []
+    for diagonal in range(2 * n - 1):
+        cells = [
+            (row, diagonal - row)
+            for row in range(n)
+            if 0 <= diagonal - row < n
+        ]
+        if diagonal % 2 == 0:
+            cells.reverse()  # even diagonals run bottom-left to top-right
+        order.extend(cells)
+    flat = np.array([row * n + column for row, column in order], dtype=np.int64)
+    return flat
+
+
+ZIGZAG_ORDER = _build_zigzag()
+_INVERSE_ZIGZAG = np.argsort(ZIGZAG_ORDER)
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """Flatten an 8x8 block in zig-zag order (DC first)."""
+    return np.asarray(block).reshape(-1)[ZIGZAG_ORDER]
+
+
+def dezigzag(scan: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag`."""
+    scan = np.asarray(scan)
+    if scan.shape != (BLOCK * BLOCK,):
+        raise ValueError("dezigzag expects 64 coefficients")
+    return scan[_INVERSE_ZIGZAG].reshape(BLOCK, BLOCK)

@@ -1,0 +1,57 @@
+"""Quantization for the MPEG2 codec.
+
+Uses the MPEG2 default intra quantizer matrix (ISO/IEC 13818-2 table) and a
+flat matrix for non-intra (predicted) blocks, both scaled by a picture-level
+``quantizer_scale``.  Quantization is the only lossy step in the codec, so
+the round-trip tests bound reconstruction error through these tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "INTRA_QUANT_MATRIX",
+    "NONINTRA_QUANT_MATRIX",
+    "quantize",
+    "dequantize",
+]
+
+# MPEG2 default intra quantizer matrix, in raster order.
+INTRA_QUANT_MATRIX = np.array(
+    [
+        [8, 16, 19, 22, 26, 27, 29, 34],
+        [16, 16, 22, 24, 27, 29, 34, 37],
+        [19, 22, 26, 27, 29, 34, 34, 38],
+        [22, 22, 26, 27, 29, 34, 37, 40],
+        [22, 26, 27, 29, 32, 35, 40, 48],
+        [26, 27, 29, 32, 35, 40, 48, 58],
+        [26, 27, 29, 34, 38, 46, 56, 69],
+        [27, 29, 35, 38, 46, 56, 69, 83],
+    ],
+    dtype=np.float64,
+)
+
+# MPEG2's default non-intra matrix is flat 16s.
+NONINTRA_QUANT_MATRIX = np.full((8, 8), 16.0)
+
+
+def _step(intra: bool, quantizer_scale: int) -> np.ndarray:
+    matrix = INTRA_QUANT_MATRIX if intra else NONINTRA_QUANT_MATRIX
+    return matrix * quantizer_scale / 16.0
+
+
+def quantize(coefficients: np.ndarray, intra: bool, quantizer_scale: int) -> np.ndarray:
+    """Divide by the scaled matrix and round to integer levels."""
+    if quantizer_scale < 1:
+        raise ValueError("quantizer_scale must be >= 1")
+    return np.round(np.asarray(coefficients) / _step(intra, quantizer_scale)).astype(
+        np.int64
+    )
+
+
+def dequantize(levels: np.ndarray, intra: bool, quantizer_scale: int) -> np.ndarray:
+    """Multiply levels back up to reconstructed coefficients."""
+    if quantizer_scale < 1:
+        raise ValueError("quantizer_scale must be >= 1")
+    return np.asarray(levels, dtype=np.float64) * _step(intra, quantizer_scale)

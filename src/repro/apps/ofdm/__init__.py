@@ -1,0 +1,49 @@
+"""OFDM wireless transmitter application (section VI.A.2)."""
+
+from .fft import bit_reverse_permute, butterfly_count, fft, ifft, ifft_butterflies
+from .mapping import GROUP_OF_BAN, OfdmResult, run_fpa, run_ofdm, run_ppa
+from .transmitter import (
+    OfdmParameters,
+    generate_bits,
+    insert_guard,
+    modulate,
+    normalize,
+    symbol_map,
+    train_pulse,
+    transmit_packet,
+)
+from .receiver import (
+    ChannelModel,
+    bit_error_rate,
+    demap,
+    receive_packet,
+    remove_guard,
+)
+from . import cost
+
+__all__ = [
+    "bit_reverse_permute",
+    "butterfly_count",
+    "fft",
+    "ifft",
+    "ifft_butterflies",
+    "GROUP_OF_BAN",
+    "OfdmResult",
+    "run_fpa",
+    "run_ofdm",
+    "run_ppa",
+    "OfdmParameters",
+    "generate_bits",
+    "insert_guard",
+    "modulate",
+    "normalize",
+    "symbol_map",
+    "train_pulse",
+    "transmit_packet",
+    "cost",
+    "ChannelModel",
+    "bit_error_rate",
+    "demap",
+    "receive_packet",
+    "remove_guard",
+]

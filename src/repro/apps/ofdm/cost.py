@@ -1,0 +1,78 @@
+"""Instruction-cost constants for the OFDM transmitter.
+
+The paper ran the transmitter as compiled C on MPC755 instruction-set
+models; we charge per-element instruction estimates instead.  Constants are
+calibrated so that (a) the IFFT stage (function group F) is the pipeline
+bottleneck, as section VI.A.2 states ("The function on BAN B, IFFT,
+unfortunately is difficult to split up"), and (b) the total work of groups
+E+G+H roughly equals F, which is what makes the paper's FPA/PPA throughput
+ratio come out near 2x (Table II, cases 3 vs 4).
+
+All values are *instructions per element*; the PE model converts them to
+cycles with its cycles-per-instruction factor.
+"""
+
+from __future__ import annotations
+
+from .fft import butterfly_count
+
+__all__ = [
+    "DATA_GEN_PER_SAMPLE",
+    "SYMBOL_MAP_PER_SAMPLE",
+    "BIT_REVERSE_PER_SAMPLE",
+    "BUTTERFLY_INSTR",
+    "NORMALIZE_G_PER_SAMPLE",
+    "NORMALIZE_H_PER_SAMPLE",
+    "GUARD_PER_SAMPLE",
+    "OUTPUT_PER_SAMPLE",
+    "INIT_INSTR",
+    "TRAIN_PULSE_INSTR",
+    "SYMBOL_GEN_INSTR",
+    "group_e_instructions",
+    "group_f_instructions",
+    "group_g_instructions",
+    "group_h_instructions",
+]
+
+# Group E (BAN A): data generation, symbol mapping, bit reversal.
+DATA_GEN_PER_SAMPLE = 80
+SYMBOL_MAP_PER_SAMPLE = 80
+BIT_REVERSE_PER_SAMPLE = 30
+
+# Group F (BAN B): IFFT butterflies -- complex fixed-point multiply/add
+# plus loads/stores and loop control per butterfly in compiled C.
+BUTTERFLY_INSTR = 50
+
+# Group G (BAN C): normalizing the inverse FFT (scale by 1/N).
+NORMALIZE_G_PER_SAMPLE = 35
+
+# Group H (BAN D): final normalization, guard insertion, data output.
+NORMALIZE_H_PER_SAMPLE = 20
+GUARD_PER_SAMPLE = 40
+OUTPUT_PER_SAMPLE = 20
+
+# One-time startup functions (italicized in Table I; excluded from
+# throughput, but still executed once).
+INIT_INSTR = 20_000
+TRAIN_PULSE_INSTR = 60_000
+SYMBOL_GEN_INSTR = 30_000
+
+
+def group_e_instructions(n_samples: int) -> int:
+    return n_samples * (DATA_GEN_PER_SAMPLE + SYMBOL_MAP_PER_SAMPLE + BIT_REVERSE_PER_SAMPLE)
+
+
+def group_f_instructions(n_samples: int) -> int:
+    return butterfly_count(n_samples) * BUTTERFLY_INSTR
+
+
+def group_g_instructions(n_samples: int) -> int:
+    return n_samples * NORMALIZE_G_PER_SAMPLE
+
+
+def group_h_instructions(n_samples: int, guard_samples: int) -> int:
+    return (
+        n_samples * NORMALIZE_H_PER_SAMPLE
+        + guard_samples * GUARD_PER_SAMPLE
+        + (n_samples + guard_samples) * OUTPUT_PER_SAMPLE
+    )

@@ -1,0 +1,125 @@
+"""OFDM transmitter functions (section VI.A.2, Figures 23-25).
+
+The transmitter pipeline: sub-channel data is QPSK-mapped onto carriers,
+modulated by an inverse FFT, normalized, and extended with a cyclic guard
+block (512 samples for a 2048-sample data block -- "the size of guard data
+is usually a quarter of the data block").  The data stream starts with a
+train pulse for receiver synchronization (Figure 24), generated once.
+
+These functions do the *real* math (the tests check the IFFT against
+numpy and the guard against a cyclic-extension property); the simulation
+drivers in :mod:`repro.apps.ofdm.mapping` wrap them with the instruction
+costs of :mod:`repro.apps.ofdm.cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .fft import bit_reverse_permute, ifft_butterflies
+
+__all__ = [
+    "OfdmParameters",
+    "generate_bits",
+    "symbol_map",
+    "bit_reverse",
+    "modulate",
+    "normalize",
+    "insert_guard",
+    "train_pulse",
+    "transmit_packet",
+]
+
+# QPSK constellation (Gray-coded), unit average power.
+_QPSK = np.array(
+    [1 + 1j, -1 + 1j, 1 - 1j, -1 - 1j], dtype=np.complex128
+) / np.sqrt(2.0)
+
+
+@dataclass
+class OfdmParameters:
+    """One packet's shape: 2048 data + 512 guard samples by default."""
+
+    data_samples: int = 2048
+    guard_samples: int = 512
+    bits_per_symbol: int = 2  # QPSK
+    packets: int = 8
+
+    @property
+    def packet_samples(self) -> int:
+        return self.data_samples + self.guard_samples
+
+    @property
+    def payload_bits_per_packet(self) -> int:
+        return self.data_samples * self.bits_per_symbol
+
+    def validate(self) -> None:
+        if self.data_samples & (self.data_samples - 1):
+            raise ValueError("data_samples must be a power of two")
+        if self.guard_samples >= self.data_samples:
+            raise ValueError("guard must be shorter than the data block")
+
+
+def generate_bits(params: OfdmParameters, packet_index: int) -> np.ndarray:
+    """Deterministic per-packet payload bits (the EOP data-generation loop)."""
+    rng = np.random.default_rng(0xC0DEC + packet_index)
+    return rng.integers(0, 2, params.payload_bits_per_packet, dtype=np.int64)
+
+
+def symbol_map(bits: np.ndarray) -> np.ndarray:
+    """QPSK-map bit pairs onto sub-carrier symbols."""
+    bits = np.asarray(bits, dtype=np.int64)
+    if len(bits) % 2:
+        raise ValueError("QPSK mapping needs an even number of bits")
+    indices = bits[0::2] * 2 + bits[1::2]
+    return _QPSK[indices]
+
+
+def bit_reverse(symbols: np.ndarray) -> np.ndarray:
+    """Group E's final step: reorder carriers for the in-place IFFT."""
+    return bit_reverse_permute(symbols)
+
+
+def modulate(reordered: np.ndarray) -> np.ndarray:
+    """Group F: IFFT butterflies over bit-reversed carriers (unnormalized)."""
+    return ifft_butterflies(reordered)
+
+
+def normalize(samples: np.ndarray) -> np.ndarray:
+    """Group G: scale the raw butterfly output by 1/N."""
+    return np.asarray(samples) / len(samples)
+
+
+def insert_guard(samples: np.ndarray, guard_samples: int) -> np.ndarray:
+    """Group H: cyclic extension -- prepend the block's tail as the guard.
+
+    Figure 24 shows each packet as Guard + Data; copying the tail keeps the
+    packet cyclic so the receiver's FFT window can slide inside the guard.
+    """
+    samples = np.asarray(samples)
+    if guard_samples > len(samples):
+        raise ValueError("guard longer than the data block")
+    return np.concatenate([samples[-guard_samples:], samples])
+
+
+def train_pulse(params: OfdmParameters) -> np.ndarray:
+    """The synchronization preamble sent once at stream start (Figure 24).
+
+    3 x (guard + data) samples of a constant-amplitude chirp.
+    """
+    total = 3 * params.packet_samples
+    n = np.arange(total)
+    return np.exp(1j * np.pi * n * n / total) / np.sqrt(2.0)
+
+
+def transmit_packet(params: OfdmParameters, packet_index: int) -> np.ndarray:
+    """Reference (non-simulated) end-to-end packet, for tests and examples."""
+    bits = generate_bits(params, packet_index)
+    symbols = symbol_map(bits)
+    reordered = bit_reverse(symbols)
+    raw = modulate(reordered)
+    scaled = normalize(raw)
+    return insert_guard(scaled, params.guard_samples)

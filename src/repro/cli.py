@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro``.
+
+The user-facing face of BusSyn -- Figure 18's flow from the shell::
+
+    python -m repro generate --preset GBAVIII --pes 4 --out ./generated
+    python -m repro generate --options my_system.txt --out ./generated
+    python -m repro simulate --preset SPLITBA --app ofdm --style FPA
+    python -m repro table 2          # reprint a table of the paper
+    python -m repro list             # available presets / components
+
+``generate`` writes one ``.v`` per module plus ``<top>_all.v`` and a
+``report.txt`` (generation time, gate count, lint result).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .core.busyn import BusSyn
+from .options import presets
+from .options.inputfile import parse_option_file
+
+__all__ = ["main"]
+
+
+def _load_spec(args):
+    if args.options:
+        return parse_option_file(args.options)
+    return presets.preset(args.preset, args.pes)
+
+
+def _cmd_generate(args) -> int:
+    spec = _load_spec(args)
+    generated = BusSyn().generate(spec)
+    report = generated.report
+    errors = generated.lint_errors()
+    os.makedirs(args.out, exist_ok=True)
+    files = generated.files()
+    for file_name, text in files.items():
+        with open(os.path.join(args.out, file_name), "w") as handle:
+            handle.write(text)
+    with open(os.path.join(args.out, "%s_all.v" % generated.top_name), "w") as handle:
+        handle.write(generated.verilog())
+    with open(os.path.join(args.out, "report.txt"), "w") as handle:
+        handle.write(report.row() + "\n")
+        handle.write("lint errors: %d\n" % len(errors))
+        for name, gates in sorted(report.gate_breakdown.items()):
+            handle.write("  %-30s %8d gates\n" % (name, gates))
+    print(report.row())
+    print("lint: %s" % ("clean" if not errors else "%d errors" % len(errors)))
+    print("wrote %d Verilog files to %s" % (len(files) + 1, args.out))
+    return 1 if errors else 0
+
+
+def _cmd_simulate(args) -> int:
+    from .sim.fabric import build_machine
+
+    spec = _load_spec(args)
+    machine = build_machine(spec)
+    if args.app == "ofdm":
+        from .apps.ofdm import OfdmParameters, run_ofdm
+
+        result = run_ofdm(machine, args.style, OfdmParameters(packets=args.packets))
+        print(
+            "%s OFDM %s: %.4f Mbps (%d cycles, %.2f ms)"
+            % (spec.name, args.style, result.throughput_mbps, result.cycles,
+               result.seconds * 1e3)
+        )
+    elif args.app == "mpeg2":
+        from .apps.mpeg2.codec import synthetic_video
+        from .apps.mpeg2.parallel import run_mpeg2
+
+        result = run_mpeg2(machine, synthetic_video(args.frames))
+        print(
+            "%s MPEG2: %.4f Mbps (%d GOPs, %d frames decoded)"
+            % (spec.name, result.throughput_mbps, result.gops, len(result.frames))
+        )
+    elif args.app == "database":
+        from .apps.database import run_database
+
+        result = run_database(machine)
+        print(
+            "%s database: %.0f ns (%d tasks)"
+            % (spec.name, result.execution_time_ns, result.tasks_completed)
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit("unknown app %r" % args.app)
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from .experiments import table2, table3, table4, table5
+
+    module = {2: table2, 3: table3, 4: table4, 5: table5}[args.number]
+    module.main()
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    from .moduledb import default_library
+
+    print("presets:", ", ".join(sorted(presets.PRESETS)))
+    print("library components:")
+    for component in default_library().components():
+        print("  %s" % component)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BusSyn: automated bus generation for multiprocessor SoC design",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_spec_arguments(p):
+        p.add_argument("--preset", default="GBAVIII", help="bus architecture preset")
+        p.add_argument("--pes", type=int, default=4, help="processor count")
+        p.add_argument("--options", help="user-option input file (Figure 18 format)")
+
+    generate = sub.add_parser("generate", help="generate synthesizable Verilog")
+    add_spec_arguments(generate)
+    generate.add_argument("--out", default="./generated", help="output directory")
+    generate.set_defaults(func=_cmd_generate)
+
+    simulate = sub.add_parser("simulate", help="run an application on the bus system")
+    add_spec_arguments(simulate)
+    simulate.add_argument("--app", choices=["ofdm", "mpeg2", "database"], default="ofdm")
+    simulate.add_argument("--style", choices=["PPA", "FPA"], default="FPA")
+    simulate.add_argument("--packets", type=int, default=4)
+    simulate.add_argument("--frames", type=int, default=16)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    table = sub.add_parser("table", help="reprint a table of the paper")
+    table.add_argument("number", type=int, choices=[2, 3, 4, 5])
+    table.set_defaults(func=_cmd_table)
+
+    listing = sub.add_parser("list", help="list presets and library components")
+    listing.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""BusSyn core: the paper's contribution (section V)."""
+
+from .bangen import BanKind, BanPlan, GeneratedBan, ModulePlan, generate_ban, plan_ban
+from .busyn import BusSyn, GeneratedBusSystem, GenerationReport
+from .gatecount import count_system_gates, estimate_component, gate_report
+from .netlist import EXT, NetlistBuilder, NetlistError
+from .subsysgen import GeneratedSubsystem, generate_subsystem, subsystem_kind
+from .sysgen import GeneratedSystem, generate_system
+
+__all__ = [
+    "BanKind",
+    "BanPlan",
+    "GeneratedBan",
+    "ModulePlan",
+    "generate_ban",
+    "plan_ban",
+    "BusSyn",
+    "GeneratedBusSystem",
+    "GenerationReport",
+    "count_system_gates",
+    "estimate_component",
+    "gate_report",
+    "EXT",
+    "NetlistBuilder",
+    "NetlistError",
+    "GeneratedSubsystem",
+    "generate_subsystem",
+    "subsystem_kind",
+    "GeneratedSystem",
+    "generate_system",
+]

@@ -1,0 +1,289 @@
+"""BANGen: Bus Access Node generation (Figure 19).
+
+The five steps of the paper's pseudo code map onto this module as:
+
+1. *extract or generate RTL for each module* -- :func:`plan_ban` decides
+   the module list from the user options; the Module Library expands each
+   into concrete Verilog;
+2. *read wire information* -- the Wire Library section for the BAN kind;
+3. *read port information from each module* -- the parsed templates carry
+   their port lists;
+4. *compare wire and port information* -- :class:`NetlistBuilder` matches
+   endpoints against ports and determines the BAN's exact I/O ports;
+5. *instantiate and write Verilog* -- the builder emits the BAN module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..hdl.ast import Module
+from ..moduledb.library import GeneratedModule, ModuleLibrary
+from ..options.schema import BANSpec, BusSpec, BusSubsystemSpec, OptionError
+from ..wiredb.library import WireLibrary
+from ..wiredb.model import WireGroup
+from .netlist import NetlistBuilder
+
+__all__ = ["BanKind", "ModulePlan", "BanPlan", "GeneratedBan", "plan_ban", "generate_ban"]
+
+
+class BanKind:
+    BFBA = "bfba"
+    GBAVI = "gbavi"
+    GBAVIII = "gbaviii"
+    HYBRID = "hybrid"
+    SPLITBA = "splitba"
+    GLOBAL = "global"
+    IPCORE = "ipcore"
+
+
+@dataclass
+class ModulePlan:
+    """One module to extract/generate: Step 1 inputs."""
+
+    logical: str  # name the wire specs use (CPU, CBI, MBI0, ...)
+    component: str  # Module Library component
+    module_name: str  # emitted Verilog module name
+    instance_name: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class BanPlan:
+    kind: str
+    module_name: str
+    modules: List[ModulePlan]
+    wire_section_kind: str
+    mem_address_width: int
+    with_ip_port: bool = False
+
+
+@dataclass
+class GeneratedBan:
+    plan: BanPlan
+    module: Module  # the BAN's own module
+    leaves: Dict[str, GeneratedModule]  # module name -> generated leaf
+
+    @property
+    def name(self) -> str:
+        return self.module.name
+
+
+def ban_kind(ban: BANSpec, subsystem: BusSubsystemSpec) -> str:
+    """Classify a BAN by the subsystem's bus mix and its own resources."""
+    if ban.is_global_resource:
+        return BanKind.GLOBAL
+    if ban.non_cpu_type != "NONE":
+        return BanKind.IPCORE
+    bus_types = {bus.bus_type for bus in subsystem.buses}
+    if bus_types == {"BFBA"}:
+        return BanKind.BFBA
+    if bus_types == {"GBAVI"} or bus_types == {"GBAVII"}:
+        return BanKind.GBAVI
+    if bus_types == {"BFBA", "GBAVIII"}:
+        return BanKind.HYBRID
+    if bus_types & {"GBAVIII", "CCBA", "SPLITBA", "GGBA"}:
+        return BanKind.GBAVIII if ban.memories else BanKind.SPLITBA
+    raise OptionError("cannot classify BAN %s under buses %s" % (ban.name, bus_types))
+
+
+def _memory_width(ban: BANSpec) -> int:
+    return ban.memories[0].address_width if ban.memories else 20
+
+
+def plan_ban(ban: BANSpec, subsystem: BusSubsystemSpec) -> BanPlan:
+    """Decide the module list for one BAN (Step 1)."""
+    kind = ban_kind(ban, subsystem)
+    if kind == BanKind.GLOBAL:
+        return _plan_global_ban(ban, subsystem)
+    if kind == BanKind.IPCORE:
+        component = "%s_IP" % ban.non_cpu_type
+        return BanPlan(
+            BanKind.IPCORE,
+            "ban_ip_%s" % ban.non_cpu_type.lower(),
+            [ModulePlan("IP", component, component.lower(), "u_ip")],
+            BanKind.IPCORE,
+            0,
+        )
+    hosts_ip = any(ip.ip_attach == ban.name for ip in subsystem.ip_bans)
+    cpu = ban.cpu_type
+    mem_aw = _memory_width(ban)
+    bus = subsystem.buses[0]
+    fifo_bus = subsystem.bus_of_type("BFBA")
+    fifo_depth = fifo_bus.fifo_depth if fifo_bus else 1024
+    cpu_lower = cpu.lower()
+
+    modules: List[ModulePlan] = [
+        ModulePlan("CPU", cpu, cpu_lower, "u_cpu"),
+        ModulePlan("CBI", "CBI_%s" % cpu, "cbi_%s" % cpu_lower, "u_cbi"),
+    ]
+    mem_modules = [
+        ModulePlan(
+            "MBI0",
+            "MBI_SRAM",
+            "mbi_sram_aw%d" % mem_aw,
+            "u_mbi0",
+            {"MEM_A_WIDTH": mem_aw},
+        ),
+        ModulePlan(
+            "MEM0",
+            "SRAM_comp",
+            "sram_aw%d" % mem_aw,
+            "u_mem0",
+            {"MEM_A_WIDTH": mem_aw},
+        ),
+    ]
+    hs_fifo = [
+        ModulePlan(
+            "HS",
+            "HS_REGS",
+            "hs_regs_bfba",
+            "u_hs",
+            {"OP_RESET": "1'b1"},  # Example 4's initial conditions
+        ),
+        ModulePlan(
+            "FIFO",
+            "BIFIFO",
+            "bififo_d%d" % fifo_depth,
+            "u_fifo",
+            {"FIFO_DEPTH": fifo_depth},
+        ),
+    ]
+
+    if kind == BanKind.BFBA:
+        modules += [ModulePlan("SB", "SB_BFBA", "sb_bfba", "u_sb")]
+        modules += mem_modules + hs_fifo
+        modules += [ModulePlan("GBI", "GBI_BFBA", "gbi_bfba", "u_gbi")]
+        name = "ban_bfba_%s_aw%d_d%d" % (cpu_lower, mem_aw, fifo_depth)
+    elif kind == BanKind.GBAVI:
+        modules += [
+            ModulePlan("SBC", "SB_GBAVI", "sb_gbavi", "u_sbc"),
+            ModulePlan("SBM", "SB_GBAVI", "sb_gbavi", "u_sbm"),
+        ]
+        modules += mem_modules
+        modules += [
+            ModulePlan("HS", "HS_REGS_GBAVI", "hs_regs_gbavi", "u_hs"),
+            ModulePlan("BB", "BB_GBAVI", "bb_gbavi", "u_bb"),
+            ModulePlan("GBI", "GBI_GBAVI", "gbi_gbavi", "u_gbi"),
+        ]
+        name = "ban_gbavi_%s_aw%d" % (cpu_lower, mem_aw)
+    elif kind == BanKind.GBAVIII:
+        modules += [ModulePlan("SB", "SB_GBAVI", "sb_gbavi", "u_sb")]
+        modules += mem_modules
+        modules += [ModulePlan("GBI", "GBI_GBAVIII", "gbi_gbaviii", "u_gbi")]
+        name = "ban_gbaviii_%s_aw%d" % (cpu_lower, mem_aw)
+    elif kind == BanKind.HYBRID:
+        modules += [ModulePlan("SB", "SB_BFBA", "sb_bfba", "u_sb")]
+        modules += mem_modules + hs_fifo
+        modules += [
+            ModulePlan("GBI", "GBI_BFBA", "gbi_bfba", "u_gbi"),
+            ModulePlan("GGBI", "GBI_GBAVIII", "gbi_gbaviii", "u_ggbi"),
+        ]
+        name = "ban_hybrid_%s_aw%d_d%d" % (cpu_lower, mem_aw, fifo_depth)
+    elif kind == BanKind.SPLITBA:
+        # Figure 7: the PE's CBI sits directly on the shared bus; the thin
+        # GBI_SHARED only adds the request line and the bus drivers.
+        modules += [
+            ModulePlan("SB", "SB_GBAVI", "sb_gbavi", "u_sb"),
+            ModulePlan("GBI", "GBI_SHARED", "gbi_shared", "u_gbi"),
+        ]
+        name = "ban_shared_%s" % cpu_lower
+    else:  # pragma: no cover - classified above
+        raise OptionError("unhandled BAN kind %r" % kind)
+    plan = BanPlan(kind, name, modules, kind, mem_aw)
+    if hosts_ip:
+        if kind == BanKind.GBAVI:
+            raise OptionError(
+                "BAN %s: IP attachments are not supported on GBAVI BANs" % ban.name
+            )
+        modules.append(ModulePlan("IPIF", "IPIF", "ipif", "u_ipif"))
+        plan.module_name = name + "_ip"
+        plan.with_ip_port = True
+    return plan
+
+
+def _plan_global_ban(ban: BANSpec, subsystem: BusSubsystemSpec) -> BanPlan:
+    bus = subsystem.buses[-1]
+    n_masters = len(subsystem.pe_bans)
+    mem_aw = _memory_width(ban)
+    policy = (bus.arbiter_policy or "fcfs").upper()
+    arbiter_component = "ARBITER_%s" % ("ROUND_ROBIN" if policy == "ROUND_ROBIN" else policy)
+    modules = [
+        ModulePlan(
+            "ARB",
+            arbiter_component,
+            "%s_n%d" % (arbiter_component.lower(), n_masters),
+            "u_arb",
+            {"N_MASTERS": n_masters},
+        ),
+        ModulePlan(
+            "ABI0",
+            "ABI",
+            "abi_n%d_g%d" % (n_masters, bus.grant_cycles),
+            "u_abi0",
+            {"N_MASTERS": n_masters, "GRANT_CYCLES": bus.grant_cycles},
+        ),
+        ModulePlan(
+            "MBI0",
+            "MBI_SRAM",
+            "mbi_sram_aw%d" % mem_aw,
+            "u_mbi0",
+            {"MEM_A_WIDTH": mem_aw},
+        ),
+        ModulePlan(
+            "MEM0",
+            "SRAM_comp",
+            "sram_aw%d" % mem_aw,
+            "u_mem0",
+            {"MEM_A_WIDTH": mem_aw},
+        ),
+        ModulePlan(
+            "SBG",
+            "SB_GBAVIII",
+            "sb_gbaviii_n%d" % n_masters,
+            "u_sbg",
+            {"N_MASTERS": n_masters},
+        ),
+    ]
+    name = "ban_global_n%d_aw%d_g%d" % (n_masters, mem_aw, bus.grant_cycles)
+    return BanPlan(BanKind.GLOBAL, name, modules, BanKind.GLOBAL, mem_aw)
+
+
+def generate_ban(
+    module_library: ModuleLibrary,
+    wire_library: WireLibrary,
+    plan: BanPlan,
+    n_masters: int = 4,
+) -> GeneratedBan:
+    """Steps 2-5 of Figure 19: wires, ports, matching, Verilog."""
+    leaves: Dict[str, GeneratedModule] = {}
+    builder = NetlistBuilder(plan.module_name)
+    for module_plan in plan.modules:
+        generated = module_library.generate(
+            module_plan.component, module_plan.module_name, **module_plan.parameters
+        )
+        leaves[generated.name] = generated
+        builder.add_instance(module_plan.logical, generated.module, module_plan.instance_name)
+
+    if plan.wire_section_kind == BanKind.IPCORE:
+        # A hardware-IP BAN is a single IP core; all its pins surface as
+        # BAN ports (Figure 17's BAN FFT).
+        return GeneratedBan(plan, builder.build(), leaves)
+    if plan.wire_section_kind == BanKind.GLOBAL:
+        section: WireGroup = wire_library.global_ban_section(n_masters, plan.mem_address_width)
+    else:
+        section = wire_library.ban_section(
+            plan.wire_section_kind, plan.mem_address_width, plan.with_ip_port
+        )
+
+    for spec in section.specs:
+        taps: List[Tuple[str, str, int, int]] = []
+        for endpoint in (spec.end1, spec.end2):
+            taps.append(
+                (endpoint.module, endpoint.port, int(endpoint.wire_msb), int(endpoint.wire_lsb))
+            )
+        builder.connect(spec.name, spec.width, taps)
+
+    module = builder.build()
+    return GeneratedBan(plan, module, leaves)

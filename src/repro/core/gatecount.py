@@ -1,0 +1,109 @@
+"""NAND2-equivalent gate estimation (Table V).
+
+The paper synthesized the generated bus logic with Design Compiler against
+the LEDA TSMC 0.25um standard-cell library and reported NAND2 counts.  Our
+substitute is a structural estimator: each Module Library component has a
+gate formula in terms of its parameters (register bits at ~7 NAND2 per
+flop, mux/driver terms per data-path bit, FSM overheads), calibrated so the
+4-PE presets land near the paper's Table V column.  Two conventions match
+the paper's accounting:
+
+* PE cores are IP, not bus logic -- zero;
+* memory *storage* arrays (SRAM/DRAM macros, Bi-FIFO storage) are macros,
+  not synthesized gates -- only their controllers count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..hdl.ast import Design
+from .sysgen import GeneratedSystem
+
+__all__ = ["estimate_component", "count_system_gates", "gate_report"]
+
+_FLOP = 7  # NAND2 equivalents per register bit
+_MUX = 3  # per 2:1 mux bit / tri-state driver pair
+
+
+def estimate_component(component: str, parameters: Dict[str, object]) -> int:
+    """NAND2 estimate for one generated leaf module."""
+    n = int(parameters.get("N_MASTERS", 4) or 4)
+    addr = int(parameters.get("ADDR_WIDTH", 32) or 32)
+    pointer = int(parameters.get("PTR_WIDTH", 11) or 11)
+
+    if component in ("MPC750", "MPC755", "MPC7410", "ARM9TDMI"):
+        return 0  # IP core, not bus logic
+    if component in ("SRAM_comp", "DRAM_comp"):
+        return 0  # memory macro
+    if component in ("DCT_IP", "MPEG2_IP"):
+        return 0  # hardware IP core (not bus logic)
+    if component == "IPIF":
+        return 200
+    if component.startswith("CBI_"):
+        # Address/data registers + decode + FSM + TA/interrupt path.
+        return addr * _FLOP // 4 + 64 * _MUX // 2 + 90
+    if component == "MBI_SRAM":
+        return 64 * _MUX // 2 + 60
+    if component == "MBI_DRAM":
+        return 64 * _MUX // 2 + 120
+    if component.startswith("SB_"):
+        return 40 + (8 * n if component == "SB_GBAVIII" else 0)
+    if component == "BB_GBAVI":
+        return (addr + 66) * 1 - 8  # pass-gate pairs on addr+data+control
+    if component == "BB_SPLITBA":
+        return (addr + 66) * 1 + 150  # plus the request/grant exchange FSM
+    if component == "ARBITER_FCFS":
+        return 220 + 45 * n  # grant register + FIFO of requester ids
+    if component == "ARBITER_ROUND_ROBIN":
+        return 180 + 40 * n
+    if component == "ARBITER_PRIORITY":
+        return 120 + 30 * n
+    if component == "ABI":
+        return 90 + 25 * n
+    if component == "GBI_GBAVIII":
+        # Full two-bus master: posted-write/read buffers, burst counters,
+        # request FSM -- the dominant per-PE term of GBAVIII in Table V.
+        return 1200
+    if component == "GBI_GBAVI":
+        return 160
+    if component == "GBI_BFBA":
+        return 110
+    if component == "GBI_SHARED":
+        return 180
+    if component == "HS_REGS":
+        return 70
+    if component == "HS_REGS_GBAVI":
+        return 90
+    if component == "BIFIFO":
+        # Controller only: pointers, fill counter, threshold compare, irq.
+        return 120 + 2 * pointer * _FLOP
+    return 100  # unknown user component: conservative default
+
+
+def count_system_gates(system: GeneratedSystem) -> int:
+    """Total NAND2 estimate over the elaborated hierarchy."""
+    from ..hdl.lint import elaborate
+
+    design: Design = system.design()
+    counts = elaborate(design)
+    leaf_cost = {
+        name: estimate_component(leaf.component, leaf.parameters)
+        for name, leaf in system.leaves.items()
+    }
+    total = 0
+    for module_name, instance_count in counts.items():
+        total += leaf_cost.get(module_name, 0) * instance_count
+    return total
+
+
+def gate_report(system: GeneratedSystem) -> Dict[str, int]:
+    """Per-leaf breakdown: module name -> total gates contributed."""
+    from ..hdl.lint import elaborate
+
+    counts = elaborate(system.design())
+    report = {}
+    for name, leaf in system.leaves.items():
+        if name in counts:
+            report[name] = estimate_component(leaf.component, leaf.parameters) * counts[name]
+    return report

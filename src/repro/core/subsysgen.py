@@ -1,0 +1,197 @@
+"""SubSysGen: Bus Subsystem generation (Figure 20).
+
+Instantiates the generated BANs according to the Bus Subsystem Property and
+wires them together: Step 1 reads the subsystem's wire section (generated
+for the BAN-name list, including Example 8's ``BAN[A,B,C,D]`` chain
+entries), Step 2 reads each generated BAN's port list, Step 3 matches them,
+and Step 4 writes the subsystem Verilog.  GBAVI additionally instantiates
+the bus bridges that segment its global bus (BB_2/BB_4/... of Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..hdl.ast import Module
+from ..moduledb.library import GeneratedModule, ModuleLibrary
+from ..options.schema import BusSubsystemSpec, OptionError
+from ..wiredb.library import WireLibrary, expand_chain
+from ..wiredb.model import Endpoint, WireSpec
+from .bangen import BanPlan, GeneratedBan, generate_ban, plan_ban
+from .netlist import EXT, NetlistBuilder
+
+__all__ = ["GeneratedSubsystem", "subsystem_kind", "generate_subsystem"]
+
+
+@dataclass
+class GeneratedSubsystem:
+    spec: BusSubsystemSpec
+    module: Module
+    bans: Dict[str, GeneratedBan]  # BAN-module name -> generated BAN
+    leaves: Dict[str, GeneratedModule]  # leaf module name -> generated leaf
+    ban_of_letter: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.module.name
+
+
+def subsystem_kind(spec: BusSubsystemSpec) -> str:
+    bus_types = {bus.bus_type for bus in spec.buses}
+    mapping = {
+        frozenset(["BFBA"]): "bfba",
+        frozenset(["GBAVI"]): "gbavi",
+        frozenset(["GBAVII"]): "gbavii",
+        frozenset(["GBAVIII"]): "gbaviii",
+        frozenset(["BFBA", "GBAVIII"]): "hybrid",
+        frozenset(["SPLITBA"]): "splitba",
+        frozenset(["GGBA"]): "ggba",
+        frozenset(["CCBA"]): "ccba",
+    }
+    try:
+        return mapping[frozenset(bus_types)]
+    except KeyError:
+        raise OptionError(
+            "subsystem %s: unsupported bus combination %s" % (spec.name, sorted(bus_types))
+        )
+
+
+def _resolve_bit(value, member_index: int) -> int:
+    return member_index if value == "@" else int(value)
+
+
+def generate_subsystem(
+    module_library: ModuleLibrary,
+    wire_library: WireLibrary,
+    spec: BusSubsystemSpec,
+    ban_cache: Dict[str, GeneratedBan] = None,
+) -> GeneratedSubsystem:
+    kind = subsystem_kind(spec)
+    ban_cache = ban_cache if ban_cache is not None else {}
+    builder = NetlistBuilder("subsys_%s" % spec.name.lower())
+    bans: Dict[str, GeneratedBan] = {}
+    leaves: Dict[str, GeneratedModule] = {}
+    ban_of_letter: Dict[str, str] = {}
+    pe_letters = [ban.name for ban in spec.pe_bans]
+    n_masters = len(pe_letters)
+
+    # Generate / reuse BANs and instantiate them (generated BANs repeat --
+    # section IV.A's scalable structure).
+    for ban_spec in spec.bans:
+        plan: BanPlan = plan_ban(ban_spec, spec)
+        if plan.module_name not in ban_cache:
+            ban_cache[plan.module_name] = generate_ban(
+                module_library, wire_library, plan, n_masters=n_masters
+            )
+        generated = ban_cache[plan.module_name]
+        bans[generated.name] = generated
+        leaves.update(generated.leaves)
+        ban_of_letter[ban_spec.name] = generated.name
+        builder.add_instance(
+            "BAN_%s" % ban_spec.name, generated.module, "u_ban_%s" % ban_spec.name.lower()
+        )
+
+    # GBAVI: bus bridges between adjacent segments (ring when > 2 BANs).
+    # GBAVII closes the ring through the global-memory BAN instead.
+    if kind in ("gbavi", "gbavii"):
+        if kind == "gbavi":
+            bridge_count = n_masters if n_masters > 2 else max(1, n_masters - 1)
+        else:
+            bridge_count = (n_masters - 1) + (2 if n_masters > 1 else 1)
+        bridge = module_library.generate("BB_GBAVI", "bb_gbavi")
+        leaves[bridge.name] = bridge
+        for index in range(1, bridge_count + 1):
+            builder.add_instance("BB_%d" % index, bridge.module, "u_bb_%d" % index)
+
+    global_letters = [ban.name for ban in spec.global_bans]
+    section = wire_library.subsystem_section(
+        kind, pe_letters, global_letters[0] if global_letters else "G"
+    )
+
+    for wire_spec in section.specs:
+        _apply_spec(builder, wire_spec)
+
+    # Hardware-IP attachments: the dedicated wires of Example 8's BAN FFT
+    # (w_fft_ad, w_fft_data, ... between the host BAN's IPIF pins and the
+    # IP BAN's buffer port).
+    for ip_ban in spec.ip_bans:
+        host = "BAN_%s" % ip_ban.ip_attach
+        ip_inst = "BAN_%s" % ip_ban.name
+        tag = ip_ban.name.lower()
+        buf_width = 12
+        builder.connect(
+            "w_%s_ad" % tag, buf_width,
+            [(host, "addr_b", buf_width - 1, 0), (ip_inst, "addr_ip", buf_width - 1, 0)],
+        )
+        builder.connect(
+            "w_%s_data" % tag, 64,
+            [(host, "data_b", 63, 0), (ip_inst, "data_ip", 63, 0)],
+        )
+        for suffix in ("web", "reb", "srt", "ack"):
+            builder.connect(
+                "w_%s_%s" % (tag, suffix), 1,
+                [
+                    (host, "%s_b" % suffix, 0, 0),
+                    (ip_inst, "%s_ip" % suffix, 0, 0),
+                ],
+            )
+
+    module = builder.build()
+    return GeneratedSubsystem(spec, module, bans, leaves, ban_of_letter)
+
+
+def _apply_spec(builder: NetlistBuilder, spec: WireSpec) -> None:
+    if (
+        spec.end1.is_group
+        and spec.end2.is_group
+        and spec.end1.group_members == spec.end2.group_members
+        and len(spec.end1.group_members) == 1
+    ):
+        # A chain with a single member has no neighbour to link to; the
+        # BAN's link pins stay unconnected (a 1-PE BFBA system).
+        return
+    if spec.is_chain:
+        for wire_name, upstream, downstream in expand_chain(spec):
+            builder.connect(
+                wire_name,
+                spec.width,
+                [
+                    (upstream.module, upstream.port, int(upstream.wire_msb), int(upstream.wire_lsb)),
+                    (
+                        downstream.module,
+                        downstream.port,
+                        int(downstream.wire_msb),
+                        int(downstream.wire_lsb),
+                    ),
+                ],
+            )
+        return
+    if spec.end1.is_group or spec.end2.is_group:
+        group_end = spec.end1 if spec.end1.is_group else spec.end2
+        other_end = spec.end2 if spec.end1.is_group else spec.end1
+        for index, member in enumerate(group_end.group_members):
+            taps = [
+                (
+                    group_end.member_name(member),
+                    group_end.port,
+                    _resolve_bit(group_end.wire_msb, index),
+                    _resolve_bit(group_end.wire_lsb, index),
+                ),
+                (
+                    other_end.module,
+                    other_end.port,
+                    _resolve_bit(other_end.wire_msb, index),
+                    _resolve_bit(other_end.wire_lsb, index),
+                ),
+            ]
+            builder.connect(spec.name, spec.width, taps)
+        return
+    builder.connect(
+        spec.name,
+        spec.width,
+        [
+            (spec.end1.module, spec.end1.port, int(spec.end1.wire_msb), int(spec.end1.wire_lsb)),
+            (spec.end2.module, spec.end2.port, int(spec.end2.wire_msb), int(spec.end2.wire_lsb)),
+        ],
+    )

@@ -1,0 +1,124 @@
+"""Bus System assembly: subsystems joined through bus bridges.
+
+"A Bus System is also formed by connecting generated Bus Subsystems
+through bus bridges (BBs)" -- the split architecture of Figure 7 is the
+canonical case: two GBAVIII-style subsystems, one BB_SPLITBA between their
+shared buses.  Single-subsystem systems get a thin top wrapper so every
+generated design has a uniform top module exposing clk/rst_n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..hdl.ast import Design, Module
+from ..moduledb.library import GeneratedModule, ModuleLibrary
+from ..options.schema import BusSystemSpec
+from ..wiredb.library import WireLibrary
+from .bangen import GeneratedBan
+from .netlist import NetlistBuilder
+from .subsysgen import GeneratedSubsystem, generate_subsystem
+
+__all__ = ["GeneratedSystem", "generate_system"]
+
+_BRIDGE_BUS_PINS = (
+    ("a_addr", "sub_addr", 32),
+    ("a_dh", "sub_dh", 32),
+    ("a_dl", "sub_dl", 32),
+    ("a_web", "sub_web", 1),
+    ("a_reb", "sub_reb", 1),
+)
+_BRIDGE_BUS_PINS_B = (
+    ("b_addr", "sub_addr", 32),
+    ("b_dh", "sub_dh", 32),
+    ("b_dl", "sub_dl", 32),
+    ("b_web", "sub_web", 1),
+    ("b_reb", "sub_reb", 1),
+)
+
+
+@dataclass
+class GeneratedSystem:
+    spec: BusSystemSpec
+    top: Module
+    subsystems: Dict[str, GeneratedSubsystem]
+    leaves: Dict[str, GeneratedModule]
+    bans: Dict[str, GeneratedBan] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.top.name
+
+    def design(self) -> Design:
+        """The whole hierarchy as one Design (for emit/lint/elaborate)."""
+        design = Design()
+        for leaf in self.leaves.values():
+            if leaf.name not in design.modules:
+                design.add(leaf.module)
+        for ban in self.bans.values():
+            if ban.name not in design.modules:
+                design.add(ban.module)
+        for subsystem in self.subsystems.values():
+            if subsystem.name not in design.modules:
+                design.add(subsystem.module)
+        design.add(self.top)
+        design.top = self.top.name
+        return design
+
+
+def generate_system(
+    module_library: ModuleLibrary,
+    wire_library: WireLibrary,
+    spec: BusSystemSpec,
+) -> GeneratedSystem:
+    spec.validate()
+    ban_cache: Dict[str, GeneratedBan] = {}
+    subsystems: Dict[str, GeneratedSubsystem] = {}
+    leaves: Dict[str, GeneratedModule] = {}
+    for subsystem_spec in spec.subsystems:
+        generated = generate_subsystem(
+            module_library, wire_library, subsystem_spec, ban_cache
+        )
+        subsystems[subsystem_spec.name] = generated
+        leaves.update(generated.leaves)
+
+    builder = NetlistBuilder("bus_system_%s" % spec.name.lower())
+    for subsystem_spec in spec.subsystems:
+        generated = subsystems[subsystem_spec.name]
+        builder.add_instance(
+            "SUB_%s" % subsystem_spec.name,
+            generated.module,
+            "u_%s" % subsystem_spec.name.lower(),
+        )
+
+    bridges = spec.effective_bridges()
+    if bridges:
+        bridge = module_library.generate("BB_SPLITBA", "bb_splitba")
+        leaves[bridge.name] = bridge
+        for index, (left, right) in enumerate(bridges, start=1):
+            logical = "BB_SYS_%d" % index
+            builder.add_instance(logical, bridge.module, "u_bb_sys_%d" % index)
+            for side, pins in ((left, _BRIDGE_BUS_PINS), (right, _BRIDGE_BUS_PINS_B)):
+                side_module = subsystems[side].module
+                tag = "" if pins is _BRIDGE_BUS_PINS else "b"
+                for bridge_pin, subsystem_pin, width in pins:
+                    if side_module.port(subsystem_pin) is None:
+                        # The subsystem exposes no shared bus (a pure BFBA
+                        # pipeline); the bridge pin is left for the user to
+                        # wire (it surfaces as a top-level port).
+                        continue
+                    builder.connect(
+                        "w_br%d%s_%s" % (index, tag, subsystem_pin),
+                        width,
+                        [
+                            (logical, bridge_pin, width - 1, 0),
+                            ("SUB_%s" % side, subsystem_pin, width - 1, 0),
+                        ],
+                    )
+
+    top = builder.build()
+    system = GeneratedSystem(spec, top, subsystems, leaves)
+    for subsystem in subsystems.values():
+        system.bans.update(subsystem.bans)
+    return system

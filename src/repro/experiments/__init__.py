@@ -1,0 +1,26 @@
+"""Reproduction drivers for every table and figure of the paper.
+
+One module per experiment; each returns structured rows plus the shape
+assertions DESIGN.md section 2 lists, and can print the same table the
+paper shows.  The pytest benchmarks under ``benchmarks/`` call these.
+"""
+
+from .table2 import run_table2, TABLE2_PAPER
+from .table3 import run_table3, TABLE3_PAPER
+from .table4 import run_table4, TABLE4_PAPER
+from .table5 import run_table5, TABLE5_PAPER
+from . import figures
+from . import report
+
+__all__ = [
+    "run_table2",
+    "TABLE2_PAPER",
+    "run_table3",
+    "TABLE3_PAPER",
+    "run_table4",
+    "TABLE4_PAPER",
+    "run_table5",
+    "TABLE5_PAPER",
+    "figures",
+    "report",
+]

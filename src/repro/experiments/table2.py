@@ -1,0 +1,156 @@
+"""Table II: OFDM transmitter throughput over nine bus/style cases.
+
+Paper rows (Mbps): BFBA/PPA 2.6504, GBAVI/PPA 2.1087, GBAVIII/FPA 4.5599,
+GBAVIII/PPA 2.2567, Hybrid/FPA 4.5599, Hybrid/PPA 2.6504, SplitBA/FPA
+5.1132, GGBA/FPA 4.3913, GGBA/PPA 2.1880.  (The printed table's style
+column labels cases 2 and 9 "FPA", but the text's observations (A) and (D)
+compare them as PPA cases -- GBAVI and BFBA have no shared memory for FPA
+-- so we treat them as the PPA typo the text implies.)
+
+Shape assertions enforced (DESIGN.md section 2):
+
+* SplitBA-FPA is the best case, and beats GGBA-FPA by double digits
+  (paper: 16.44 %);
+* FPA beats PPA on every architecture that supports both;
+* Hybrid-FPA equals GBAVIII-FPA and Hybrid-PPA equals BFBA-PPA (the
+  hybrid exercises exactly the corresponding half of its hardware);
+* PPA ordering: BFBA > GBAVIII > GGBA > GBAVI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..apps.ofdm import OfdmParameters, run_ofdm
+from ..options import presets
+from ..sim.fabric import build_machine
+
+__all__ = ["Table2Row", "TABLE2_PAPER", "TABLE2_CASES", "run_table2", "check_table2_shape"]
+
+# (case number, preset, style) as in the paper's Table II.
+TABLE2_CASES: List[Tuple[int, str, str]] = [
+    (1, "BFBA", "PPA"),
+    (2, "GBAVI", "PPA"),
+    (3, "GBAVIII", "FPA"),
+    (4, "GBAVIII", "PPA"),
+    (5, "HYBRID", "FPA"),
+    (6, "HYBRID", "PPA"),
+    (7, "SPLITBA", "FPA"),
+    (8, "GGBA", "FPA"),
+    (9, "GGBA", "PPA"),
+]
+
+TABLE2_PAPER: Dict[Tuple[str, str], float] = {
+    ("BFBA", "PPA"): 2.6504,
+    ("GBAVI", "PPA"): 2.1087,
+    ("GBAVIII", "FPA"): 4.5599,
+    ("GBAVIII", "PPA"): 2.2567,
+    ("HYBRID", "FPA"): 4.5599,
+    ("HYBRID", "PPA"): 2.6504,
+    ("SPLITBA", "FPA"): 5.1132,
+    ("GGBA", "FPA"): 4.3913,
+    ("GGBA", "PPA"): 2.1880,
+}
+
+
+@dataclass
+class Table2Row:
+    case: int
+    bus_system: str
+    style: str
+    throughput_mbps: float
+    cycles: int
+    paper_mbps: float
+
+    def text(self) -> str:
+        return "%2d  %-8s %-4s  %8.4f Mbps  (paper: %.4f)" % (
+            self.case,
+            self.bus_system,
+            self.style,
+            self.throughput_mbps,
+            self.paper_mbps,
+        )
+
+
+def run_table2(
+    packets: int = 8,
+    pe_count: int = 4,
+    cases: Optional[List[Tuple[int, str, str]]] = None,
+) -> List[Table2Row]:
+    """Simulate every Table II case; returns rows in case order."""
+    rows: List[Table2Row] = []
+    for case, bus_name, style in cases or TABLE2_CASES:
+        machine = build_machine(presets.preset(bus_name, pe_count))
+        result = run_ofdm(machine, style, OfdmParameters(packets=packets))
+        rows.append(
+            Table2Row(
+                case,
+                bus_name,
+                style,
+                result.throughput_mbps,
+                result.cycles,
+                TABLE2_PAPER[(bus_name, style)],
+            )
+        )
+    return rows
+
+
+def check_table2_shape(rows: List[Table2Row]) -> List[str]:
+    """Verify the paper's qualitative claims; returns failure strings."""
+    value = {(row.bus_system, row.style): row.throughput_mbps for row in rows}
+    failures: List[str] = []
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    best = max(rows, key=lambda row: row.throughput_mbps)
+    expect(
+        (best.bus_system, best.style) == ("SPLITBA", "FPA"),
+        "best case is %s/%s, expected SplitBA/FPA" % (best.bus_system, best.style),
+    )
+    expect(
+        value[("SPLITBA", "FPA")] > 1.10 * value[("GGBA", "FPA")],
+        "SplitBA-FPA should beat GGBA-FPA by double digits (paper: 16.44%%), "
+        "got %.1f%%" % ((value[("SPLITBA", "FPA")] / value[("GGBA", "FPA")] - 1) * 100),
+    )
+    for bus_name in ("GBAVIII", "HYBRID", "GGBA"):
+        expect(
+            value[(bus_name, "FPA")] > value[(bus_name, "PPA")],
+            "%s: FPA should beat PPA" % bus_name,
+        )
+    expect(
+        abs(value[("HYBRID", "FPA")] - value[("GBAVIII", "FPA")])
+        <= 0.02 * value[("GBAVIII", "FPA")],
+        "Hybrid-FPA should match GBAVIII-FPA (paper: identical)",
+    )
+    expect(
+        abs(value[("HYBRID", "PPA")] - value[("BFBA", "PPA")])
+        <= 0.02 * value[("BFBA", "PPA")],
+        "Hybrid-PPA should match BFBA-PPA (paper: identical)",
+    )
+    ppa_order = [
+        value[("BFBA", "PPA")],
+        value[("GBAVIII", "PPA")],
+        value[("GGBA", "PPA")],
+        value[("GBAVI", "PPA")],
+    ]
+    expect(
+        all(a > b for a, b in zip(ppa_order, ppa_order[1:])),
+        "PPA ordering should be BFBA > GBAVIII > GGBA > GBAVI, got %s" % ppa_order,
+    )
+    return failures
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    rows = run_table2()
+    print("Table II -- OFDM transmitter throughput")
+    for row in rows:
+        print(row.text())
+    failures = check_table2_shape(rows)
+    print("shape check:", "OK" if not failures else failures)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,38 @@
+"""Verilog substrate: structural AST, emitter, parser and lint."""
+
+from .ast import (
+    Assign,
+    Design,
+    Instance,
+    Module,
+    Parameter,
+    Port,
+    PortConnection,
+    Range,
+    RawBlock,
+    Wire,
+)
+from .emitter import emit_design, emit_module
+from .lint import LintMessage, elaborate, lint_design
+from .parser import VerilogParseError, parse_design, parse_modules
+
+__all__ = [
+    "Assign",
+    "Design",
+    "Instance",
+    "Module",
+    "Parameter",
+    "Port",
+    "PortConnection",
+    "Range",
+    "RawBlock",
+    "Wire",
+    "emit_design",
+    "emit_module",
+    "LintMessage",
+    "elaborate",
+    "lint_design",
+    "VerilogParseError",
+    "parse_design",
+    "parse_modules",
+]

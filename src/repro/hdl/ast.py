@@ -1,0 +1,182 @@
+"""Structural Verilog AST.
+
+BusSyn emits synthesizable Verilog HDL (Figure 18's output).  This module
+defines the small structural subset the generator needs: modules with
+parameters and ports, wire declarations, continuous assignments, instances
+with named port connections, and opaque behavioural bodies (the Module
+Library's leaf templates carry their ``always`` blocks as verbatim text --
+the generator never needs to reason inside them).
+
+The same AST is produced by the parser (:mod:`repro.hdl.parser`) when
+reading generated output back for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Range",
+    "Port",
+    "Wire",
+    "Parameter",
+    "Assign",
+    "PortConnection",
+    "Instance",
+    "RawBlock",
+    "Module",
+    "Design",
+]
+
+
+@dataclass(frozen=True)
+class Range:
+    """A bit range ``[msb:lsb]``; None-equivalent is width 1 (no range)."""
+
+    msb: int
+    lsb: int = 0
+
+    @property
+    def width(self) -> int:
+        return abs(self.msb - self.lsb) + 1
+
+    def __str__(self) -> str:
+        return "[%d:%d]" % (self.msb, self.lsb)
+
+
+@dataclass
+class Port:
+    name: str
+    direction: str  # 'input' | 'output' | 'inout'
+    range: Optional[Range] = None
+
+    DIRECTIONS = ("input", "output", "inout")
+
+    @property
+    def width(self) -> int:
+        return self.range.width if self.range else 1
+
+    def __post_init__(self):
+        if self.direction not in self.DIRECTIONS:
+            raise ValueError("bad port direction %r" % self.direction)
+
+
+@dataclass
+class Wire:
+    name: str
+    range: Optional[Range] = None
+
+    @property
+    def width(self) -> int:
+        return self.range.width if self.range else 1
+
+
+@dataclass
+class Parameter:
+    name: str
+    value: str  # kept textual: numbers or simple expressions
+
+
+@dataclass
+class Assign:
+    target: str  # full LHS expression text
+    expression: str  # RHS text (opaque)
+
+
+@dataclass
+class PortConnection:
+    port: str
+    expression: str  # usually a wire name or a slice "w[7:0]"
+
+    @property
+    def base_signal(self) -> str:
+        """The identifier at the root of the expression ('' if literal)."""
+        text = self.expression.strip()
+        if not text or text.startswith(("{", "'", '"')) or text[0].isdigit():
+            return ""
+        for index, char in enumerate(text):
+            if not (char.isalnum() or char == "_" or char == "$"):
+                return text[:index]
+        return text
+
+
+@dataclass
+class Instance:
+    module: str
+    name: str
+    connections: List[PortConnection] = field(default_factory=list)
+    parameter_overrides: List[Parameter] = field(default_factory=list)
+
+    def connection(self, port: str) -> Optional[PortConnection]:
+        for conn in self.connections:
+            if conn.port == port:
+                return conn
+        return None
+
+
+@dataclass
+class RawBlock:
+    """Verbatim behavioural text (always blocks, functions, ...)."""
+
+    text: str
+
+
+@dataclass
+class Module:
+    name: str
+    ports: List[Port] = field(default_factory=list)
+    parameters: List[Parameter] = field(default_factory=list)
+    wires: List[Wire] = field(default_factory=list)
+    assigns: List[Assign] = field(default_factory=list)
+    instances: List[Instance] = field(default_factory=list)
+    raw_blocks: List[RawBlock] = field(default_factory=list)
+
+    def port(self, name: str) -> Optional[Port]:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        return None
+
+    def wire(self, name: str) -> Optional[Wire]:
+        for wire in self.wires:
+            if wire.name == name:
+                return wire
+        return None
+
+    def signal_width(self, name: str) -> Optional[int]:
+        """Width of a port or wire by name, None when undeclared."""
+        port = self.port(name)
+        if port is not None:
+            return port.width
+        wire = self.wire(name)
+        if wire is not None:
+            return wire.width
+        return None
+
+    def add_wire(self, name: str, width: int = 1) -> Wire:
+        if self.wire(name) is not None:
+            raise ValueError("duplicate wire %r in module %s" % (name, self.name))
+        wire = Wire(name, Range(width - 1, 0) if width > 1 else None)
+        self.wires.append(wire)
+        return wire
+
+
+@dataclass
+class Design:
+    """A set of modules; ``top`` names the root of the hierarchy."""
+
+    modules: Dict[str, Module] = field(default_factory=dict)
+    top: Optional[str] = None
+
+    def add(self, module: Module) -> Module:
+        if module.name in self.modules:
+            raise ValueError("duplicate module %r" % module.name)
+        self.modules[module.name] = module
+        return module
+
+    def module(self, name: str) -> Module:
+        return self.modules[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.modules

@@ -1,0 +1,90 @@
+"""Verilog text emission from the structural AST.
+
+Produces the synthesizable Verilog HDL files that are BusSyn's output
+(Figure 18).  Formatting follows the Verilog-1995 style of the paper's
+library listings (Figure 14): module header with a port list, parameter
+declarations, port direction declarations, wires, assigns, instances with
+named connections, then any verbatim behavioural blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import Design, Instance, Module
+
+__all__ = ["emit_module", "emit_design"]
+
+_INDENT = "  "
+
+
+def _port_decl(port) -> str:
+    range_text = (" %s" % port.range) if port.range else ""
+    return "%s%s %s;" % (port.direction, range_text, port.name)
+
+
+def _wire_decl(wire) -> str:
+    range_text = (" %s" % wire.range) if wire.range else ""
+    return "wire%s %s;" % (range_text, wire.name)
+
+
+def _emit_instance(instance: Instance) -> List[str]:
+    lines: List[str] = []
+    header = instance.module
+    if instance.parameter_overrides:
+        overrides = ", ".join(
+            ".%s(%s)" % (p.name, p.value) for p in instance.parameter_overrides
+        )
+        header += " #(%s)" % overrides
+    lines.append("%s%s %s (" % (_INDENT, header, instance.name))
+    for index, connection in enumerate(instance.connections):
+        comma = "," if index < len(instance.connections) - 1 else ""
+        lines.append(
+            "%s.%s(%s)%s" % (_INDENT * 2, connection.port, connection.expression, comma)
+        )
+    lines.append("%s);" % _INDENT)
+    return lines
+
+
+def emit_module(module: Module) -> str:
+    """Render one module as Verilog text."""
+    lines: List[str] = []
+    port_names = ", ".join(port.name for port in module.ports)
+    lines.append("module %s(%s);" % (module.name, port_names))
+    for parameter in module.parameters:
+        lines.append("%sparameter %s = %s;" % (_INDENT, parameter.name, parameter.value))
+    if module.parameters:
+        lines.append("")
+    for port in module.ports:
+        lines.append(_INDENT + _port_decl(port))
+    if module.ports:
+        lines.append("")
+    for wire in module.wires:
+        lines.append(_INDENT + _wire_decl(wire))
+    if module.wires:
+        lines.append("")
+    for assign in module.assigns:
+        lines.append("%sassign %s = %s;" % (_INDENT, assign.target, assign.expression))
+    if module.assigns:
+        lines.append("")
+    for instance in module.instances:
+        lines.extend(_emit_instance(instance))
+        lines.append("")
+    for block in module.raw_blocks:
+        for raw_line in block.text.strip("\n").split("\n"):
+            lines.append(_INDENT + raw_line if raw_line.strip() else "")
+        lines.append("")
+    while lines and not lines[-1].strip():
+        lines.pop()
+    lines.append("endmodule")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def emit_design(design: Design) -> str:
+    """Render every module, top last (readable bottom-up order)."""
+    names = [name for name in design.modules if name != design.top]
+    ordered = sorted(names)
+    if design.top:
+        ordered.append(design.top)
+    return "\n".join(emit_module(design.modules[name]) for name in ordered)

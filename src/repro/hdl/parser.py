@@ -1,0 +1,333 @@
+"""Structural Verilog parser (verification round-trip).
+
+Parses the subset of Verilog that BusSyn emits and that the Module Library
+templates use, back into the :mod:`repro.hdl.ast` structures, so the test
+suite and the lint pass can check generated output without an external
+simulator:
+
+* module headers with port lists,
+* ``parameter`` declarations,
+* ``input``/``output``/``inout`` declarations with ranges,
+* ``wire``/``reg`` declarations (regs are modelled as wires for structure),
+* ``assign`` statements (LHS/RHS kept as opaque text),
+* instances with named port connections and ``#(...)`` overrides,
+* behavioural regions (``always``/``initial``/``function``/``task``),
+  captured verbatim as raw blocks.
+
+Anything outside this subset raises :class:`VerilogParseError` rather than
+being silently skipped -- generated output must stay inside the subset.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Assign,
+    Design,
+    Instance,
+    Module,
+    Parameter,
+    Port,
+    PortConnection,
+    Range,
+    RawBlock,
+    Wire,
+)
+
+__all__ = ["VerilogParseError", "parse_modules", "parse_design"]
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
+_RANGE_RE = re.compile(r"\[\s*(-?\d+)\s*:\s*(-?\d+)\s*\]")
+_KEYWORDS = {
+    "module",
+    "endmodule",
+    "parameter",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "initial",
+    "function",
+    "endfunction",
+    "task",
+    "endtask",
+    "integer",
+    "genvar",
+    "generate",
+    "endgenerate",
+    "begin",
+    "end",
+    "case",
+    "casez",
+    "casex",
+    "endcase",
+    "if",
+    "else",
+    "fork",
+    "join",
+}
+
+
+class VerilogParseError(ValueError):
+    pass
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", "", text)
+    return text
+
+
+def _parse_range(text: str) -> Tuple[Optional[Range], str]:
+    """Leading [msb:lsb] range, if any; returns (range, rest)."""
+    text = text.strip()
+    match = _RANGE_RE.match(text)
+    if not match:
+        return None, text
+    return Range(int(match.group(1)), int(match.group(2))), text[match.end() :].strip()
+
+
+def _split_decl_names(text: str) -> List[str]:
+    names = []
+    for part in text.split(","):
+        name = part.strip().rstrip(";").strip()
+        if name:
+            if not re.fullmatch(_IDENT, name):
+                raise VerilogParseError("bad declaration name %r" % name)
+            names.append(name)
+    return names
+
+
+class _Scanner:
+    """Token-ish cursor over comment-stripped source text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+
+    def eof(self) -> bool:
+        self._skip_space()
+        return self.position >= len(self.text)
+
+    def _skip_space(self) -> None:
+        while self.position < len(self.text) and self.text[self.position].isspace():
+            self.position += 1
+
+    def peek_word(self) -> str:
+        self._skip_space()
+        match = re.compile(_IDENT).match(self.text, self.position)
+        return match.group(0) if match else ""
+
+    def take_word(self) -> str:
+        word = self.peek_word()
+        if not word:
+            raise VerilogParseError(
+                "expected identifier near %r" % self.text[self.position : self.position + 40]
+            )
+        self.position += len(word)
+        return word
+
+    def expect(self, literal: str) -> None:
+        self._skip_space()
+        if not self.text.startswith(literal, self.position):
+            raise VerilogParseError(
+                "expected %r near %r"
+                % (literal, self.text[self.position : self.position + 40])
+            )
+        self.position += len(literal)
+
+    def take_until(self, terminator: str) -> str:
+        """Consume up to (and including) ``terminator`` at nesting level 0."""
+        depth = 0
+        start = self.position
+        index = self.position
+        text = self.text
+        while index < len(text):
+            char = text[index]
+            if char in "([{":
+                depth += 1
+            elif char in ")]}":
+                depth -= 1
+            elif text.startswith(terminator, index) and depth == 0:
+                chunk = text[start:index]
+                self.position = index + len(terminator)
+                return chunk
+            index += 1
+        raise VerilogParseError("unterminated statement: missing %r" % terminator)
+
+    def take_balanced_parens(self) -> str:
+        """Consume a '(' ... ')' group, returning the inner text."""
+        self.expect("(")
+        depth = 1
+        start = self.position
+        text = self.text
+        index = self.position
+        while index < len(text):
+            char = text[index]
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0:
+                    self.position = index + 1
+                    return text[start:index]
+            index += 1
+        raise VerilogParseError("unbalanced parentheses")
+
+    def take_behavioural(self, opener: str) -> str:
+        """Capture an always/initial/function/task region verbatim."""
+        start = self.position - len(opener)
+        if opener in ("function", "task"):
+            closer = "end" + opener
+            end = self.text.find(closer, self.position)
+            if end < 0:
+                raise VerilogParseError("missing %s" % closer)
+            self.position = end + len(closer)
+            return self.text[start : self.position]
+        # always/initial: either a begin...end block (with nesting, where
+        # case/fork blocks also close with end-words) or a single statement.
+        self._skip_space()
+        probe = re.compile(r"@\s*", re.S).match(self.text, self.position)
+        if probe:
+            self.position = probe.end()
+            self.take_balanced_parens()
+        self._skip_space()
+        if self.peek_word() == "begin":
+            depth = 0
+            word_re = re.compile(
+                r"\b(begin|case|casez|casex|fork|end|endcase|join)\b"
+            )
+            index = self.position
+            while True:
+                match = word_re.search(self.text, index)
+                if not match:
+                    raise VerilogParseError("unterminated begin block")
+                if match.group(0) in ("begin", "case", "casez", "casex", "fork"):
+                    depth += 1
+                else:
+                    depth -= 1
+                index = match.end()
+                if depth == 0:
+                    self.position = index
+                    return self.text[start : self.position]
+        else:
+            self.take_until(";")
+            return self.text[start : self.position]
+
+
+def parse_modules(source: str) -> List[Module]:
+    """Parse every module in ``source``."""
+    scanner = _Scanner(_strip_comments(source))
+    modules: List[Module] = []
+    while not scanner.eof():
+        word = scanner.take_word()
+        if word != "module":
+            raise VerilogParseError("expected 'module', found %r" % word)
+        modules.append(_parse_module_body(scanner))
+    return modules
+
+
+def _parse_module_body(scanner: _Scanner) -> Module:
+    name = scanner.take_word()
+    module = Module(name)
+    scanner._skip_space()
+    if scanner.text.startswith("(", scanner.position):
+        header = scanner.take_balanced_parens()
+        header_ports = [p.strip() for p in header.split(",") if p.strip()]
+    else:
+        header_ports = []
+    scanner.expect(";")
+    declared_order = {port_name: index for index, port_name in enumerate(header_ports)}
+    port_map = {}
+
+    while True:
+        word = scanner.peek_word()
+        if not word:
+            raise VerilogParseError("unexpected end of module %s" % name)
+        if word == "endmodule":
+            scanner.take_word()
+            break
+        scanner.take_word()
+        if word == "parameter":
+            body = scanner.take_until(";")
+            for piece in body.split(","):
+                pname, _, value = piece.partition("=")
+                module.parameters.append(Parameter(pname.strip(), value.strip()))
+        elif word in ("input", "output", "inout"):
+            body = scanner.take_until(";")
+            rng, rest = _parse_range(body)
+            for port_name in _split_decl_names(rest):
+                port = Port(port_name, word, rng)
+                port_map[port_name] = port
+        elif word in ("wire", "reg", "integer", "genvar"):
+            body = scanner.take_until(";")
+            rng, rest = _parse_range(body)
+            # Memories (reg [..] name [..]) carry a second, per-word range;
+            # structurally we keep the name with its element range.
+            if word in ("wire", "reg"):
+                for piece in rest.split(","):
+                    name_text = piece.strip().rstrip(";").strip()
+                    if not name_text:
+                        continue
+                    name_text = re.sub(r"\[\s*-?\d+\s*:\s*-?\d+\s*\]$", "", name_text).strip()
+                    if not re.fullmatch(_IDENT, name_text):
+                        raise VerilogParseError("bad declaration name %r" % name_text)
+                    if port_map.get(name_text) is None and module.wire(name_text) is None:
+                        module.wires.append(Wire(name_text, rng))
+        elif word == "assign":
+            body = scanner.take_until(";")
+            target, _, expression = body.partition("=")
+            if not expression:
+                raise VerilogParseError("malformed assign %r" % body)
+            module.assigns.append(Assign(target.strip(), expression.strip()))
+        elif word in ("always", "initial", "function", "task"):
+            module.raw_blocks.append(RawBlock(scanner.take_behavioural(word)))
+        elif re.fullmatch(_IDENT, word) and word not in _KEYWORDS:
+            module.instances.append(_parse_instance(scanner, word))
+        else:
+            raise VerilogParseError("unsupported construct %r in module %s" % (word, name))
+
+    # Order ports per the header list.
+    ports = sorted(
+        port_map.values(), key=lambda p: declared_order.get(p.name, len(declared_order))
+    )
+    missing = [p for p in header_ports if p not in port_map]
+    if missing:
+        raise VerilogParseError(
+            "module %s: header ports %r lack direction declarations" % (name, missing)
+        )
+    module.ports = ports
+    return module
+
+
+def _parse_instance(scanner: _Scanner, module_name: str) -> Instance:
+    overrides: List[Parameter] = []
+    scanner._skip_space()
+    if scanner.text.startswith("#", scanner.position):
+        scanner.position += 1
+        body = scanner.take_balanced_parens()
+        for piece in re.findall(r"\.(%s)\s*\(([^)]*)\)" % _IDENT, body):
+            overrides.append(Parameter(piece[0], piece[1].strip()))
+    instance_name = scanner.take_word()
+    body = scanner.take_balanced_parens()
+    scanner.expect(";")
+    connections = [
+        PortConnection(port, expression.strip())
+        for port, expression in re.findall(
+            r"\.(%s)\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)" % _IDENT, body
+        )
+    ]
+    return Instance(module_name, instance_name, connections, overrides)
+
+
+def parse_design(source: str, top: Optional[str] = None) -> Design:
+    design = Design()
+    for module in parse_modules(source):
+        design.add(module)
+    design.top = top
+    return design

@@ -1,0 +1,20 @@
+"""Module Library: parameterized RTL templates (section V.A, Figure 14)."""
+
+from .format import ModuleTemplate, TemplateError, parse_library_text, render_library_text
+from .library import (
+    DEFAULT_PARAMETERS,
+    GeneratedModule,
+    ModuleLibrary,
+    default_library,
+)
+
+__all__ = [
+    "ModuleTemplate",
+    "TemplateError",
+    "parse_library_text",
+    "render_library_text",
+    "DEFAULT_PARAMETERS",
+    "GeneratedModule",
+    "ModuleLibrary",
+    "default_library",
+]

@@ -1,0 +1,17 @@
+"""Built-in Module Library components (section V.A, items A-I).
+
+Each submodule contributes ``%module`` template blocks (Figure 14 format)
+to the default library: processing-element stubs, CPU-bus interfaces
+(CBI), memory templates, memory-bus interfaces (MBI), bus bridges (BB),
+arbiters, arbiter-bus interfaces (ABI), generic bus interfaces (GBI), bus
+segments (SB), handshake register blocks and Bi-FIFO controllers.
+"""
+
+from . import abi, arbiter, bififo, bridge, cbi, gbi, hsregs, ipcore, mbi, memory, pe, sb
+
+ALL_LIBRARY_TEXT = "\n\n".join(
+    module.LIBRARY_TEXT
+    for module in (pe, cbi, memory, mbi, bridge, arbiter, abi, gbi, sb, hsregs, bififo, ipcore)
+)
+
+__all__ = ["ALL_LIBRARY_TEXT"]

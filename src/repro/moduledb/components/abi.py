@@ -1,0 +1,46 @@
+"""Arbiter-to-bus interface template (library component G: ``ABI``).
+
+The ABI sits between the arbiter core and the global bus (Figure 2): it
+samples the bus request lines of every GBI, feeds them to the arbiter, and
+drives the bus-grant/bus-busy signalling back, inserting the grant latency
+of the generated bus protocol (``@GRANT_CYCLES@`` cycles -- 3 in every
+BusSyn bus, versus CoreConnect's 5 for reads, the margin of Table III).
+"""
+
+LIBRARY_TEXT = """
+%module ABI
+module @MODULE_NAME@(clk, rst_n, bus_req_b, bus_gnt_b, arb_req_b, arb_gnt_b, bus_busy);
+  parameter N_MASTERS = @N_MASTERS@;
+  parameter GRANT_CYCLES = @GRANT_CYCLES@;
+  input clk;
+  input rst_n;
+  input [@N_MASTERS_MSB@:0] bus_req_b;
+  output [@N_MASTERS_MSB@:0] bus_gnt_b;
+  output [@N_MASTERS_MSB@:0] arb_req_b;
+  input [@N_MASTERS_MSB@:0] arb_gnt_b;
+  output bus_busy;
+  reg [@N_MASTERS_MSB@:0] gnt_q;
+  reg [2:0] delay_q;
+  assign arb_req_b = bus_req_b;
+  assign bus_gnt_b = ~gnt_q;
+  assign bus_busy = |gnt_q;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      gnt_q <= @N_MASTERS@'b0;
+      delay_q <= 3'b000;
+    end else begin
+      if (gnt_q == @N_MASTERS@'b0 && arb_gnt_b != {@N_MASTERS@{1'b1}}) begin
+        if (delay_q == GRANT_CYCLES - 1) begin
+          gnt_q <= ~arb_gnt_b;
+          delay_q <= 3'b000;
+        end else begin
+          delay_q <= delay_q + 1;
+        end
+      end else if ((gnt_q & ~bus_req_b) == @N_MASTERS@'b0) begin
+        gnt_q <= @N_MASTERS@'b0;
+      end
+    end
+  end
+endmodule
+%endmodule ABI
+"""

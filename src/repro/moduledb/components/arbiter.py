@@ -1,0 +1,122 @@
+"""Arbiter templates (library component F: ``ARBITER_<arb_type>``).
+
+The generated global arbiter (Figure 5) uses a first-come-first-serve
+scheme backed by a FIFO of requesters; the library also carries the
+"Round Robin" and "Priority" variants the paper names.  All three share
+the same interface: active-low request/grant vectors over
+``@N_MASTERS@`` masters, one grant at a time, released when the owner
+drops its request.
+"""
+
+_HEADER = """
+module @MODULE_NAME@(clk, rst_n, req_b, gnt_b);
+  parameter N_MASTERS = @N_MASTERS@;
+  input clk;
+  input rst_n;
+  input [@N_MASTERS_MSB@:0] req_b;
+  output [@N_MASTERS_MSB@:0] gnt_b;
+"""
+
+LIBRARY_TEXT = (
+    """
+%module ARBITER_FCFS
+"""
+    + _HEADER
+    + """
+  reg [@N_MASTERS_MSB@:0] gnt_q;
+  reg [@N_MASTERS_MSB@:0] queue_q [@N_MASTERS_MSB@:0];
+  reg [@INDEX_MSB@:0] head_q;
+  reg [@INDEX_MSB@:0] tail_q;
+  reg [@N_MASTERS_MSB@:0] enqueued_q;
+  integer i;
+  assign gnt_b = ~gnt_q;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      gnt_q <= @N_MASTERS@'b0;
+      head_q <= @INDEX_WIDTH@'b0;
+      tail_q <= @INDEX_WIDTH@'b0;
+      enqueued_q <= @N_MASTERS@'b0;
+    end else begin
+      for (i = 0; i < N_MASTERS; i = i + 1) begin
+        if (!req_b[i] && !enqueued_q[i]) begin
+          queue_q[tail_q] <= (@N_MASTERS@'b1 << i);
+          tail_q <= tail_q + 1;
+          enqueued_q[i] <= 1'b1;
+        end
+      end
+      if (gnt_q == @N_MASTERS@'b0) begin
+        if (head_q != tail_q) begin
+          gnt_q <= queue_q[head_q];
+          head_q <= head_q + 1;
+        end
+      end else if ((gnt_q & ~req_b) == @N_MASTERS@'b0) begin
+        enqueued_q <= enqueued_q & ~gnt_q;
+        gnt_q <= @N_MASTERS@'b0;
+      end
+    end
+  end
+endmodule
+%endmodule ARBITER_FCFS
+
+%module ARBITER_ROUND_ROBIN
+"""
+    + _HEADER
+    + """
+  reg [@N_MASTERS_MSB@:0] gnt_q;
+  reg [@INDEX_MSB@:0] last_q;
+  reg granted;
+  integer i;
+  integer k;
+  assign gnt_b = ~gnt_q;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      gnt_q <= @N_MASTERS@'b0;
+      last_q <= @INDEX_WIDTH@'b0;
+    end else begin
+      if (gnt_q == @N_MASTERS@'b0) begin
+        granted = 1'b0;
+        for (i = 1; i <= N_MASTERS; i = i + 1) begin
+          k = (last_q + i) % N_MASTERS;
+          if (!req_b[k] && !granted) begin
+            gnt_q <= (@N_MASTERS@'b1 << k);
+            last_q <= k;
+            granted = 1'b1;
+          end
+        end
+      end else if ((gnt_q & ~req_b) == @N_MASTERS@'b0) begin
+        gnt_q <= @N_MASTERS@'b0;
+      end
+    end
+  end
+endmodule
+%endmodule ARBITER_ROUND_ROBIN
+
+%module ARBITER_PRIORITY
+"""
+    + _HEADER
+    + """
+  reg [@N_MASTERS_MSB@:0] gnt_q;
+  reg granted;
+  integer i;
+  assign gnt_b = ~gnt_q;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      gnt_q <= @N_MASTERS@'b0;
+    end else begin
+      if (gnt_q == @N_MASTERS@'b0) begin
+        granted = 1'b0;
+        for (i = 0; i < N_MASTERS; i = i + 1) begin
+          if (!req_b[i] && !granted) begin
+            gnt_q <= (@N_MASTERS@'b1 << i);
+            granted = 1'b1;
+          end
+        end
+      end else if ((gnt_q & ~req_b) == @N_MASTERS@'b0) begin
+        gnt_q <= @N_MASTERS@'b0;
+      end
+    end
+  end
+endmodule
+%endmodule ARBITER_PRIORITY
+"""
+)

@@ -1,0 +1,79 @@
+"""Bi-FIFO block template (Figure 4 / section IV.C.2).
+
+One receive FIFO with its controller: the upstream BAN pushes over the
+``*_dn`` wires; a fill counter increments in hardware on each push, and
+when it reaches the software-programmed threshold register the controller
+raises the interrupt toward the local PE, whose handler pops the data over
+the local bus.  The storage itself is a memory macro (its gates are not
+counted in Table V's bus-logic totals); the controller is the synthesized
+part.
+"""
+
+LIBRARY_TEXT = """
+%module BIFIFO
+module @MODULE_NAME@(clk, rst_n,
+                     fifo_cs_dn, web_dn, data_dn,
+                     fifo_cs_local, thr_cs_local, web_local, reb_local, dh, dl,
+                     irq_b);
+  parameter FIFO_DEPTH = @FIFO_DEPTH@;
+  parameter PTR_WIDTH = @PTR_WIDTH@;
+  input clk;
+  input rst_n;
+  input fifo_cs_dn;
+  input web_dn;
+  inout [63:0] data_dn;
+  input fifo_cs_local;
+  input thr_cs_local;
+  input web_local;
+  input reb_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  output irq_b;
+
+  reg [63:0] fifo_mem_q [@DEPTH_MSB@:0];
+  reg [@PTR_MSB@:0] wr_ptr_q;
+  reg [@PTR_MSB@:0] rd_ptr_q;
+  reg [@PTR_MSB@:0] count_q;
+  reg [@PTR_MSB@:0] threshold_q;
+  reg irq_q;
+  reg armed_q;
+
+  assign irq_b = ~irq_q;
+  assign {dh, dl} = (fifo_cs_local && !reb_local) ? fifo_mem_q[rd_ptr_q] : 64'bz;
+  assign data_dn = 64'bz;
+
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      wr_ptr_q <= @PTR_WIDTH@'b0;
+      rd_ptr_q <= @PTR_WIDTH@'b0;
+      count_q <= @PTR_WIDTH@'b0;
+      threshold_q <= @PTR_WIDTH@'b0;
+      irq_q <= 1'b0;
+      armed_q <= 1'b1;
+    end else begin
+      if (thr_cs_local && !web_local) begin
+        threshold_q <= dl[@PTR_MSB@:0];
+        armed_q <= 1'b1;
+      end
+      if (fifo_cs_dn && !web_dn && count_q != FIFO_DEPTH) begin
+        fifo_mem_q[wr_ptr_q] <= data_dn;
+        wr_ptr_q <= wr_ptr_q + 1;
+        count_q <= count_q + 1;
+        if (armed_q && threshold_q != @PTR_WIDTH@'b0 && count_q + 1 >= threshold_q) begin
+          irq_q <= 1'b1;
+          armed_q <= 1'b0;
+        end
+      end
+      if (fifo_cs_local && !reb_local && count_q != @PTR_WIDTH@'b0) begin
+        rd_ptr_q <= rd_ptr_q + 1;
+        count_q <= count_q - 1;
+        if (count_q - 1 < threshold_q) begin
+          armed_q <= 1'b1;
+        end
+        irq_q <= 1'b0;
+      end
+    end
+  end
+endmodule
+%endmodule BIFIFO
+"""

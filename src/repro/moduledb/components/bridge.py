@@ -1,0 +1,90 @@
+"""Bus bridge templates (library component E: ``BB_<bb_type>``).
+
+Definition B: an on-off controllable connection point between two buses.
+When ``bb_enable`` is high the two sides are fully connected (address,
+data and control pass both ways through enabled drivers); when low the
+sides are isolated.  ``BB_GBAVI`` joins two segments of the segmented
+global bus (Figure 3); ``BB_SPLITBA`` joins the two Bus Subsystems of the
+split architecture (Figure 7) and adds request/grant exchange so a
+crossing master arbitration can win the far side.
+"""
+
+LIBRARY_TEXT = """
+%module BB_GBAVI
+module @MODULE_NAME@(bb_enable, a_addr, a_dh, a_dl, a_web, a_reb,
+                     b_addr, b_dh, b_dl, b_web, b_reb, dir_a2b);
+  parameter ADDR_WIDTH = @ADDR_WIDTH@;
+  input bb_enable;
+  input dir_a2b;
+  inout [@ADDR_MSB@:0] a_addr;
+  inout [31:0] a_dh;
+  inout [31:0] a_dl;
+  inout a_web;
+  inout a_reb;
+  inout [@ADDR_MSB@:0] b_addr;
+  inout [31:0] b_dh;
+  inout [31:0] b_dl;
+  inout b_web;
+  inout b_reb;
+  assign b_addr = (bb_enable && dir_a2b) ? a_addr : @ADDR_WIDTH@'bz;
+  assign b_dh = (bb_enable && dir_a2b) ? a_dh : 32'bz;
+  assign b_dl = (bb_enable && dir_a2b) ? a_dl : 32'bz;
+  assign b_web = (bb_enable && dir_a2b) ? a_web : 1'bz;
+  assign b_reb = (bb_enable && dir_a2b) ? a_reb : 1'bz;
+  assign a_addr = (bb_enable && !dir_a2b) ? b_addr : @ADDR_WIDTH@'bz;
+  assign a_dh = (bb_enable && !dir_a2b) ? b_dh : 32'bz;
+  assign a_dl = (bb_enable && !dir_a2b) ? b_dl : 32'bz;
+  assign a_web = (bb_enable && !dir_a2b) ? b_web : 1'bz;
+  assign a_reb = (bb_enable && !dir_a2b) ? b_reb : 1'bz;
+endmodule
+%endmodule BB_GBAVI
+
+%module BB_SPLITBA
+module @MODULE_NAME@(clk, rst_n, bb_enable, a_addr, a_dh, a_dl, a_web, a_reb,
+                     a_req_b, a_gnt_b, b_addr, b_dh, b_dl, b_web, b_reb,
+                     b_req_b, b_gnt_b, dir_a2b);
+  parameter ADDR_WIDTH = @ADDR_WIDTH@;
+  input clk;
+  input rst_n;
+  input bb_enable;
+  input dir_a2b;
+  inout [@ADDR_MSB@:0] a_addr;
+  inout [31:0] a_dh;
+  inout [31:0] a_dl;
+  inout a_web;
+  inout a_reb;
+  output a_req_b;
+  input a_gnt_b;
+  inout [@ADDR_MSB@:0] b_addr;
+  inout [31:0] b_dh;
+  inout [31:0] b_dl;
+  inout b_web;
+  inout b_reb;
+  output b_req_b;
+  input b_gnt_b;
+  reg a_req_q;
+  reg b_req_q;
+  assign a_req_b = a_req_q;
+  assign b_req_b = b_req_q;
+  assign b_addr = (bb_enable && dir_a2b && !b_gnt_b) ? a_addr : @ADDR_WIDTH@'bz;
+  assign b_dh = (bb_enable && dir_a2b && !b_gnt_b) ? a_dh : 32'bz;
+  assign b_dl = (bb_enable && dir_a2b && !b_gnt_b) ? a_dl : 32'bz;
+  assign b_web = (bb_enable && dir_a2b && !b_gnt_b) ? a_web : 1'bz;
+  assign b_reb = (bb_enable && dir_a2b && !b_gnt_b) ? a_reb : 1'bz;
+  assign a_addr = (bb_enable && !dir_a2b && !a_gnt_b) ? b_addr : @ADDR_WIDTH@'bz;
+  assign a_dh = (bb_enable && !dir_a2b && !a_gnt_b) ? b_dh : 32'bz;
+  assign a_dl = (bb_enable && !dir_a2b && !a_gnt_b) ? b_dl : 32'bz;
+  assign a_web = (bb_enable && !dir_a2b && !a_gnt_b) ? b_web : 1'bz;
+  assign a_reb = (bb_enable && !dir_a2b && !a_gnt_b) ? b_reb : 1'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      a_req_q <= 1'b1;
+      b_req_q <= 1'b1;
+    end else begin
+      b_req_q <= ~(bb_enable && dir_a2b);
+      a_req_q <= ~(bb_enable && !dir_a2b);
+    end
+  end
+endmodule
+%endmodule BB_SPLITBA
+"""

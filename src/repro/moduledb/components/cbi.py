@@ -1,0 +1,84 @@
+"""CPU-to-bus interface templates (library component B: ``CBI_<PE>``).
+
+The CBI translates a core's native bus protocol (60x-style TS/WR strobes
+for the MPC7xx family, AMBA-ish strobes for the ARM9TDMI) into the
+generated local bus: registered address/data, active-low write/read
+enables, a chip-select decode of the top address bits, and a
+transfer-acknowledge back to the core.  One CBI per PE type -- swapping the
+core means swapping this one Module (section IV.B).
+"""
+
+_CBI_BODY = """
+module @MODULE_NAME@(clk, rst_n, cpu_a, cpu_d, cpu_ts_b, cpu_wr_b, cpu_ta_b,
+                     cpu_int_b, addr_local, dh, dl, web_local, reb_local, csb, irq_b);
+  parameter ADDR_WIDTH = @ADDR_WIDTH@;
+  parameter DECODE_LSB = @DECODE_LSB@;
+  input clk;
+  input rst_n;
+  input [@ADDR_MSB@:0] cpu_a;
+  inout [63:0] cpu_d;
+  input cpu_ts_b;
+  input cpu_wr_b;
+  output cpu_ta_b;
+  output cpu_int_b;
+  output [@ADDR_MSB@:0] addr_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  output web_local;
+  output reb_local;
+  output [7:0] csb;
+  input irq_b;
+
+  reg [@ADDR_MSB@:0] addr_q;
+  reg web_q;
+  reg reb_q;
+  reg ta_q;
+  reg [2:0] state;
+
+  assign addr_local = addr_q;
+  assign web_local = web_q;
+  assign reb_local = reb_q;
+  assign cpu_ta_b = ta_q;
+  assign cpu_int_b = irq_b;
+  assign csb = ~(8'b00000001 << addr_q[@DECODE_MSB@:@DECODE_LSB@]);
+  assign {dh, dl} = (~web_q) ? cpu_d : 64'bz;
+  assign cpu_d = (~reb_q) ? {dh, dl} : 64'bz;
+
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      addr_q <= @ADDR_WIDTH@'b0;
+      web_q <= 1'b1;
+      reb_q <= 1'b1;
+      ta_q <= 1'b1;
+      state <= 3'b000;
+    end else begin
+      case (state)
+        3'b000: begin
+          ta_q <= 1'b1;
+          if (!cpu_ts_b) begin
+            addr_q <= cpu_a;
+            web_q <= cpu_wr_b;
+            reb_q <= ~cpu_wr_b;
+            state <= 3'b001;
+          end
+        end
+        3'b001: begin
+          state <= 3'b010;
+        end
+        3'b010: begin
+          web_q <= 1'b1;
+          reb_q <= 1'b1;
+          ta_q <= 1'b0;
+          state <= 3'b000;
+        end
+        default: state <= 3'b000;
+      endcase
+    end
+  end
+endmodule
+"""
+
+LIBRARY_TEXT = "\n\n".join(
+    "%%module CBI_%s%s%%endmodule CBI_%s" % (core, _CBI_BODY, core)
+    for core in ("MPC750", "MPC755", "MPC7410", "ARM9TDMI")
+)

@@ -1,0 +1,172 @@
+"""Generic bus interface templates (library component H: ``GBI_<bus_type>``).
+
+The GBI adapts a BAN's local bus to the subsystem bus, and is what lets
+the same BAN internals ride different bus types (section IV.A):
+
+* ``GBI_GBAVIII`` -- a global-bus master port: request/grant handshake with
+  the arbiter (through the ABI), address/data drive while granted.
+* ``GBI_GBAVI`` -- segment port of the bridge-segmented bus: drives the
+  segment when the local side owns it, tri-states otherwise, and raises
+  the bridge-enable request when the access decodes off-segment.
+* ``GBI_BFBA`` -- the neighbour-link port: drives the ``*_up`` wires of
+  Example 8 (FIFO push toward the successor BAN, handshake-register
+  selects) from local-bus cycles.
+"""
+
+LIBRARY_TEXT = """
+%module GBI_GBAVIII
+module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_local,
+                     g_addr, g_dh, g_dl, g_web, g_reb, g_req_b, g_gnt_b);
+  parameter ADDR_WIDTH = @ADDR_WIDTH@;
+  input clk;
+  input rst_n;
+  input [@ADDR_MSB@:0] addr_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  input web_local;
+  input reb_local;
+  input csb_local;
+  inout [@ADDR_MSB@:0] g_addr;
+  inout [31:0] g_dh;
+  inout [31:0] g_dl;
+  inout g_web;
+  inout g_reb;
+  output g_req_b;
+  input g_gnt_b;
+  reg req_q;
+  reg owned_q;
+  assign g_req_b = req_q;
+  assign g_addr = (owned_q) ? addr_local : @ADDR_WIDTH@'bz;
+  assign g_web = (owned_q) ? web_local : 1'bz;
+  assign g_reb = (owned_q) ? reb_local : 1'bz;
+  assign g_dh = (owned_q && !web_local) ? dh : 32'bz;
+  assign g_dl = (owned_q && !web_local) ? dl : 32'bz;
+  assign dh = (owned_q && !reb_local) ? g_dh : 32'bz;
+  assign dl = (owned_q && !reb_local) ? g_dl : 32'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      req_q <= 1'b1;
+      owned_q <= 1'b0;
+    end else begin
+      if (!csb_local && (!web_local || !reb_local)) begin
+        req_q <= 1'b0;
+      end else begin
+        req_q <= 1'b1;
+      end
+      owned_q <= ~g_gnt_b;
+    end
+  end
+endmodule
+%endmodule GBI_GBAVIII
+
+%module GBI_GBAVI
+module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_local,
+                     seg_addr, seg_dh, seg_dl, seg_web, seg_reb, bb_req);
+  parameter ADDR_WIDTH = @ADDR_WIDTH@;
+  input clk;
+  input rst_n;
+  input [@ADDR_MSB@:0] addr_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  input web_local;
+  input reb_local;
+  input csb_local;
+  inout [@ADDR_MSB@:0] seg_addr;
+  inout [31:0] seg_dh;
+  inout [31:0] seg_dl;
+  inout seg_web;
+  inout seg_reb;
+  output bb_req;
+  reg drive_q;
+  assign bb_req = drive_q;
+  assign seg_addr = (drive_q) ? addr_local : @ADDR_WIDTH@'bz;
+  assign seg_web = (drive_q) ? web_local : 1'bz;
+  assign seg_reb = (drive_q) ? reb_local : 1'bz;
+  assign seg_dh = (drive_q && !web_local) ? dh : 32'bz;
+  assign seg_dl = (drive_q && !web_local) ? dl : 32'bz;
+  assign dh = (drive_q && !reb_local) ? seg_dh : 32'bz;
+  assign dl = (drive_q && !reb_local) ? seg_dl : 32'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      drive_q <= 1'b0;
+    end else begin
+      drive_q <= (!csb_local && (!web_local || !reb_local));
+    end
+  end
+endmodule
+%endmodule GBI_GBAVI
+
+%module GBI_BFBA
+module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_local,
+                     data_up, fifo_cs_up, web_up, reb_up,
+                     done_op_cs_up, done_rv_cs_up);
+  parameter ADDR_WIDTH = @ADDR_WIDTH@;
+  input clk;
+  input rst_n;
+  input [@ADDR_MSB@:0] addr_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  input web_local;
+  input reb_local;
+  input csb_local;
+  inout [63:0] data_up;
+  output fifo_cs_up;
+  output web_up;
+  output reb_up;
+  output [1:0] done_op_cs_up;
+  output [1:0] done_rv_cs_up;
+  reg fifo_cs_q;
+  reg [1:0] op_cs_q;
+  reg [1:0] rv_cs_q;
+  assign fifo_cs_up = fifo_cs_q;
+  assign done_op_cs_up = op_cs_q;
+  assign done_rv_cs_up = rv_cs_q;
+  assign web_up = web_local;
+  assign reb_up = reb_local;
+  assign data_up = (!web_local && !csb_local) ? {dh, dl} : 64'bz;
+  assign dh = (!reb_local && !csb_local) ? data_up[63:32] : 32'bz;
+  assign dl = (!reb_local && !csb_local) ? data_up[31:0] : 32'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      fifo_cs_q <= 1'b0;
+      op_cs_q <= 2'b00;
+      rv_cs_q <= 2'b00;
+    end else begin
+      fifo_cs_q <= (!csb_local && addr_local[3:2] == 2'b00);
+      op_cs_q <= {(!csb_local && addr_local[3:2] == 2'b01), ~web_local};
+      rv_cs_q <= {(!csb_local && addr_local[3:2] == 2'b10), ~web_local};
+    end
+  end
+endmodule
+%endmodule GBI_BFBA
+
+%module GBI_SHARED
+module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_local,
+                     g_addr, g_dh, g_dl, g_web, g_reb, g_req_b, g_gnt_b);
+  parameter ADDR_WIDTH = @ADDR_WIDTH@;
+  input clk;
+  input rst_n;
+  input [@ADDR_MSB@:0] addr_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  input web_local;
+  input reb_local;
+  input csb_local;
+  inout [@ADDR_MSB@:0] g_addr;
+  inout [31:0] g_dh;
+  inout [31:0] g_dl;
+  inout g_web;
+  inout g_reb;
+  output g_req_b;
+  input g_gnt_b;
+  assign g_req_b = ~(!csb_local && (!web_local || !reb_local));
+  assign g_addr = (!g_gnt_b) ? addr_local : @ADDR_WIDTH@'bz;
+  assign g_web = (!g_gnt_b) ? web_local : 1'bz;
+  assign g_reb = (!g_gnt_b) ? reb_local : 1'bz;
+  assign g_dh = (!g_gnt_b && !web_local) ? dh : 32'bz;
+  assign g_dl = (!g_gnt_b && !web_local) ? dl : 32'bz;
+  assign dh = (!g_gnt_b && !reb_local) ? g_dh : 32'bz;
+  assign dl = (!g_gnt_b && !reb_local) ? g_dl : 32'bz;
+endmodule
+%endmodule GBI_SHARED
+"""

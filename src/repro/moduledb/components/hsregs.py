@@ -1,0 +1,113 @@
+"""Handshake register block template (HS_REGS, Figure 10).
+
+Two one-bit registers, DONE_OP and DONE_RV, each readable and writable
+from both the downstream side (the sender BAN, ``*_dn`` pins) and the local
+bus (the receiver BAN).  Select encoding per side: bit 1 of a ``cs`` pair
+selects the register, bit 0 carries write-enable; data moves on bit 0 of
+the shared 64-bit data lines, exactly as wired in Figure 17(b).
+"""
+
+LIBRARY_TEXT = """
+%module HS_REGS
+module @MODULE_NAME@(clk, rst_n,
+                     done_op_cs_dn, done_rv_cs_dn, web_dn, reb_dn, data_dn,
+                     op_cs_local, rv_cs_local, web_local, reb_local, dh, dl,
+                     done_op, done_rv);
+  parameter OP_RESET = @OP_RESET@;
+  parameter RV_RESET = @RV_RESET@;
+  input clk;
+  input rst_n;
+  input [1:0] done_op_cs_dn;
+  input [1:0] done_rv_cs_dn;
+  input web_dn;
+  input reb_dn;
+  inout [63:0] data_dn;
+  input op_cs_local;
+  input rv_cs_local;
+  input web_local;
+  input reb_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  output done_op;
+  output done_rv;
+  reg op_q;
+  reg rv_q;
+  assign done_op = op_q;
+  assign done_rv = rv_q;
+  assign data_dn = (reb_dn == 1'b0 && (done_op_cs_dn[1] || done_rv_cs_dn[1]))
+                   ? {62'b0, rv_q, op_q} : 64'bz;
+  assign dl = (reb_local == 1'b0 && (op_cs_local || rv_cs_local))
+              ? {30'b0, rv_q, op_q} : 32'bz;
+  assign dh = (reb_local == 1'b0 && (op_cs_local || rv_cs_local))
+              ? 32'b0 : 32'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      op_q <= OP_RESET;
+      rv_q <= RV_RESET;
+    end else begin
+      if (done_op_cs_dn[1] && !web_dn) begin
+        op_q <= data_dn[0];
+      end else if (op_cs_local && !web_local) begin
+        op_q <= dl[0];
+      end
+      if (done_rv_cs_dn[1] && !web_dn) begin
+        rv_q <= data_dn[0];
+      end else if (rv_cs_local && !web_local) begin
+        rv_q <= dl[0];
+      end
+    end
+  end
+endmodule
+%endmodule HS_REGS
+
+%module HS_REGS_GBAVI
+module @MODULE_NAME@(clk, rst_n,
+                     op_cs_a, rv_cs_a, web_a, reb_a, dh_a, dl_a,
+                     op_cs_b, rv_cs_b, web_b, reb_b, dh_b, dl_b,
+                     done_op, done_rv);
+  parameter OP_RESET = @OP_RESET@;
+  parameter RV_RESET = @RV_RESET@;
+  input clk;
+  input rst_n;
+  input op_cs_a;
+  input rv_cs_a;
+  input web_a;
+  input reb_a;
+  inout [31:0] dh_a;
+  inout [31:0] dl_a;
+  input op_cs_b;
+  input rv_cs_b;
+  input web_b;
+  input reb_b;
+  inout [31:0] dh_b;
+  inout [31:0] dl_b;
+  output done_op;
+  output done_rv;
+  reg op_q;
+  reg rv_q;
+  assign done_op = op_q;
+  assign done_rv = rv_q;
+  assign dl_a = (reb_a == 1'b0 && (op_cs_a || rv_cs_a)) ? {30'b0, rv_q, op_q} : 32'bz;
+  assign dh_a = (reb_a == 1'b0 && (op_cs_a || rv_cs_a)) ? 32'b0 : 32'bz;
+  assign dl_b = (reb_b == 1'b0 && (op_cs_b || rv_cs_b)) ? {30'b0, rv_q, op_q} : 32'bz;
+  assign dh_b = (reb_b == 1'b0 && (op_cs_b || rv_cs_b)) ? 32'b0 : 32'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      op_q <= OP_RESET;
+      rv_q <= RV_RESET;
+    end else begin
+      if (op_cs_a && !web_a) begin
+        op_q <= dl_a[0];
+      end else if (op_cs_b && !web_b) begin
+        op_q <= dl_b[0];
+      end
+      if (rv_cs_a && !web_a) begin
+        rv_q <= dl_a[0];
+      end else if (rv_cs_b && !web_b) begin
+        rv_q <= dl_b[0];
+      end
+    end
+  end
+endmodule
+%endmodule HS_REGS_GBAVI
+"""

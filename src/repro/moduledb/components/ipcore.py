@@ -1,0 +1,101 @@
+"""Hardware-IP core and IP-interface templates (Example 8's BAN FFT).
+
+The paper's Figure 17 attaches a hardware Fast Fourier Transform IP BAN to
+BAN B through dedicated wires: address/data for the IP's buffer, read/write
+enables, a start strobe and an end acknowledge.  The user options name two
+non-CPU PE types -- ``DCT`` and ``MPEG2`` (user option 4.2) -- so the
+library carries an IP template for each with that exact port discipline:
+
+* host side writes input samples into the IP's buffer (``addr_ip``/
+  ``data_ip``/``web_ip``), pulses ``srt_ip``, waits for ``ack_ip``, then
+  reads results back (``reb_ip``);
+* ``IPIF`` is the host-BAN module adapting its local bus to those wires
+  (the ``addr_b``/``data_b``/``srt_b``/``ack_b`` pins of Figure 17b).
+"""
+
+_IP_BODY = """
+module @MODULE_NAME@(clk, rst_n, addr_ip, data_ip, web_ip, reb_ip, srt_ip, ack_ip);
+  parameter BUF_A_WIDTH = @BUF_A_WIDTH@;
+  parameter LATENCY = @LATENCY@;
+  input clk;
+  input rst_n;
+  input [@BUF_A_MSB@:0] addr_ip;
+  inout [63:0] data_ip;
+  input web_ip;
+  input reb_ip;
+  input srt_ip;
+  output ack_ip;
+  reg [63:0] buffer_q;
+  reg [63:0] read_q;
+  reg [7:0] busy_q;
+  reg ack_q;
+  assign ack_ip = ack_q;
+  assign data_ip = (!reb_ip) ? read_q : 64'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      buffer_q <= 64'b0;
+      read_q <= 64'b0;
+      busy_q <= 8'b0;
+      ack_q <= 1'b0;
+    end else begin
+      if (!web_ip) begin
+        buffer_q <= data_ip;
+      end
+      if (!reb_ip) begin
+        read_q <= buffer_q;
+      end
+      if (srt_ip) begin
+        busy_q <= LATENCY;
+        ack_q <= 1'b0;
+      end else if (busy_q != 8'b0) begin
+        busy_q <= busy_q - 1;
+        if (busy_q == 8'b1) begin
+          ack_q <= 1'b1;
+        end
+      end
+    end
+  end
+endmodule
+"""
+
+LIBRARY_TEXT = (
+    "%module DCT_IP" + _IP_BODY + "%endmodule DCT_IP\n\n"
+    "%module MPEG2_IP" + _IP_BODY + "%endmodule MPEG2_IP\n\n"
+    + """
+%module IPIF
+module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_local,
+                     addr_b, data_b, web_b, reb_b, srt_b, ack_b);
+  parameter BUF_A_WIDTH = @BUF_A_WIDTH@;
+  input clk;
+  input rst_n;
+  input [31:0] addr_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  input web_local;
+  input reb_local;
+  input csb_local;
+  output [@BUF_A_MSB@:0] addr_b;
+  inout [63:0] data_b;
+  output web_b;
+  output reb_b;
+  output srt_b;
+  input ack_b;
+  reg srt_q;
+  assign addr_b = addr_local[@BUF_A_MSB@:0];
+  assign web_b = (csb_local) ? 1'b1 : web_local;
+  assign reb_b = (csb_local) ? 1'b1 : reb_local;
+  assign srt_b = srt_q;
+  assign data_b = (!web_local && !csb_local) ? {dh, dl} : 64'bz;
+  assign dh = (!reb_local && !csb_local) ? data_b[63:32] : 32'bz;
+  assign dl = (!reb_local && !csb_local) ? {31'b0, ack_b} | data_b[31:0] : 32'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      srt_q <= 1'b0;
+    end else begin
+      srt_q <= (!csb_local && !web_local && addr_local[15]);
+    end
+  end
+endmodule
+%endmodule IPIF
+"""
+)

@@ -1,0 +1,100 @@
+"""Memory-to-bus interface templates (library component D: ``MBI_<memory>``).
+
+``MBI_SRAM`` follows the paper's own listing (Figure 14): three parameters
+-- ``@MEM_A_WIDTH@`` for the physical address width, ``@MEM_D_WIDTH@`` for
+the memory data width and ``@BIT_DIFFERENCE@`` for the width gap between
+the CPU data bus and the memory data bus -- and pin-name-driven control
+(``reb_local``/``sram_reb``, ``web_local``/``sram_web``).  For the 8 MB
+SRAM of BAN A in Figure 4 the assignment is MEM_A_WIDTH=20,
+MEM_D_WIDTH=64, BIT_DIFFERENCE=0 (Example 6).
+
+``MBI_DRAM`` adds the RAS/CAS sequencing the DRAM template needs.
+"""
+
+LIBRARY_TEXT = """
+%module MBI_SRAM
+module @MODULE_NAME@(addr_local, web_local, reb_local, csb_local, dh, dl,
+                     sram_addr, sram_web, sram_oeb, sram_csb, sram_dq);
+  parameter MEM_A_WIDTH = @MEM_A_WIDTH@;
+  parameter MEM_D_WIDTH = @MEM_D_WIDTH@;
+  parameter BIT_DIFFERENCE = @BIT_DIFFERENCE@;
+  input [@MEM_A_MSB@:0] addr_local;
+  input web_local;
+  input reb_local;
+  input csb_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  output [@MEM_A_MSB@:0] sram_addr;
+  output sram_web;
+  output sram_oeb;
+  output sram_csb;
+  inout [@MEM_D_MSB@:0] sram_dq;
+  assign sram_addr = addr_local;
+  assign sram_web = web_local;
+  assign sram_oeb = reb_local;
+  assign sram_csb = csb_local;
+  assign sram_dq = (~web_local) ? {dh, dl} : @MEM_D_WIDTH@'bz;
+  assign {dh, dl} = (~reb_local) ? {@PAD_EXPR@sram_dq[@MEM_D_MSB@:0]} : 64'bz;
+endmodule
+%endmodule MBI_SRAM
+
+%module MBI_DRAM
+module @MODULE_NAME@(clk, rst_n, addr_local, web_local, reb_local, csb_local, dh, dl,
+                     dram_addr, dram_rasb, dram_casb, dram_web, dram_dq, dram_rdy);
+  parameter MEM_A_WIDTH = @MEM_A_WIDTH@;
+  parameter MEM_D_WIDTH = @MEM_D_WIDTH@;
+  input clk;
+  input rst_n;
+  input [@MEM_A_MSB@:0] addr_local;
+  input web_local;
+  input reb_local;
+  input csb_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  output [@MEM_A_MSB@:0] dram_addr;
+  output dram_rasb;
+  output dram_casb;
+  output dram_web;
+  inout [@MEM_D_MSB@:0] dram_dq;
+  input dram_rdy;
+  reg rasb_q;
+  reg casb_q;
+  reg [1:0] state;
+  assign dram_addr = addr_local;
+  assign dram_rasb = rasb_q;
+  assign dram_casb = casb_q;
+  assign dram_web = web_local;
+  assign dram_dq = (~web_local && !csb_local) ? {dh, dl} : @MEM_D_WIDTH@'bz;
+  assign {dh, dl} = (~reb_local && !csb_local && dram_rdy) ? dram_dq : 64'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      rasb_q <= 1'b1;
+      casb_q <= 1'b1;
+      state <= 2'b00;
+    end else begin
+      case (state)
+        2'b00: begin
+          casb_q <= 1'b1;
+          if (!csb_local && (!web_local || !reb_local)) begin
+            rasb_q <= 1'b0;
+            state <= 2'b01;
+          end
+        end
+        2'b01: begin
+          rasb_q <= 1'b1;
+          casb_q <= 1'b0;
+          state <= 2'b10;
+        end
+        2'b10: begin
+          if (dram_rdy) begin
+            casb_q <= 1'b1;
+            state <= 2'b00;
+          end
+        end
+        default: state <= 2'b00;
+      endcase
+    end
+  end
+endmodule
+%endmodule MBI_DRAM
+"""

@@ -1,0 +1,72 @@
+"""Memory templates (library component C: ``<memory>_comp``).
+
+"A memory template to be used to generate any size of behavioural memory":
+the SRAM template is a single-cycle synchronous array; the DRAM template
+adds a row register and a not-ready strobe while a new row opens.  Size
+comes from ``@MEM_A_WIDTH@`` (locations) x ``@MEM_D_WIDTH@`` (bits) --
+Example 9 generates 8 MB blocks from width 20 x 64.
+"""
+
+LIBRARY_TEXT = """
+%module SRAM_comp
+module @MODULE_NAME@(clk, sram_addr, sram_web, sram_oeb, sram_csb, sram_dq);
+  parameter MEM_A_WIDTH = @MEM_A_WIDTH@;
+  parameter MEM_D_WIDTH = @MEM_D_WIDTH@;
+  input clk;
+  input [@MEM_A_MSB@:0] sram_addr;
+  input sram_web;
+  input sram_oeb;
+  input sram_csb;
+  inout [@MEM_D_MSB@:0] sram_dq;
+  reg [@MEM_D_MSB@:0] mem_array_q;
+  reg [@MEM_D_MSB@:0] read_q;
+  assign sram_dq = (!sram_csb && !sram_oeb) ? read_q : @MEM_D_WIDTH@'bz;
+  always @(posedge clk) begin
+    if (!sram_csb && !sram_web) begin
+      mem_array_q <= sram_dq;
+    end
+    if (!sram_csb && !sram_oeb) begin
+      read_q <= mem_array_q;
+    end
+  end
+endmodule
+%endmodule SRAM_comp
+
+%module DRAM_comp
+module @MODULE_NAME@(clk, dram_addr, dram_rasb, dram_casb, dram_web, dram_dq, dram_rdy);
+  parameter MEM_A_WIDTH = @MEM_A_WIDTH@;
+  parameter MEM_D_WIDTH = @MEM_D_WIDTH@;
+  parameter ROW_BITS = @ROW_BITS@;
+  input clk;
+  input [@MEM_A_MSB@:0] dram_addr;
+  input dram_rasb;
+  input dram_casb;
+  input dram_web;
+  inout [@MEM_D_MSB@:0] dram_dq;
+  output dram_rdy;
+  reg [@ROW_MSB@:0] open_row_q;
+  reg row_valid_q;
+  reg [@MEM_D_MSB@:0] mem_array_q;
+  reg [@MEM_D_MSB@:0] read_q;
+  reg rdy_q;
+  assign dram_rdy = rdy_q;
+  assign dram_dq = (!dram_casb && dram_web) ? read_q : @MEM_D_WIDTH@'bz;
+  always @(posedge clk) begin
+    if (!dram_rasb) begin
+      open_row_q <= dram_addr[@MEM_A_MSB@:@ROW_LSB@];
+      row_valid_q <= 1'b1;
+      rdy_q <= 1'b0;
+    end else if (!dram_casb && row_valid_q) begin
+      rdy_q <= 1'b1;
+      if (!dram_web) begin
+        mem_array_q <= dram_dq;
+      end else begin
+        read_q <= mem_array_q;
+      end
+    end else begin
+      rdy_q <= 1'b0;
+    end
+  end
+endmodule
+%endmodule DRAM_comp
+"""

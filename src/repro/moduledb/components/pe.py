@@ -1,0 +1,130 @@
+"""Processing-element templates (library component A).
+
+A PE is an IP core, not a Module (definition G) -- in the paper's flow the
+MPC7xx/ARM9TDMI models come from Seamless CVE.  The library still carries a
+behavioural *bus-functional stub* per core so that a generated Bus System
+elaborates stand-alone: the stub exposes the core's bus pins and idles them
+(a co-simulation environment would swap in the vendor model by name).
+
+All four supported cores share the 60x-style pin set the CBI adapts:
+address out, bidirectional data, transfer-start/read-write strobes, a
+transfer-acknowledge input and an interrupt input.
+"""
+
+LIBRARY_TEXT = """
+%module MPC755
+module @MODULE_NAME@(clk, rst_n, cpu_a, cpu_d, cpu_ts_b, cpu_wr_b, cpu_ta_b, cpu_int_b);
+  parameter CPU_A_WIDTH = @CPU_A_WIDTH@;
+  parameter CPU_D_WIDTH = @CPU_D_WIDTH@;
+  input clk;
+  input rst_n;
+  output [@CPU_A_MSB@:0] cpu_a;
+  inout [@CPU_D_MSB@:0] cpu_d;
+  output cpu_ts_b;
+  output cpu_wr_b;
+  input cpu_ta_b;
+  input cpu_int_b;
+  reg [@CPU_A_MSB@:0] addr_q;
+  reg ts_q;
+  reg wr_q;
+  assign cpu_a = addr_q;
+  assign cpu_ts_b = ts_q;
+  assign cpu_wr_b = wr_q;
+  assign cpu_d = @CPU_D_WIDTH@'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      addr_q <= @CPU_A_WIDTH@'b0;
+      ts_q <= 1'b1;
+      wr_q <= 1'b1;
+    end
+  end
+endmodule
+%endmodule MPC755
+
+%module MPC750
+module @MODULE_NAME@(clk, rst_n, cpu_a, cpu_d, cpu_ts_b, cpu_wr_b, cpu_ta_b, cpu_int_b);
+  parameter CPU_A_WIDTH = @CPU_A_WIDTH@;
+  parameter CPU_D_WIDTH = @CPU_D_WIDTH@;
+  input clk;
+  input rst_n;
+  output [@CPU_A_MSB@:0] cpu_a;
+  inout [@CPU_D_MSB@:0] cpu_d;
+  output cpu_ts_b;
+  output cpu_wr_b;
+  input cpu_ta_b;
+  input cpu_int_b;
+  reg [@CPU_A_MSB@:0] addr_q;
+  reg ts_q;
+  reg wr_q;
+  assign cpu_a = addr_q;
+  assign cpu_ts_b = ts_q;
+  assign cpu_wr_b = wr_q;
+  assign cpu_d = @CPU_D_WIDTH@'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      addr_q <= @CPU_A_WIDTH@'b0;
+      ts_q <= 1'b1;
+      wr_q <= 1'b1;
+    end
+  end
+endmodule
+%endmodule MPC750
+
+%module MPC7410
+module @MODULE_NAME@(clk, rst_n, cpu_a, cpu_d, cpu_ts_b, cpu_wr_b, cpu_ta_b, cpu_int_b);
+  parameter CPU_A_WIDTH = @CPU_A_WIDTH@;
+  parameter CPU_D_WIDTH = @CPU_D_WIDTH@;
+  input clk;
+  input rst_n;
+  output [@CPU_A_MSB@:0] cpu_a;
+  inout [@CPU_D_MSB@:0] cpu_d;
+  output cpu_ts_b;
+  output cpu_wr_b;
+  input cpu_ta_b;
+  input cpu_int_b;
+  reg [@CPU_A_MSB@:0] addr_q;
+  reg ts_q;
+  reg wr_q;
+  assign cpu_a = addr_q;
+  assign cpu_ts_b = ts_q;
+  assign cpu_wr_b = wr_q;
+  assign cpu_d = @CPU_D_WIDTH@'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      addr_q <= @CPU_A_WIDTH@'b0;
+      ts_q <= 1'b1;
+      wr_q <= 1'b1;
+    end
+  end
+endmodule
+%endmodule MPC7410
+
+%module ARM9TDMI
+module @MODULE_NAME@(clk, rst_n, cpu_a, cpu_d, cpu_ts_b, cpu_wr_b, cpu_ta_b, cpu_int_b);
+  parameter CPU_A_WIDTH = @CPU_A_WIDTH@;
+  parameter CPU_D_WIDTH = @CPU_D_WIDTH@;
+  input clk;
+  input rst_n;
+  output [@CPU_A_MSB@:0] cpu_a;
+  inout [@CPU_D_MSB@:0] cpu_d;
+  output cpu_ts_b;
+  output cpu_wr_b;
+  input cpu_ta_b;
+  input cpu_int_b;
+  reg [@CPU_A_MSB@:0] addr_q;
+  reg ts_q;
+  reg wr_q;
+  assign cpu_a = addr_q;
+  assign cpu_ts_b = ts_q;
+  assign cpu_wr_b = wr_q;
+  assign cpu_d = @CPU_D_WIDTH@'bz;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      addr_q <= @CPU_A_WIDTH@'b0;
+      ts_q <= 1'b1;
+      wr_q <= 1'b1;
+    end
+  end
+endmodule
+%endmodule ARM9TDMI
+"""

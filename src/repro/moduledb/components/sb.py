@@ -1,0 +1,74 @@
+"""Segment-of-bus templates (library component I: ``SB_<bus_type>``).
+
+Definition E: an SB is a contiguous bus -- address, data and control wires
+specific to a bus type.  As a Module it contributes the physical segment:
+bus keepers holding the tri-stated lines at their last value, plus default
+pull-ups on the active-low controls, so a segment with no driver reads
+idle rather than unknown.  The three variants differ only in which control
+wires the bus type carries.
+"""
+
+_KEEPER_BODY = """
+  reg [@ADDR_MSB@:0] addr_keep_q;
+  reg [31:0] dh_keep_q;
+  reg [31:0] dl_keep_q;
+  always @(posedge clk) begin
+    addr_keep_q <= addr_local;
+    dh_keep_q <= dh;
+    dl_keep_q <= dl;
+  end
+"""
+
+LIBRARY_TEXT = (
+    """
+%module SB_GBAVI
+module @MODULE_NAME@(clk, addr_local, dh, dl, web_local, reb_local, csb_local);
+  parameter ADDR_WIDTH = @ADDR_WIDTH@;
+  input clk;
+  inout [@ADDR_MSB@:0] addr_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  inout web_local;
+  inout reb_local;
+  inout [7:0] csb_local;
+"""
+    + _KEEPER_BODY
+    + """
+endmodule
+%endmodule SB_GBAVI
+
+%module SB_GBAVIII
+module @MODULE_NAME@(clk, addr_local, dh, dl, web_local, reb_local, req_b, gnt_b);
+  parameter ADDR_WIDTH = @ADDR_WIDTH@;
+  parameter N_MASTERS = @N_MASTERS@;
+  input clk;
+  inout [@ADDR_MSB@:0] addr_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  inout web_local;
+  inout reb_local;
+  inout [@N_MASTERS_MSB@:0] req_b;
+  inout [@N_MASTERS_MSB@:0] gnt_b;
+"""
+    + _KEEPER_BODY
+    + """
+endmodule
+%endmodule SB_GBAVIII
+
+%module SB_BFBA
+module @MODULE_NAME@(clk, addr_local, dh, dl, web_local, reb_local, csb_local);
+  parameter ADDR_WIDTH = @ADDR_WIDTH@;
+  input clk;
+  inout [@ADDR_MSB@:0] addr_local;
+  inout [31:0] dh;
+  inout [31:0] dl;
+  inout web_local;
+  inout reb_local;
+  inout [7:0] csb_local;
+"""
+    + _KEEPER_BODY
+    + """
+endmodule
+%endmodule SB_BFBA
+"""
+)

@@ -1,0 +1,33 @@
+"""User options for BusSyn (Figure 18 of the paper)."""
+
+from .schema import (
+    BANSpec,
+    BusSpec,
+    BusSubsystemSpec,
+    BusSystemSpec,
+    MemorySpec,
+    OptionError,
+    BUS_TYPES,
+    CPU_TYPES,
+    NON_CPU_TYPES,
+    MEMORY_TYPES,
+)
+from . import presets
+from .inputfile import parse_option_file, parse_option_text, render_option_text
+
+__all__ = [
+    "BANSpec",
+    "BusSpec",
+    "BusSubsystemSpec",
+    "BusSystemSpec",
+    "MemorySpec",
+    "OptionError",
+    "BUS_TYPES",
+    "CPU_TYPES",
+    "NON_CPU_TYPES",
+    "MEMORY_TYPES",
+    "presets",
+    "parse_option_file",
+    "parse_option_text",
+    "render_option_text",
+]

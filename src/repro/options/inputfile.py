@@ -1,0 +1,216 @@
+"""The user-option input file: Figure 18's input sequence as text.
+
+The paper's BusSyn takes its configuration as an ordered option list (the
+right-hand box of Figure 18; Examples 9 and 10 walk it).  This module
+parses that sequence from a small text format whose keys mirror the user
+option numbers::
+
+    # Example 9's BFBA system
+    bus_system            1          # option 1: number of Bus Subsystems
+    subsystem SUB1
+      bans                4          # option 2.1
+      bus BFBA                       # options 2.2/2.3 (repeat per bus)
+        address_width     32         # option 3.1
+        data_width        64         # option 3.2
+        fifo_depth        1024       # option 3.3 (BFBA only)
+      ban A                          # option 4 (repeat per BAN)
+        cpu               MPC755     # option 4.1
+        memories          1          # option 4.3
+        memory SRAM 20 64            # option 5 (type, addr width, data width)
+      ban B
+        cpu MPC755
+        memory SRAM 20 64
+      ...
+
+Conveniences: ``bans N`` with fewer explicit ``ban`` blocks fills the rest
+by repeating the last BAN's shape with the next letters; ``ban G global``
+marks the global-resource BAN; ``ban FFT ip DCT attach B`` declares a
+hardware-IP BAN (Example 8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .presets import ban_letters
+from .schema import (
+    BANSpec,
+    BusSpec,
+    BusSubsystemSpec,
+    BusSystemSpec,
+    MemorySpec,
+    OptionError,
+)
+
+__all__ = ["parse_option_text", "parse_option_file", "render_option_text"]
+
+
+def _tokens(text: str) -> List[List[str]]:
+    lines = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            lines.append(line.split())
+    return lines
+
+
+def parse_option_text(text: str, name: str = "USER") -> BusSystemSpec:
+    """Parse an option file into a validated BusSystemSpec."""
+    lines = _tokens(text)
+    index = 0
+    subsystem_count: Optional[int] = None
+    subsystems: List[BusSubsystemSpec] = []
+    current_sub: Optional[BusSubsystemSpec] = None
+    current_bus: Optional[BusSpec] = None
+    current_ban: Optional[BANSpec] = None
+    declared_bans: Optional[int] = None
+
+    def finish_subsystem():
+        nonlocal current_sub, current_bus, current_ban, declared_bans
+        if current_sub is None:
+            return
+        if declared_bans is not None and len(current_sub.pe_bans) < declared_bans:
+            # Fill the remaining BANs by repeating the last explicit shape.
+            template = current_sub.pe_bans[-1] if current_sub.pe_bans else None
+            if template is None:
+                raise OptionError(
+                    "subsystem %s declares %d bans but defines none"
+                    % (current_sub.name, declared_bans)
+                )
+            taken = {ban.name for ban in current_sub.bans}
+            for letter in ban_letters(declared_bans * 2):
+                if len(current_sub.pe_bans) >= declared_bans:
+                    break
+                if letter in taken:
+                    continue
+                clone = BANSpec(
+                    name=letter,
+                    cpu_type=template.cpu_type,
+                    memories=[
+                        MemorySpec(m.memory_type, m.address_width, m.data_width,
+                                   name="SRAM_%s" % letter)
+                        for m in template.memories
+                    ],
+                )
+                current_sub.bans.append(clone)
+        subsystems.append(current_sub)
+        current_sub = None
+        current_bus = None
+        current_ban = None
+        declared_bans = None
+
+    while index < len(lines):
+        fields = lines[index]
+        key = fields[0].lower()
+        index += 1
+        if key == "bus_system":
+            subsystem_count = int(fields[1])
+        elif key == "subsystem":
+            finish_subsystem()
+            current_sub = BusSubsystemSpec(name=fields[1], bans=[], buses=[])
+            current_ban = None
+            current_bus = None
+        elif key == "bans":
+            declared_bans = int(fields[1])
+        elif key == "bus":
+            if current_sub is None:
+                raise OptionError("'bus' outside a subsystem")
+            current_bus = BusSpec(bus_type=fields[1].upper())
+            current_sub.buses.append(current_bus)
+            current_ban = None
+        elif key in ("address_width", "data_width", "fifo_depth", "grant_cycles"):
+            if current_bus is None:
+                raise OptionError("'%s' outside a bus block" % key)
+            setattr(current_bus, key, int(fields[1]))
+        elif key == "arbiter":
+            if current_bus is None:
+                raise OptionError("'arbiter' outside a bus block")
+            current_bus.arbiter_policy = fields[1].lower()
+        elif key == "ban":
+            if current_sub is None:
+                raise OptionError("'ban' outside a subsystem")
+            current_ban = BANSpec(name=fields[1], cpu_type="NONE", memories=[])
+            modifiers = [f.lower() for f in fields[2:]]
+            if "global" in modifiers:
+                current_ban.is_global_resource = True
+            if "ip" in modifiers:
+                ip_index = modifiers.index("ip")
+                current_ban.non_cpu_type = fields[2 + ip_index + 1].upper()
+                if "attach" in modifiers:
+                    attach_index = modifiers.index("attach")
+                    current_ban.ip_attach = fields[2 + attach_index + 1]
+            current_sub.bans.append(current_ban)
+        elif key == "cpu":
+            if current_ban is None:
+                raise OptionError("'cpu' outside a ban block")
+            current_ban.cpu_type = fields[1].upper()
+        elif key == "memories":
+            pass  # informational count (user option 4.3); blocks follow
+        elif key == "memory":
+            if current_ban is None:
+                raise OptionError("'memory' outside a ban block")
+            memory = MemorySpec(
+                memory_type=fields[1].upper(),
+                address_width=int(fields[2]),
+                data_width=int(fields[3]),
+            )
+            prefix = "GLOBAL_SRAM" if current_ban.is_global_resource else "SRAM"
+            memory.name = "%s_%s" % (prefix, current_ban.name)
+            current_ban.memories.append(memory)
+        else:
+            raise OptionError("unknown option line: %s" % " ".join(fields))
+    finish_subsystem()
+
+    if subsystem_count is not None and subsystem_count != len(subsystems):
+        raise OptionError(
+            "bus_system declares %d subsystems but %d are defined"
+            % (subsystem_count, len(subsystems))
+        )
+    spec = BusSystemSpec(name=name, subsystems=subsystems)
+    spec.validate()
+    return spec
+
+
+def parse_option_file(path: str, name: Optional[str] = None) -> BusSystemSpec:
+    with open(path) as handle:
+        text = handle.read()
+    import os
+
+    return parse_option_text(
+        text, name or os.path.splitext(os.path.basename(path))[0].upper()
+    )
+
+
+def render_option_text(spec: BusSystemSpec) -> str:
+    """Inverse of :func:`parse_option_text` (round-trips in tests)."""
+    lines = ["bus_system %d" % len(spec.subsystems)]
+    for subsystem in spec.subsystems:
+        lines.append("subsystem %s" % subsystem.name)
+        lines.append("  bans %d" % len(subsystem.pe_bans))
+        for bus in subsystem.buses:
+            lines.append("  bus %s" % bus.bus_type)
+            lines.append("    address_width %d" % bus.address_width)
+            lines.append("    data_width %d" % bus.data_width)
+            if bus.fifo_depth:
+                lines.append("    fifo_depth %d" % bus.fifo_depth)
+            if bus.grant_cycles != 3:
+                lines.append("    grant_cycles %d" % bus.grant_cycles)
+            if bus.arbiter_policy != "fcfs":
+                lines.append("    arbiter %s" % bus.arbiter_policy)
+        for ban in subsystem.bans:
+            modifiers = ""
+            if ban.is_global_resource:
+                modifiers = " global"
+            elif ban.non_cpu_type != "NONE":
+                modifiers = " ip %s" % ban.non_cpu_type
+                if ban.ip_attach:
+                    modifiers += " attach %s" % ban.ip_attach
+            lines.append("  ban %s%s" % (ban.name, modifiers))
+            if ban.has_pe:
+                lines.append("    cpu %s" % ban.cpu_type)
+            for memory in ban.memories:
+                lines.append(
+                    "    memory %s %d %d"
+                    % (memory.memory_type, memory.address_width, memory.data_width)
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,196 @@
+"""Bus arbiters.
+
+The paper's global bus architectures (GBAVIII, SplitBA, Hybrid, GGBA, CCBA)
+resolve simultaneous memory requests with a hardware arbiter (Figure 5).  The
+paper's generated arbiter uses a first-come-first-serve (FCFS) policy backed
+by a FIFO, and the Module Library also offers "Round Robin" and "Priority"
+variants (library component F, section V.A).
+
+An arbiter here is a grant queue: masters call :meth:`Arbiter.request` and
+receive an event that fires when they own the bus; they must call
+:meth:`Arbiter.release` when the transaction completes.  The policy only
+chooses *which* pending request is granted next -- grant latency in cycles is
+charged by the bus model (:mod:`repro.sim.bus`), because it is a property of
+the bus protocol (3 cycles for BusSyn buses, 5 for the CoreConnect-style
+CCBA baseline).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .kernel import Event, Simulator
+
+__all__ = [
+    "Arbiter",
+    "FCFSArbiter",
+    "RoundRobinArbiter",
+    "PriorityArbiter",
+    "make_arbiter",
+    "ARBITER_POLICIES",
+]
+
+
+class Arbiter:
+    """Base class: owns the grant state and bookkeeping, defers policy."""
+
+    policy_name = "abstract"
+
+    def __init__(self, sim: Simulator, name: str = "arbiter"):
+        self.sim = sim
+        self.name = name
+        self.owner: Optional[str] = None
+        self.grants = 0
+        self.busy_since: Optional[int] = None
+        self.busy_cycles = 0
+        self.wait_cycles = 0
+        self._pending: List[Tuple[str, Event, int]] = []
+        # When enabled, records (cycle, master, granted?) edges for the
+        # VCD export (repro.sim.vcd).
+        self.trace_enabled = False
+        self.trace: List[Tuple[int, str, bool]] = []
+
+    # -- master interface ------------------------------------------------
+    def request(self, master: str) -> Event:
+        """Queue a bus request; the returned event fires on grant."""
+        grant = self.sim.event()
+        self._enqueue(master, grant, self.sim.now)
+        self._dispatch()
+        return grant
+
+    def release(self, master: str) -> None:
+        if self.owner != master:
+            raise RuntimeError(
+                "%s released by %r but owned by %r" % (self.name, master, self.owner)
+            )
+        if self.trace_enabled:
+            self.trace.append((self.sim.now, master, False))
+        self.owner = None
+        if self.busy_since is not None:
+            self.busy_cycles += self.sim.now - self.busy_since
+            self.busy_since = None
+        self._dispatch()
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # -- policy hooks ------------------------------------------------------
+    def _enqueue(self, master: str, grant: Event, when: int) -> None:
+        self._pending.append((master, grant, when))
+
+    def _select(self) -> int:
+        """Index into ``_pending`` of the next request to grant."""
+        raise NotImplementedError
+
+    # -- internals -----------------------------------------------------------
+    def _dispatch(self) -> None:
+        if self.owner is not None or not self._pending:
+            return
+        index = self._select()
+        master, grant, requested_at = self._pending.pop(index)
+        self.owner = master
+        self.grants += 1
+        self.wait_cycles += self.sim.now - requested_at
+        self.busy_since = self.sim.now
+        if self.trace_enabled:
+            self.trace.append((self.sim.now, master, True))
+        grant.succeed(master)
+
+
+class FCFSArbiter(Arbiter):
+    """First-come-first-serve: the FIFO policy of the paper's global arbiter."""
+
+    policy_name = "fcfs"
+
+    def _select(self) -> int:
+        return 0
+
+
+class RoundRobinArbiter(Arbiter):
+    """Rotating priority among masters, starting after the last grantee."""
+
+    policy_name = "round_robin"
+
+    def __init__(self, sim: Simulator, name: str = "arbiter"):
+        super().__init__(sim, name)
+        self._order: Deque[str] = deque()
+
+    def _note_master(self, master: str) -> None:
+        if master not in self._order:
+            self._order.append(master)
+
+    def _enqueue(self, master: str, grant: Event, when: int) -> None:
+        self._note_master(master)
+        super()._enqueue(master, grant, when)
+
+    def _select(self) -> int:
+        pending_masters = {master for master, _g, _w in self._pending}
+        for master in self._order:
+            if master in pending_masters:
+                chosen = master
+                break
+        else:  # pragma: no cover - _pending non-empty implies a hit
+            chosen = self._pending[0][0]
+        # Rotate so the chosen master moves to the back of the ring.
+        self._order.rotate(-(list(self._order).index(chosen) + 1))
+        for index, (master, _grant, _when) in enumerate(self._pending):
+            if master == chosen:
+                return index
+        raise AssertionError("round-robin selection lost its request")
+
+
+class PriorityArbiter(Arbiter):
+    """Static priority; lower priority number wins, FCFS within a level."""
+
+    policy_name = "priority"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "arbiter",
+        priorities: Optional[Dict[str, int]] = None,
+    ):
+        super().__init__(sim, name)
+        self.priorities = dict(priorities or {})
+        self.default_priority = 100
+
+    def priority_of(self, master: str) -> int:
+        return self.priorities.get(master, self.default_priority)
+
+    def _select(self) -> int:
+        best_index = 0
+        best_key = None
+        for index, (master, _grant, when) in enumerate(self._pending):
+            key = (self.priority_of(master), when, index)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return best_index
+
+
+ARBITER_POLICIES = {
+    "fcfs": FCFSArbiter,
+    "round_robin": RoundRobinArbiter,
+    "priority": PriorityArbiter,
+}
+
+
+def make_arbiter(
+    sim: Simulator,
+    policy: str = "fcfs",
+    name: str = "arbiter",
+    priorities: Optional[Dict[str, int]] = None,
+) -> Arbiter:
+    """Construct an arbiter by policy name (``fcfs``/``round_robin``/``priority``)."""
+    try:
+        cls = ARBITER_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            "unknown arbiter policy %r (expected one of %s)"
+            % (policy, ", ".join(sorted(ARBITER_POLICIES)))
+        )
+    if cls is PriorityArbiter:
+        return PriorityArbiter(sim, name, priorities)
+    return cls(sim, name)

@@ -1,0 +1,214 @@
+"""Bus segments and bus bridges.
+
+A *Segment of Bus* (SB, definition E in the paper) is a contiguous set of
+address/data/control wires with no bridges.  Masters win a segment through
+its arbiter, pay a grant latency that models the request/grant protocol
+(3 cycles for BusSyn-generated buses; 5 cycles for read on the
+CoreConnect-style CCBA baseline -- the margin Table III attributes to the
+generated buses), then stream data at one beat per cycle with
+``data_width/32`` words per beat.
+
+A *Bus Bridge* (BB, definition B) is an on-off connection point between two
+segments.  When enabled, a transaction crosses store-and-forward style: the
+path is walked segment by segment, paying the bridge's hop latency between
+segments.  Acquiring segments one at a time (release before the next hop)
+keeps crossing transactions deadlock-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from .arbiter import Arbiter, FCFSArbiter
+from .kernel import Simulator
+from .stats import BusStats
+
+__all__ = ["BusSegment", "BusBridge", "TransferTiming"]
+
+
+class TransferTiming:
+    """Cycle breakdown of a completed bus transfer (for stats/debugging)."""
+
+    __slots__ = ("start", "end", "arbitration", "transfer", "memory")
+
+    def __init__(self, start: int, end: int, arbitration: int, transfer: int, memory: int):
+        self.start = start
+        self.end = end
+        self.arbitration = arbitration
+        self.transfer = transfer
+        self.memory = memory
+
+    @property
+    def total(self) -> int:
+        return self.end - self.start
+
+
+class BusSegment:
+    """One arbitrated bus segment (an SB plus its arbiter and GBI logic)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        data_width: int = 64,
+        address_width: int = 32,
+        arbiter: Optional[Arbiter] = None,
+        grant_cycles: int = 3,
+        write_grant_cycles: Optional[int] = None,
+        beat_cycles: int = 1,
+    ):
+        if data_width % 32 != 0:
+            raise ValueError("data_width must be a multiple of 32 bits")
+        self.sim = sim
+        self.name = name
+        self.data_width = data_width
+        self.address_width = address_width
+        self.arbiter = arbiter or FCFSArbiter(sim, name + ".arb")
+        self.grant_cycles = grant_cycles
+        self.write_grant_cycles = (
+            grant_cycles if write_grant_cycles is None else write_grant_cycles
+        )
+        # Cycles per data beat.  Long, heavily-loaded buses run slower due
+        # to parasitic resistance/capacitance -- the argument the paper
+        # borrows from Hsieh & Pedram [19] for SplitBA's short buses.  The
+        # fabric builder raises this above 1 on segments with many attached
+        # interfaces (see Machine "bus loading" finalization).
+        self.beat_cycles = beat_cycles
+        self.attached_interfaces = 0
+        self.stats = BusStats(name)
+
+    @property
+    def words_per_beat(self) -> int:
+        return self.data_width // 32
+
+    def beats_for(self, words: int) -> int:
+        wpb = self.words_per_beat
+        return (max(words, 1) + wpb - 1) // wpb
+
+    def occupy(
+        self,
+        master: str,
+        words: int,
+        write: bool,
+        extra_cycles: int = 0,
+    ) -> Generator:
+        """Own the segment for one burst; yields inside the process.
+
+        ``extra_cycles`` lets a slave (memory) add its burst latency while
+        the bus is held, matching a non-split-transaction bus.  Returns a
+        :class:`TransferTiming`.
+        """
+        start = self.sim.now
+        yield self.arbiter.request(master)
+        grant = self.write_grant_cycles if write else self.grant_cycles
+        arbitration_done = None
+        try:
+            yield self.sim.timeout(grant)
+            arbitration_done = self.sim.now
+            beats = self.beats_for(words) * self.beat_cycles
+            yield self.sim.timeout(beats + extra_cycles)
+        finally:
+            self.arbiter.release(master)
+        end = self.sim.now
+        timing = TransferTiming(
+            start=start,
+            end=end,
+            arbitration=arbitration_done - start,
+            transfer=end - arbitration_done - extra_cycles,
+            memory=extra_cycles,
+        )
+        self.stats.record(master, words, write, timing)
+        return timing
+
+
+class BusBridge:
+    """On-off connection between two segments (definition B).
+
+    The bridge itself is not arbitrated; it simply charges ``hop_cycles``
+    for a transaction passing from one side to the other, and refuses to
+    route while disabled.  Both attached segments are still individually
+    arbitrated, so a disabled bridge really does isolate traffic.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        side_a: BusSegment,
+        side_b: BusSegment,
+        hop_cycles: int = 1,
+        enabled: bool = True,
+    ):
+        self.sim = sim
+        self.name = name
+        self.side_a = side_a
+        self.side_b = side_b
+        self.hop_cycles = hop_cycles
+        self.enabled = enabled
+        self.crossings = 0
+
+    def other_side(self, segment: BusSegment) -> BusSegment:
+        if segment is self.side_a:
+            return self.side_b
+        if segment is self.side_b:
+            return self.side_a
+        raise ValueError(
+            "segment %r is not attached to bridge %r" % (segment.name, self.name)
+        )
+
+    def connects(self, seg1: BusSegment, seg2: BusSegment) -> bool:
+        return {seg1, seg2} == {self.side_a, self.side_b}
+
+    def cross(self) -> Generator:
+        """Charge the hop; raises if the bridge is disabled."""
+        if not self.enabled:
+            raise RuntimeError("bus bridge %r is disabled" % self.name)
+        self.crossings += 1
+        yield self.sim.timeout(self.hop_cycles)
+
+
+def find_route(
+    start: BusSegment,
+    goal: BusSegment,
+    bridges: List[BusBridge],
+) -> List[Tuple[BusSegment, Optional[BusBridge]]]:
+    """Breadth-first route across enabled bridges.
+
+    Returns ``[(segment, bridge_into_next), ..., (goal, None)]``.
+    Raises ``LookupError`` when the goal is unreachable (e.g. all bridges
+    on the way are disabled).
+    """
+    if start is goal:
+        return [(start, None)]
+    adjacency: Dict[BusSegment, List[Tuple[BusSegment, BusBridge]]] = {}
+    for bridge in bridges:
+        if not bridge.enabled:
+            continue
+        adjacency.setdefault(bridge.side_a, []).append((bridge.side_b, bridge))
+        adjacency.setdefault(bridge.side_b, []).append((bridge.side_a, bridge))
+    frontier = [start]
+    came_from: Dict[BusSegment, Tuple[BusSegment, BusBridge]] = {}
+    seen = {start}
+    while frontier:
+        current = frontier.pop(0)
+        for neighbor, bridge in adjacency.get(current, []):
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            came_from[neighbor] = (current, bridge)
+            if neighbor is goal:
+                frontier = []
+                break
+            frontier.append(neighbor)
+    if goal not in came_from:
+        raise LookupError(
+            "no enabled route from segment %r to %r" % (start.name, goal.name)
+        )
+    # Reconstruct: list of (segment, bridge leading to the next segment).
+    path: List[Tuple[BusSegment, Optional[BusBridge]]] = [(goal, None)]
+    node = goal
+    while node is not start:
+        previous, bridge = came_from[node]
+        path.insert(0, (previous, bridge))
+        node = previous
+    return path

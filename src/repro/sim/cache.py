@@ -1,0 +1,126 @@
+"""Set-associative cache model.
+
+Each MPC755 in the paper's experiments carries 32 KB of L1 instruction cache
+and 32 KB of L1 data cache (section VI.C).  The caches matter to the result
+shape: in GGBA program code lives in the single *shared* memory, so every
+instruction-cache miss becomes an arbitrated global-bus transaction, whereas
+GBAVIII keeps program and local data in per-BAN local memories (observation
+B under Table II).
+
+The model is a classic set-associative cache with true LRU replacement and a
+write-back/write-allocate policy, operating on word addresses.  PEs feed it
+deterministic address streams derived from their workload phases, so cache
+behaviour -- and therefore bus traffic -- is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["CacheStats", "Cache", "mpc755_icache", "mpc755_dcache"]
+
+
+class CacheStats:
+    __slots__ = ("hits", "misses", "evictions", "writebacks")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class _Line:
+    __slots__ = ("tag", "dirty")
+
+    def __init__(self, tag: int, dirty: bool = False):
+        self.tag = tag
+        self.dirty = dirty
+
+
+class Cache:
+    """Set-associative, LRU, write-back/write-allocate cache.
+
+    ``access`` returns ``(hit, fill_words, writeback_words)`` so the PE model
+    can translate misses into bus traffic: a miss fetches ``line_words`` from
+    the backing memory, and an eviction of a dirty line writes
+    ``line_words`` back first.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int = 32 * 1024,
+        line_bytes: int = 32,
+        ways: int = 8,
+    ):
+        if size_bytes % (line_bytes * ways) != 0:
+            raise ValueError("%s: size must be divisible by line*ways" % name)
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.sets = size_bytes // (line_bytes * ways)
+        self.line_words = line_bytes // 4
+        # Each set is an LRU-ordered list, most recent last.
+        self._sets: List[List[_Line]] = [[] for _ in range(self.sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, word_address: int) -> Tuple[int, int]:
+        line_index = word_address // self.line_words
+        set_index = line_index % self.sets
+        tag = line_index // self.sets
+        return set_index, tag
+
+    def access(self, word_address: int, write: bool = False) -> Tuple[bool, int, int]:
+        """Touch one word; returns (hit, fill_words, writeback_words)."""
+        set_index, tag = self._locate(word_address)
+        lines = self._sets[set_index]
+        for position, line in enumerate(lines):
+            if line.tag == tag:
+                lines.append(lines.pop(position))  # refresh LRU
+                if write:
+                    line.dirty = True
+                self.stats.hits += 1
+                return True, 0, 0
+        # Miss: allocate, possibly evicting the LRU line.
+        self.stats.misses += 1
+        writeback_words = 0
+        if len(lines) >= self.ways:
+            victim = lines.pop(0)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                writeback_words = self.line_words
+        lines.append(_Line(tag, dirty=write))
+        return False, self.line_words, writeback_words
+
+    def flush(self) -> int:
+        """Invalidate everything; returns dirty words that would write back."""
+        writeback_words = 0
+        for lines in self._sets:
+            for line in lines:
+                if line.dirty:
+                    writeback_words += self.line_words
+            del lines[:]
+        return writeback_words
+
+
+def mpc755_icache(name: str = "icache") -> Cache:
+    """32 KB, 8-way, 32-byte-line instruction cache (MPC755 L1)."""
+    return Cache(name, size_bytes=32 * 1024, line_bytes=32, ways=8)
+
+
+def mpc755_dcache(name: str = "dcache") -> Cache:
+    """32 KB, 8-way, 32-byte-line data cache (MPC755 L1)."""
+    return Cache(name, size_bytes=32 * 1024, line_bytes=32, ways=8)

@@ -1,0 +1,104 @@
+"""DMA engine (section IV.C.3's optional device).
+
+"A Direct Memory Access (DMA) device can also work for such reading and
+writing functions, and the device can be supported in GBAVIII.  In GBAVIII
+as presented in this paper, however, one of the PEs performs such functions
+rather than using DMA."  This module supplies that device: a bus master
+that copies word ranges between memories in bursts, arbitrating for the
+buses like any PE, while the PEs keep computing.
+
+A :class:`DmaEngine` attaches to one segment (the global bus in GBAVIII)
+and is driven by descriptors: ``copy(src, dst, words)`` returns the
+completion event of a background transfer process.  Transfers chunk at
+``chunk_words`` per bus tenure so other masters interleave.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Tuple
+
+from .bus import BusSegment
+from .fabric import Machine
+from .kernel import Process
+from .stats import PeStats
+
+__all__ = ["DmaEngine"]
+
+Address = Tuple[str, int]
+
+
+class _DmaMaster:
+    """The minimal master identity the fabric needs (name + stats)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.stats = PeStats(name)
+
+
+class DmaEngine:
+    """A descriptor-driven copy engine on one bus segment."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        name: str = "DMA0",
+        segment: Optional[BusSegment] = None,
+        chunk_words: int = 64,
+        setup_cycles: int = 20,
+    ):
+        if segment is None:
+            if machine.global_memory is None:
+                raise ValueError("DMA needs a segment; this machine has no global bus")
+            segment = machine.devices[machine.global_memory].segment
+        self.machine = machine
+        self.name = name
+        self.segment = segment
+        self.chunk_words = chunk_words
+        self.setup_cycles = setup_cycles
+        self.master = _DmaMaster(name)
+        machine.home_segment[name] = segment
+        machine.direct_segments[name] = {segment}
+        self.transfers = 0
+        self.words_moved = 0
+        self._busy = False
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def copy(self, source: Address, target: Address, words: int) -> Process:
+        """Start a background copy; returns its completion event."""
+        return self.machine.sim.process(
+            self._run(source, target, words), "%s.copy" % self.name
+        )
+
+    def _run(self, source: Address, target: Address, words: int) -> Generator:
+        if self._busy:
+            raise RuntimeError("%s: a descriptor is already in flight" % self.name)
+        self._busy = True
+        try:
+            # Descriptor setup: the PE programmed source/target/count
+            # registers; the engine fetches them and arms its counters.
+            yield self.machine.sim.timeout(self.setup_cycles)
+            src_device, src_offset = source
+            dst_device, dst_offset = target
+            moved = 0
+            while moved < words:
+                chunk = min(self.chunk_words, words - moved)
+                values = yield from self.machine.transaction(
+                    self.master, src_device, src_offset + moved, chunk, write=False
+                )
+                yield from self.machine.transaction(
+                    self.master,
+                    dst_device,
+                    dst_offset + moved,
+                    chunk,
+                    write=True,
+                    data=values,
+                )
+                moved += chunk
+            self.transfers += 1
+            self.words_moved += words
+            return moved
+        finally:
+            self._busy = False

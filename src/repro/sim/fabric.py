@@ -1,0 +1,866 @@
+"""Bus fabric construction: from a :class:`BusSystemSpec` to a runnable machine.
+
+This is the simulation twin of the Verilog generator: the same user options
+(Figure 18) that BusSyn turns into HDL are turned here into a connected set
+of simulation models -- PEs, bus segments, bridges, arbiters, memories,
+handshake registers and Bi-FIFOs -- matching the topologies of Figures 3-9.
+
+Topology summary (4-PE shape; all scale with PE count):
+
+* **BFBA** (Fig 4)  -- one private bus segment per BAN; Bi-FIFO blocks and
+  handshake registers linked point-to-point between adjacent BANs (ring).
+* **GBAVI** (Fig 3) -- one bus segment per BAN; bus bridges join adjacent
+  segments in a ring, so neighbour pairs communicate without disturbing
+  other pairs.
+* **GBAVIII** (Fig 5) -- a local segment per BAN (PE + local SRAM) plus one
+  arbitrated global segment carrying the global SRAM; every PE masters both
+  its local segment and the global segment directly (via its GBI).
+* **Hybrid** (Fig 6) -- GBAVIII plus BFBA's point-to-point FIFO/handshake
+  links.
+* **SplitBA** (Fig 7) -- two GBAVIII-style shared segments, each with half
+  the PEs and its own shared SRAM + arbiter, joined by a bus bridge.
+* **GGBA** (Fig 9, baseline) -- a single arbitrated segment; one shared
+  SRAM holds *everything* including each PE's program and local data.
+* **CCBA** (Fig 8, baseline) -- a single PLB-style segment with a 5-cycle
+  read grant; per-PE SRAMs and the shared SRAM all sit behind it.
+
+Every PE also owns L1 I/D caches; cache-miss refills are real bus traffic
+against the PE's program/data memory, which is what separates GGBA from the
+generated architectures in Table II (observation B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from ..options.schema import BusSystemSpec, BusSubsystemSpec, OptionError
+from .arbiter import make_arbiter
+from .bus import BusBridge, BusSegment, TransferTiming, find_route
+from .fifo import BiFifo, HardwareFifo
+from .hsregs import HandshakeRegisters, SharedVariables
+from .interrupt import InterruptController
+from .kernel import Simulator
+from .memory import Memory, Sram, make_memory
+from .pe import ProcessingElement
+
+__all__ = ["Device", "Machine", "build_machine", "CODE_FOOTPRINT_WORDS", "VAR_AREA_WORDS"]
+
+# Default per-PE code footprint reserved in its program memory (words).
+CODE_FOOTPRINT_WORDS = 2048
+# Words reserved at the top of a shared memory for global control variables.
+VAR_AREA_WORDS = 64
+
+
+class Device:
+    """A slave reachable over the fabric."""
+
+    __slots__ = ("name", "kind", "target", "segment", "point_to_point", "parties")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        target,
+        segment: Optional[BusSegment],
+        point_to_point: bool = False,
+        parties: Optional[Set[str]] = None,
+    ):
+        self.name = name
+        self.kind = kind  # 'memory' | 'hsregs' | 'fifo'
+        self.target = target
+        self.segment = segment
+        self.point_to_point = point_to_point
+        self.parties = parties or set()
+
+
+class Machine:
+    """A runnable simulated SoC built from a BusSystemSpec."""
+
+    def __init__(self, sim: Simulator, spec: BusSystemSpec):
+        self.sim = sim
+        self.spec = spec
+        self.name = spec.name
+        self.segments: Dict[str, BusSegment] = {}
+        self.bridges: List[BusBridge] = []
+        self.devices: Dict[str, Device] = {}
+        self.pes: Dict[str, ProcessingElement] = {}
+        self.pe_order: List[str] = []  # BAN letters with PEs, in chain order
+        self.pe_by_ban: Dict[str, ProcessingElement] = {}
+        self.ban_of_pe: Dict[str, str] = {}
+        self.home_segment: Dict[str, BusSegment] = {}
+        self.direct_segments: Dict[str, Set[BusSegment]] = {}
+        self.interrupt_controllers: Dict[str, InterruptController] = {}
+        self.shared_vars: Dict[str, SharedVariables] = {}  # memory name -> vars
+        self.global_memory: Optional[str] = None
+        self.shared_memory_of: Dict[str, str] = {}  # ban -> shared memory name
+        self.fifo_blocks: Dict[str, BiFifo] = {}  # ban letter -> its block
+        self.hs_blocks: Dict[str, HandshakeRegisters] = {}  # ban letter -> block
+        self._alloc_next: Dict[str, int] = {}
+        self.bus_clock_hz = 100_000_000  # SYSCLK cap of the MPC755 (sec. VI.B)
+
+    # ------------------------------------------------------------------
+    # Construction helpers (used by the builder)
+    # ------------------------------------------------------------------
+    def add_segment(self, segment: BusSegment) -> BusSegment:
+        self.segments[segment.name] = segment
+        return segment
+
+    def add_device(self, device: Device) -> Device:
+        if device.name in self.devices:
+            raise OptionError("duplicate device name %r" % device.name)
+        self.devices[device.name] = device
+        if device.kind == "memory":
+            self._alloc_next.setdefault(device.name, 0)
+        return device
+
+    def reserve(self, device_name: str, words: int, align: int = 8) -> int:
+        """Bump-allocate ``words`` in a memory device; returns the offset."""
+        device = self.devices[device_name]
+        if device.kind != "memory":
+            raise OptionError("cannot allocate inside non-memory %r" % device_name)
+        cursor = self._alloc_next[device_name]
+        cursor = (cursor + align - 1) // align * align
+        end = cursor + words
+        if end > device.target.size_words:
+            raise OptionError(
+                "memory %s exhausted: need %d words at %d (capacity %d)"
+                % (device_name, words, cursor, device.target.size_words)
+            )
+        self._alloc_next[device_name] = end
+        return cursor
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def memory(self, name: str) -> Memory:
+        device = self.devices[name]
+        if device.kind != "memory":
+            raise KeyError("%r is not a memory" % name)
+        return device.target
+
+    def local_memory_of(self, ban: str) -> Optional[str]:
+        name = "SRAM_%s" % ban
+        return name if name in self.devices else None
+
+    def pe(self, ban: str) -> ProcessingElement:
+        return self.pe_by_ban[ban]
+
+    def neighbors_of(self, ban: str) -> Tuple[Optional[str], Optional[str]]:
+        """(predecessor, successor) BAN letters in the chain/ring order."""
+        index = self.pe_order.index(ban)
+        count = len(self.pe_order)
+        if count == 1:
+            return None, None
+        predecessor = self.pe_order[(index - 1) % count]
+        successor = self.pe_order[(index + 1) % count]
+        if count == 2 and predecessor == successor:
+            return predecessor, successor
+        return predecessor, successor
+
+    def fifo_for(self, sender_ban: str, receiver_ban: str) -> Tuple[Device, HardwareFifo]:
+        """The FIFO carrying sender->receiver data (adjacent BANs only)."""
+        predecessor, successor = self.neighbors_of(sender_ban)
+        if receiver_ban == successor:
+            device = self.devices["BIFIFO_%s" % receiver_ban]
+            return device, device.target.up
+        if receiver_ban == predecessor:
+            device = self.devices["BIFIFO_%s" % sender_ban]
+            return device, device.target.down
+        raise LookupError(
+            "BANs %s and %s are not adjacent; the paper relays through "
+            "intermediate PEs (section IV.C.2)" % (sender_ban, receiver_ban)
+        )
+
+    def hsregs_for(self, sender_ban: str, receiver_ban: str) -> Device:
+        """The HS_REGS pair for a sender->receiver link (in receiver's BAN).
+
+        The canonical predecessor->BAN pair uses the BAN's HS_REGS block
+        (Figure 10); any additional link into the same BAN (e.g. the ring
+        wire from the last BAN back to the first, Figure 17a) gets its own
+        register pair, allocated lazily -- hardware-wise a second pair of
+        one-bit registers in the same block.
+        """
+        canonical = "HS_REGS_%s" % receiver_ban
+        if canonical not in self.devices:
+            raise LookupError("no handshake registers in BAN %s" % receiver_ban)
+        predecessor, _successor = self.neighbors_of(receiver_ban)
+        if sender_ban == predecessor:
+            return self.devices[canonical]
+        extra = "HS_REGS_%s_FROM_%s" % (receiver_ban, sender_ban)
+        if extra not in self.devices:
+            template = self.devices[canonical]
+            block = HandshakeRegisters(
+                self.sim, extra, trace=self.hs_blocks[receiver_ban].trace_enabled
+            )
+            parties = None
+            if template.point_to_point:
+                parties = {
+                    self.pe_by_ban[sender_ban].name,
+                    self.pe_by_ban[receiver_ban].name,
+                }
+            self.add_device(
+                Device(
+                    extra,
+                    "hsregs",
+                    block,
+                    template.segment,
+                    point_to_point=template.point_to_point,
+                    parties=parties,
+                )
+            )
+        return self.devices[extra]
+
+    def elapsed_seconds(self) -> float:
+        return self.sim.now / self.bus_clock_hz
+
+    # ------------------------------------------------------------------
+    # Bus transactions
+    # ------------------------------------------------------------------
+    def _route_plan(
+        self, pe: ProcessingElement, device: Device
+    ) -> List[Tuple[BusSegment, Optional[BusBridge]]]:
+        """Segments to occupy (in order) to reach ``device`` from ``pe``."""
+        if device.point_to_point:
+            if device.parties and pe.name not in device.parties:
+                raise LookupError(
+                    "%s has no point-to-point wires to %s" % (pe.name, device.name)
+                )
+            return [(self.home_segment[pe.name], None)]
+        target_segment = device.segment
+        direct = self.direct_segments[pe.name]
+        if target_segment in direct:
+            return [(target_segment, None)]
+        # Route over bridges from the closest directly-mastered segment.
+        best: Optional[List[Tuple[BusSegment, Optional[BusBridge]]]] = None
+        for start in direct:
+            try:
+                route = find_route(start, target_segment, self.bridges)
+            except LookupError:
+                continue
+            if best is None or len(route) < len(best):
+                best = route
+        if best is None:
+            raise LookupError(
+                "%s cannot reach device %s on segment %s"
+                % (pe.name, device.name, target_segment.name if target_segment else None)
+            )
+        return best
+
+    def _device_latency(self, device: Device, address: int, words: int, write: bool) -> int:
+        if device.kind == "memory":
+            return device.target.burst_latency(address, words, write)
+        return 0
+
+    def _occupy_path(
+        self,
+        pe: ProcessingElement,
+        plan: List[Tuple[BusSegment, Optional[BusBridge]]],
+        words: int,
+        write: bool,
+        device_latency: int,
+        items: int = 1,
+    ) -> Generator:
+        """Hold every segment on the path for one transfer.
+
+        Bridged transactions (GBAVI neighbour reads, SplitBA cross-subsystem
+        accesses) win *all* segments on the route before data moves -- the
+        bus bridge is a pass-gate connection, not a store-and-forward
+        buffer, so the whole path behaves as one electrically-joined bus for
+        the duration.  Holding the source segment while waiting for the
+        next hop's grant produces the convoying contention that penalizes
+        bridge-heavy topologies.
+
+        ``items`` charges arbitration and device latency per item (used for
+        grouped cache-miss bursts: each miss re-arbitrates).
+        """
+        sim = self.sim
+        held: List[BusSegment] = []
+        entry = sim.now
+        acquired_at: List[int] = []
+        # Acquire in a canonical (name-sorted) order so that two crossing
+        # transactions travelling in opposite directions cannot hold-and-
+        # wait on each other's segments -- the bridge controller only joins
+        # segments it can win on both sides.
+        ordered = sorted(
+            {segment for segment, _bridge in plan}, key=lambda s: s.name
+        )
+        try:
+            for segment in ordered:
+                yield segment.arbiter.request(pe.name)
+                acquired_at.append(sim.now)
+                grant = segment.write_grant_cycles if write else segment.grant_cycles
+                yield sim.timeout(grant * items)
+                held.append(segment)
+            beat = max(segment.beat_cycles for segment, _b in plan)
+            words_per_beat = min(segment.words_per_beat for segment, _b in plan)
+            beats = (max(words, 1) + words_per_beat - 1) // words_per_beat * beat
+            hops = 0
+            for _segment, bridge in plan:
+                if bridge is not None:
+                    if not bridge.enabled:
+                        raise RuntimeError("bus bridge %r is disabled" % bridge.name)
+                    bridge.crossings += 1
+                    hops += bridge.hop_cycles
+            yield sim.timeout(beats + hops + device_latency * items)
+        finally:
+            end = sim.now
+            for segment in reversed(held):
+                segment.arbiter.release(pe.name)
+            for index, segment in enumerate(held):
+                timing = TransferTiming(
+                    start=entry,
+                    end=end,
+                    arbitration=acquired_at[index] - entry,
+                    transfer=end - acquired_at[index] - device_latency * items,
+                    memory=device_latency * items,
+                )
+                segment.stats.record(pe.name, words, write, timing)
+
+    def transaction(
+        self,
+        pe: ProcessingElement,
+        device_name: str,
+        address: int,
+        words: int,
+        write: bool,
+        data: Optional[List[int]] = None,
+    ) -> Generator:
+        """One bus transaction; moves real data; returns read values."""
+        device = self.devices[device_name]
+        plan = self._route_plan(pe, device)
+        latency = self._device_latency(device, address, words, write)
+        yield from self._occupy_path(pe, plan, words, write, latency)
+        return self._touch_device(device, address, words, write, data)
+
+    def _touch_device(
+        self,
+        device: Device,
+        address: int,
+        words: int,
+        write: bool,
+        data: Optional[List[int]],
+    ):
+        if device.kind == "memory":
+            if write:
+                if data is None:
+                    data = [0] * words
+                device.target.write(address, data)
+                return None
+            return device.target.read(address, words)
+        if device.kind == "hsregs":
+            register = "DONE_OP" if address == 0 else "DONE_RV"
+            if write:
+                device.target.write(register, (data or [0])[0])
+                return None
+            return [device.target.read(register)]
+        raise KeyError("device %s is not addressable this way" % device.name)
+
+    def miss_traffic(
+        self,
+        pe: ProcessingElement,
+        device_name: str,
+        misses: int,
+        line_words: int,
+        write: bool,
+    ) -> Generator:
+        """Cache refill/writeback traffic: ``misses`` line bursts.
+
+        Misses are grouped (bounded by :data:`repro.sim.pe.MISS_GROUP` at the
+        call site) per bus tenure; arbitration is charged per miss within
+        the group, so contention costs scale with miss count while the
+        simulator's event count stays proportional to groups.
+        """
+        from .pe import MISS_GROUP  # local import to avoid a cycle
+
+        device = self.devices[device_name]
+        plan = self._route_plan(pe, device)
+        per_line_latency = self._device_latency(device, 0, line_words, write)
+        remaining = misses
+        while remaining > 0:
+            group = min(remaining, MISS_GROUP)
+            remaining -= group
+            yield from self._occupy_path(
+                pe, plan, group * line_words, write, per_line_latency, items=group
+            )
+            if device.kind == "memory":
+                # Account traffic volume without disturbing program data:
+                # refills read, writebacks write, against a scratch region.
+                if write:
+                    device.target.writes += group * line_words
+                else:
+                    device.target.reads += group * line_words
+
+    def atomic_rmw(
+        self,
+        pe: ProcessingElement,
+        device_name: str,
+        address: int,
+        update,
+    ) -> Generator:
+        """Atomic read-modify-write of one word (lwarx/stwcx.-style).
+
+        The bus segment is held across the read and the write, so no other
+        master can interleave -- this is what the RTOS lock manager uses for
+        its test-and-set in shared memory.  Returns ``(old, new)``.
+        """
+        device = self.devices[device_name]
+        plan = self._route_plan(pe, device)
+        # One path tenure covers both the read beat and the write beat.
+        latency = 2 * self._device_latency(device, address, 1, True)
+        yield from self._occupy_path(pe, plan, 2, True, latency)
+        old = self._touch_device(device, address, 1, False, None)[0]
+        new = update(old) & 0xFFFFFFFF
+        self._touch_device(device, address, 1, True, [new])
+        pe.stats.words_read += 1
+        pe.stats.words_written += 1
+        return old, new
+
+    # ------------------------------------------------------------------
+    # Register / FIFO convenience operations (used by repro.soc.api)
+    # ------------------------------------------------------------------
+    def reg_read(self, pe: ProcessingElement, device_name: str, register: str) -> Generator:
+        address = 0 if register == "DONE_OP" else 1
+        values = yield from self.transaction(pe, device_name, address, 1, write=False)
+        return values[0]
+
+    def reg_write(
+        self, pe: ProcessingElement, device_name: str, register: str, value: int
+    ) -> Generator:
+        address = 0 if register == "DONE_OP" else 1
+        yield from self.transaction(pe, device_name, address, 1, write=True, data=[value])
+
+    def var_read(self, pe: ProcessingElement, memory_name: str, variable: str) -> Generator:
+        shared = self.shared_vars[memory_name]
+        value = yield from pe.bus_read(memory_name, shared.slot(variable), 1)
+        return value[0]
+
+    def var_write(
+        self, pe: ProcessingElement, memory_name: str, variable: str, value: int
+    ) -> Generator:
+        shared = self.shared_vars[memory_name]
+        yield from pe.bus_write(memory_name, shared.slot(variable), [value])
+
+    def fifo_push(
+        self, pe: ProcessingElement, device: Device, fifo: HardwareFifo, values: List[int]
+    ) -> Generator:
+        """Push ``values`` into a FIFO, blocking on space; charges own bus."""
+        cursor = 0
+        segment = self.home_segment[pe.name]
+        while cursor < len(values):
+            if fifo.space == 0:
+                yield fifo.wait_space()
+                continue
+            chunk = values[cursor : cursor + fifo.space]
+            yield from segment.occupy(pe.name, len(chunk), write=True)
+            fifo.push(chunk)
+            pe.stats.words_written += len(chunk)
+            cursor += len(chunk)
+
+    def fifo_pop(
+        self, pe: ProcessingElement, device: Device, fifo: HardwareFifo, count: int
+    ) -> Generator:
+        """Pop exactly ``count`` words, blocking on data; charges own bus."""
+        out: List[int] = []
+        segment = self.home_segment[pe.name]
+        while len(out) < count:
+            available = min(fifo.count, count - len(out))
+            if available == 0:
+                yield fifo.wait_data()
+                continue
+            yield from segment.occupy(pe.name, available, write=False)
+            out.extend(fifo.pop(available))
+            pe.stats.words_read += available
+        return out
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+
+def build_machine(
+    spec: BusSystemSpec,
+    sim: Optional[Simulator] = None,
+    trace_hsregs: bool = False,
+    cycles_per_instruction: float = 0.4,
+    arbiter_policy: Optional[str] = None,
+) -> Machine:
+    """Build the simulation machine matching ``spec``.
+
+    ``arbiter_policy`` overrides every bus's arbiter policy (for the
+    arbitration-policy ablation); ``trace_hsregs`` turns on value-change
+    traces in all handshake register blocks (used to reproduce the state
+    diagrams of Figures 11-13).
+    """
+    spec.validate()
+    sim = sim or Simulator()
+    machine = Machine(sim, spec)
+    builder = _Builder(machine, trace_hsregs, cycles_per_instruction, arbiter_policy)
+    builder.build()
+    return machine
+
+
+class _Builder:
+    def __init__(
+        self,
+        machine: Machine,
+        trace_hsregs: bool,
+        cycles_per_instruction: float,
+        arbiter_policy: Optional[str],
+    ):
+        self.machine = machine
+        self.sim = machine.sim
+        self.spec = machine.spec
+        self.trace_hsregs = trace_hsregs
+        self.cpi = cycles_per_instruction
+        self.arbiter_policy = arbiter_policy
+
+    # -- small helpers ----------------------------------------------------
+    def _segment(self, name: str, bus_spec, policy: str = "fcfs") -> BusSegment:
+        policy = self.arbiter_policy or bus_spec.arbiter_policy or policy
+        return self.machine.add_segment(
+            BusSegment(
+                self.sim,
+                name,
+                data_width=bus_spec.data_width,
+                address_width=bus_spec.address_width,
+                arbiter=make_arbiter(self.sim, policy, name + ".arb"),
+                grant_cycles=bus_spec.grant_cycles,
+                write_grant_cycles=bus_spec.effective_write_grant,
+            )
+        )
+
+    def _memory_device(self, mem_spec, segment: BusSegment) -> Device:
+        memory = make_memory(
+            mem_spec.memory_type if mem_spec.memory_type != "DPRAM" else "SRAM",
+            mem_spec.name,
+            mem_spec.size_words,
+        )
+        return self.machine.add_device(Device(mem_spec.name, "memory", memory, segment))
+
+    def _pe(self, ban_spec, home: BusSegment, program_device: str, program_base: int):
+        name = "%s_%s" % (ban_spec.cpu_type, ban_spec.name)
+        pe = ProcessingElement(
+            self.sim,
+            name,
+            self.machine,
+            cycles_per_instruction=self.cpi,
+            program_device=program_device,
+            program_base=program_base,
+            code_footprint_words=CODE_FOOTPRINT_WORDS,
+        )
+        machine = self.machine
+        machine.pes[name] = pe
+        machine.pe_order.append(ban_spec.name)
+        machine.pe_by_ban[ban_spec.name] = pe
+        machine.ban_of_pe[name] = ban_spec.name
+        machine.home_segment[name] = home
+        machine.direct_segments[name] = {home}
+        machine.interrupt_controllers[name] = InterruptController(self.sim, name + ".intc")
+        return pe
+
+    def _hsregs(self, ban: str) -> Device:
+        block = HandshakeRegisters(
+            self.sim, "HS_REGS_%s" % ban, trace=self.trace_hsregs
+        )
+        self.machine.hs_blocks[ban] = block
+        return block
+
+    def _setup_shared_vars(self, memory_name: str) -> None:
+        machine = self.machine
+        memory = machine.memory(memory_name)
+        base = memory.size_words - VAR_AREA_WORDS
+        machine.shared_vars[memory_name] = SharedVariables(memory, base)
+
+    def _reserve_code(self, device_name: str, pe: ProcessingElement) -> None:
+        base = self.machine.reserve(device_name, CODE_FOOTPRINT_WORDS)
+        pe.program_device = device_name
+        pe.program_base = base
+
+    # -- top level ----------------------------------------------------------
+    def build(self) -> None:
+        subsystem_anchor: Dict[str, BusSegment] = {}
+        for subsystem in self.spec.subsystems:
+            anchor = self._build_subsystem(subsystem)
+            subsystem_anchor[subsystem.name] = anchor
+        for index, (left, right) in enumerate(self.spec.effective_bridges(), start=1):
+            bridge = BusBridge(
+                self.sim,
+                "BB_SYS_%d" % index,
+                subsystem_anchor[left],
+                subsystem_anchor[right],
+            )
+            self.machine.bridges.append(bridge)
+        self._finalize_shared_memory_map()
+        self._finalize_bus_loading()
+
+    def _finalize_bus_loading(self) -> None:
+        """Derive per-segment beat time from electrical loading.
+
+        Each attached interface (a PE's CBI/GBI, a memory's MBI, an HS_REGS
+        block, a bridge port) adds capacitance and wire length; following
+        the bus-splitting argument of [19] (cited by the paper for
+        SplitBA), a segment with more than four interfaces takes two cycles
+        per data beat instead of one.
+        """
+        machine = self.machine
+        loads: Dict[str, int] = {name: 0 for name in machine.segments}
+        for pe_name, segments in machine.direct_segments.items():
+            for segment in segments:
+                loads[segment.name] += 1
+        for device in machine.devices.values():
+            if device.segment is not None:
+                loads[device.segment.name] += 1
+        for bridge in machine.bridges:
+            loads[bridge.side_a.name] += 1
+            loads[bridge.side_b.name] += 1
+        for name, segment in machine.segments.items():
+            segment.attached_interfaces = loads[name]
+            segment.beat_cycles = 1 if loads[name] <= 4 else 2
+
+    def _finalize_shared_memory_map(self) -> None:
+        machine = self.machine
+        if machine.global_memory is None and machine.shared_vars:
+            machine.global_memory = sorted(machine.shared_vars)[0]
+        for ban in machine.pe_order:
+            if ban not in machine.shared_memory_of and machine.global_memory:
+                machine.shared_memory_of[ban] = machine.global_memory
+
+    def _build_subsystem(self, subsystem: BusSubsystemSpec) -> BusSegment:
+        bus_types = {bus.bus_type for bus in subsystem.buses}
+        if bus_types == {"BFBA"}:
+            return self._build_bfba(subsystem)
+        if bus_types == {"GBAVI"}:
+            return self._build_gbavi(subsystem)
+        if bus_types == {"GBAVII"}:
+            return self._build_gbavii(subsystem)
+        if bus_types == {"GBAVIII"}:
+            return self._build_global(subsystem, "GBAVIII", local_memories=True)
+        if bus_types == {"BFBA", "GBAVIII"}:
+            return self._build_hybrid(subsystem)
+        if bus_types == {"SPLITBA"}:
+            return self._build_global(subsystem, "SPLITBA", local_memories=False)
+        if bus_types == {"GGBA"}:
+            return self._build_global(subsystem, "GGBA", local_memories=False)
+        if bus_types == {"CCBA"}:
+            return self._build_ccba(subsystem)
+        raise OptionError(
+            "subsystem %s: unsupported bus combination %s"
+            % (subsystem.name, sorted(bus_types))
+        )
+
+    # -- BFBA (Figure 4) -------------------------------------------------
+    def _build_bfba(self, subsystem: BusSubsystemSpec) -> BusSegment:
+        bus_spec = subsystem.bus_of_type("BFBA")
+        machine = self.machine
+        pe_bans = subsystem.pe_bans
+        first_segment = None
+        for ban_spec in pe_bans:
+            segment = self._segment("CPU_BUS_%s" % ban_spec.name, bus_spec)
+            if first_segment is None:
+                first_segment = segment
+            for mem_spec in ban_spec.memories:
+                self._memory_device(mem_spec, segment)
+            pe = self._pe(ban_spec, segment, ban_spec.memories[0].name, 0)
+            self._reserve_code(ban_spec.memories[0].name, pe)
+        self._link_bfba_chain(subsystem, bus_spec)
+        return first_segment
+
+    def _link_bfba_chain(self, subsystem: BusSubsystemSpec, bus_spec) -> None:
+        """Create Bi-FIFO blocks + HS_REGS point-to-point links (ring)."""
+        machine = self.machine
+        bans = [b.name for b in subsystem.pe_bans]
+        if len(bans) < 2:
+            return
+        count = len(bans)
+        for index, ban in enumerate(bans):
+            predecessor = bans[(index - 1) % count]
+            if count == 2 and index == 1 and "BIFIFO_%s" % ban in machine.devices:
+                break
+            pred_pe = machine.pe_by_ban[predecessor]
+            this_pe = machine.pe_by_ban[ban]
+            parties = {pred_pe.name, this_pe.name}
+            block = BiFifo(self.sim, "BIFIFO_%s" % ban, bus_spec.fifo_depth)
+            machine.fifo_blocks[ban] = block
+            machine.add_device(
+                Device("BIFIFO_%s" % ban, "fifo", block, None, point_to_point=True, parties=parties)
+            )
+            hs = self._hsregs(ban)
+            machine.add_device(
+                Device(hs.name, "hsregs", hs, None, point_to_point=True, parties=parties)
+            )
+            # Threshold interrupts: up carries pred->ban, down carries ban->pred.
+            up_line = machine.interrupt_controllers[this_pe.name].line(
+                "fifo_from_%s" % predecessor
+            )
+            block.up.on_threshold = (
+                lambda fifo, line=up_line: line.raise_interrupt(fifo.name)
+            )
+            down_line = machine.interrupt_controllers[pred_pe.name].line(
+                "fifo_from_%s" % ban
+            )
+            block.down.on_threshold = (
+                lambda fifo, line=down_line: line.raise_interrupt(fifo.name)
+            )
+
+    # -- GBAVI (Figure 3) --------------------------------------------------
+    def _build_gbavi(self, subsystem: BusSubsystemSpec) -> BusSegment:
+        bus_spec = subsystem.bus_of_type("GBAVI")
+        machine = self.machine
+        pe_bans = subsystem.pe_bans
+        segments = []
+        for ban_spec in pe_bans:
+            segment = self._segment("CPU_BUS_%s" % ban_spec.name, bus_spec)
+            segments.append(segment)
+            for mem_spec in ban_spec.memories:
+                self._memory_device(mem_spec, segment)
+            pe = self._pe(ban_spec, segment, ban_spec.memories[0].name, 0)
+            self._reserve_code(ban_spec.memories[0].name, pe)
+            # HS_REGS for the pair (predecessor -> this BAN) live on this
+            # BAN's segment and are bus-addressable from both sides (Fig 10).
+            hs = self._hsregs(ban_spec.name)
+            machine.add_device(Device(hs.name, "hsregs", hs, segment))
+        # Bridges joining adjacent BAN segments; ring closure when > 2 BANs
+        # (BB_2, BB_4, BB_6, BB_8 in Figure 3).
+        bans = [b.name for b in pe_bans]
+        pairs = list(zip(range(len(bans)), range(1, len(bans))))
+        for left_index, right_index in pairs:
+            bridge = BusBridge(
+                self.sim,
+                "BB_%s%s" % (bans[left_index], bans[right_index]),
+                segments[left_index],
+                segments[right_index],
+            )
+            machine.bridges.append(bridge)
+        if len(bans) > 2:
+            machine.bridges.append(
+                BusBridge(
+                    self.sim,
+                    "BB_%s%s" % (bans[-1], bans[0]),
+                    segments[-1],
+                    segments[0],
+                )
+            )
+        return segments[0]
+
+    # -- GBAVII (extension; see repro.options.presets.gbavii) ---------------
+    def _build_gbavii(self, subsystem: BusSubsystemSpec) -> BusSegment:
+        """GBAVI's segmented ring plus a global-memory BAN on the ring.
+
+        The global SRAM sits on its own segment, bridged to the last and
+        first PE segments (closing the ring through BAN G); PEs reach it
+        across the bridges, so shared accesses serialize on the segments
+        along the way rather than at a dedicated global arbiter.
+        """
+        bus_spec = subsystem.bus_of_type("GBAVII")
+        machine = self.machine
+        pe_bans = subsystem.pe_bans
+        segments = []
+        for ban_spec in pe_bans:
+            segment = self._segment("CPU_BUS_%s" % ban_spec.name, bus_spec)
+            segments.append(segment)
+            for mem_spec in ban_spec.memories:
+                self._memory_device(mem_spec, segment)
+            pe = self._pe(ban_spec, segment, ban_spec.memories[0].name, 0)
+            self._reserve_code(ban_spec.memories[0].name, pe)
+            hs = self._hsregs(ban_spec.name)
+            machine.add_device(Device(hs.name, "hsregs", hs, segment))
+        global_memory_name = None
+        global_segment = None
+        for ban_spec in subsystem.global_bans:
+            global_segment = self._segment("GLOBAL_BUS_%s" % ban_spec.name, bus_spec)
+            for mem_spec in ban_spec.memories:
+                self._memory_device(mem_spec, global_segment)
+            global_memory_name = ban_spec.memories[0].name
+            self._setup_shared_vars(global_memory_name)
+        if machine.global_memory is None:
+            machine.global_memory = global_memory_name
+        for ban_spec in pe_bans:
+            machine.shared_memory_of[ban_spec.name] = global_memory_name
+        bans = [b.name for b in pe_bans]
+        for left_index in range(len(bans) - 1):
+            machine.bridges.append(
+                BusBridge(
+                    self.sim,
+                    "BB_%s%s" % (bans[left_index], bans[left_index + 1]),
+                    segments[left_index],
+                    segments[left_index + 1],
+                )
+            )
+        if global_segment is not None and segments:
+            machine.bridges.append(
+                BusBridge(self.sim, "BB_%sG" % bans[-1], segments[-1], global_segment)
+            )
+            if len(segments) > 1:
+                machine.bridges.append(
+                    BusBridge(self.sim, "BB_G%s" % bans[0], global_segment, segments[0])
+                )
+        return segments[0] if segments else global_segment
+
+    # -- Global-bus family: GBAVIII / SplitBA-half / GGBA --------------------
+    def _build_global(
+        self,
+        subsystem: BusSubsystemSpec,
+        bus_type: str,
+        local_memories: bool,
+    ) -> BusSegment:
+        bus_spec = subsystem.bus_of_type(bus_type)
+        machine = self.machine
+        global_segment = self._segment(
+            "GLOBAL_BUS_%s" % subsystem.name, bus_spec
+        )
+        global_bans = subsystem.global_bans
+        global_memory_name = None
+        for ban_spec in global_bans:
+            for mem_spec in ban_spec.memories:
+                self._memory_device(mem_spec, global_segment)
+            global_memory_name = ban_spec.memories[0].name
+            self._setup_shared_vars(global_memory_name)
+        if machine.global_memory is None:
+            machine.global_memory = global_memory_name
+        for ban_spec in subsystem.pe_bans:
+            if local_memories and ban_spec.memories:
+                local_segment = self._segment("CPU_BUS_%s" % ban_spec.name, bus_spec)
+                for mem_spec in ban_spec.memories:
+                    self._memory_device(mem_spec, local_segment)
+                pe = self._pe(ban_spec, local_segment, ban_spec.memories[0].name, 0)
+                self._reserve_code(ban_spec.memories[0].name, pe)
+                machine.direct_segments[pe.name].add(global_segment)
+            else:
+                # No local memory: the PE lives on the shared segment and
+                # runs its program out of the shared memory (GGBA/SplitBA).
+                pe = self._pe(ban_spec, global_segment, global_memory_name, 0)
+                self._reserve_code(global_memory_name, pe)
+            machine.shared_memory_of[ban_spec.name] = global_memory_name
+        return global_segment
+
+    # -- Hybrid (Figure 6) ----------------------------------------------------
+    def _build_hybrid(self, subsystem: BusSubsystemSpec) -> BusSegment:
+        anchor = self._build_global(subsystem, "GBAVIII", local_memories=True)
+        self._link_bfba_chain(subsystem, subsystem.bus_of_type("BFBA"))
+        return anchor
+
+    # -- CCBA (Figure 8) -------------------------------------------------------
+    def _build_ccba(self, subsystem: BusSubsystemSpec) -> BusSegment:
+        """CoreConnect PLB: everything behind one 5-cycle-read-grant bus."""
+        bus_spec = subsystem.bus_of_type("CCBA")
+        machine = self.machine
+        plb = self._segment("PLB_%s" % subsystem.name, bus_spec)
+        global_memory_name = None
+        for ban_spec in subsystem.global_bans:
+            for mem_spec in ban_spec.memories:
+                self._memory_device(mem_spec, plb)
+            global_memory_name = ban_spec.memories[0].name
+            self._setup_shared_vars(global_memory_name)
+        if machine.global_memory is None:
+            machine.global_memory = global_memory_name
+        for ban_spec in subsystem.pe_bans:
+            for mem_spec in ban_spec.memories:
+                self._memory_device(mem_spec, plb)
+            program_memory = (
+                ban_spec.memories[0].name if ban_spec.memories else global_memory_name
+            )
+            pe = self._pe(ban_spec, plb, program_memory, 0)
+            self._reserve_code(program_memory, pe)
+            machine.shared_memory_of[ban_spec.name] = global_memory_name
+        return plb

@@ -1,0 +1,70 @@
+"""Interrupt lines between hardware blocks and PEs.
+
+BFBA's Bi-FIFO controller raises an interrupt toward the receiving PE when
+the FIFO fill counter reaches the threshold register (section IV.C.2).  An
+:class:`InterruptLine` connects a source to a handler registered by the PE;
+pending interrupts are queued if they arrive while the PE is already in a
+handler, matching a single-level interrupt controller.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from .kernel import Simulator
+
+__all__ = ["InterruptLine", "InterruptController"]
+
+
+class InterruptLine:
+    """One edge-triggered interrupt line with a queued-delivery controller."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.raised_count = 0
+        self.delivered_count = 0
+        self._pending: Deque[Any] = deque()
+        self._handler: Optional[Callable[[Any], Any]] = None
+        self._in_service = False
+
+    def connect(self, handler: Callable[[Any], Any]) -> None:
+        """Register the PE-side handler; it may be a plain callable."""
+        self._handler = handler
+        self._drain()
+
+    def raise_interrupt(self, payload: Any = None) -> None:
+        self.raised_count += 1
+        self._pending.append(payload)
+        self._drain()
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def _drain(self) -> None:
+        if self._handler is None or self._in_service:
+            return
+        self._in_service = True
+        try:
+            while self._pending:
+                payload = self._pending.popleft()
+                self.delivered_count += 1
+                self._handler(payload)
+        finally:
+            self._in_service = False
+
+
+class InterruptController:
+    """Per-PE fan-in of interrupt lines."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.lines = {}
+
+    def line(self, line_name: str) -> InterruptLine:
+        if line_name not in self.lines:
+            self.lines[line_name] = InterruptLine(self.sim, "%s.%s" % (self.name, line_name))
+        return self.lines[line_name]

@@ -1,0 +1,354 @@
+"""Discrete-event simulation kernel.
+
+This module is the foundation of the cycle-level SoC simulator used to
+evaluate generated bus systems.  It is a small, self-contained engine in the
+style of SimPy: simulation actors are plain Python generator functions
+("processes") that ``yield`` *events*; the kernel advances a virtual clock
+(measured in bus-clock cycles) and resumes each process when the event it is
+waiting for fires.
+
+The kernel deliberately supports only what the bus models need:
+
+* :class:`Event` -- one-shot occurrence carrying an optional value,
+* :class:`Timeout` -- an event scheduled a fixed number of cycles ahead,
+* :class:`Process` -- a running generator; itself an event that fires when
+  the generator returns (carrying its return value),
+* :class:`AnyOf` / :class:`AllOf` -- composite events,
+* :meth:`Simulator.run` -- drive the event loop to quiescence or a deadline.
+
+Determinism: events scheduled for the same cycle fire in scheduling order
+(a monotonically increasing sequence number breaks ties), so simulations are
+exactly reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double-firing an event, bad yields, ...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another actor interrupted.
+
+    The Bi-FIFO threshold interrupt (paper section IV.C.2) is delivered to a
+    waiting PE process through this exception.  ``cause`` carries an
+    arbitrary payload describing the interrupt source.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, may be triggered at most once via
+    :meth:`succeed` (or :meth:`fail`), and thereafter holds a value.
+    Processes wait on an event by yielding it; callbacks may also be attached
+    directly with :meth:`add_callback`.
+    """
+
+    __slots__ = ("sim", "_value", "_exception", "_triggered", "_fired", "callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False  # succeed()/fail() called
+        self._fired = False  # callbacks have run
+        self.callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (valid only after triggering)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("value read from a pending event")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully; callbacks run this same cycle."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes see the exception re-raised at their yield point.
+        """
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._fired:
+            # Late subscription: run at the current cycle via a fresh event.
+            proxy = Event(self.sim)
+            proxy.callbacks.append(callback)
+            proxy._triggered = True
+            proxy._value = self._value
+            proxy._exception = self._exception
+            self.sim._schedule(proxy)
+        else:
+            self.callbacks.append(callback)
+
+    def _fire(self) -> None:
+        self._fired = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` cycles after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError("negative timeout delay: %r" % (delay,))
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; fires (as an event) when the generator returns."""
+
+    __slots__ = ("generator", "name", "_target", "_interrupts")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+    ):
+        if not hasattr(generator, "send"):
+            raise SimulationError("process body must be a generator")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Deliver an :class:`Interrupt` into the process at its yield point."""
+        if not self.is_alive:
+            return
+        self._interrupts.append(Interrupt(cause))
+        wakeup = Event(self.sim)
+        wakeup.callbacks.append(self._resume)
+        wakeup.succeed()
+
+    def _resume(self, trigger: Event) -> None:
+        if self._triggered:
+            return
+        if self._target is not None and trigger is not self._target:
+            # A stale wakeup (e.g. interrupt already consumed); deliver only
+            # if an interrupt is actually queued.
+            if not self._interrupts:
+                return
+        self._target = None
+        try:
+            if self._interrupts:
+                interrupt = self._interrupts.pop(0)
+                next_event = self.generator.throw(interrupt)
+            elif trigger._exception is not None:
+                next_event = self.generator.throw(trigger._exception)
+            else:
+                next_event = self.generator.send(trigger._value)
+        except StopIteration as stop:
+            self._triggered = True
+            self._value = stop.value
+            self.sim._schedule(self)
+            return
+        except Interrupt:
+            raise SimulationError(
+                "process %r did not handle an Interrupt" % self.name
+            )
+        except BaseException as error:
+            # An uncaught exception fails the process event: waiters see it
+            # re-raised at their yield point.
+            self._triggered = True
+            self._exception = error
+            self.sim._schedule(self)
+            return
+        if isinstance(next_event, int):
+            next_event = Timeout(self.sim, next_event)
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                "process %r yielded %r (expected Event or int)"
+                % (self.name, next_event)
+            )
+        self._target = next_event
+        next_event.add_callback(self._resume)
+
+
+class _Composite(Event):
+    """Shared machinery for AnyOf / AllOf."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Composite):
+    """Fires when the first of its child events fires; value is that event."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if not self._triggered:
+            if event._exception is not None:
+                self.fail(event._exception)
+            else:
+                self.succeed(event)
+
+
+class AllOf(_Composite):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self.events])
+
+
+class Simulator:
+    """The event loop: a virtual cycle clock plus a pending-event heap."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._queue: List = []
+        self._seq = 0
+
+    # -- event construction helpers ------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    def peek(self) -> Optional[int]:
+        """Cycle of the next pending event, or None when quiescent."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:
+            raise SimulationError("time ran backwards")
+        self.now = when
+        event._fire()
+
+    def run(self, until: Optional[Any] = None, limit: int = 50_000_000) -> Any:
+        """Run until ``until`` (an Event or a cycle count) or quiescence.
+
+        ``limit`` bounds the number of processed events as a runaway guard.
+        Returns the value of ``until`` when it is an event that fired.
+        """
+        deadline: Optional[int] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = int(until)
+
+        steps = 0
+        while self._queue:
+            if stop_event is not None and stop_event._fired:
+                return stop_event.value
+            if deadline is not None and self._queue[0][0] >= deadline:
+                self.now = deadline
+                return None
+            self.step()
+            steps += 1
+            if steps > limit:
+                raise SimulationError("event limit exceeded (livelock?)")
+        if stop_event is not None:
+            if stop_event._fired:
+                return stop_event.value
+            raise SimulationError(
+                "simulation ran to quiescence before the awaited event fired"
+            )
+        if deadline is not None:
+            self.now = deadline
+        return None

@@ -1,0 +1,100 @@
+"""Statistics counters for buses and PEs.
+
+Every bus segment and PE keeps a stats object so experiments can report not
+just end-to-end throughput but *why* one architecture wins: arbitration wait,
+bus occupancy, transaction mix.  These are the quantities behind the paper's
+observations (A)-(D) under Table II.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .bus import TransferTiming
+
+__all__ = ["BusStats", "PeStats"]
+
+
+class BusStats:
+    """Aggregate counters for one bus segment."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.transactions = 0
+        self.read_transactions = 0
+        self.write_transactions = 0
+        self.words_moved = 0
+        self.busy_cycles = 0
+        self.arbitration_cycles = 0
+        self.memory_cycles = 0
+        self.per_master: Dict[str, int] = {}
+
+    def record(self, master: str, words: int, write: bool, timing: "TransferTiming") -> None:
+        self.transactions += 1
+        if write:
+            self.write_transactions += 1
+        else:
+            self.read_transactions += 1
+        self.words_moved += words
+        self.busy_cycles += timing.total
+        self.arbitration_cycles += timing.arbitration
+        self.memory_cycles += timing.memory
+        self.per_master[master] = self.per_master.get(master, 0) + 1
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of elapsed cycles the segment was held by a master."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+    def mean_arbitration_wait(self) -> float:
+        if self.transactions == 0:
+            return 0.0
+        return self.arbitration_cycles / self.transactions
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "transactions": self.transactions,
+            "reads": self.read_transactions,
+            "writes": self.write_transactions,
+            "words_moved": self.words_moved,
+            "busy_cycles": self.busy_cycles,
+            "arbitration_cycles": self.arbitration_cycles,
+            "memory_cycles": self.memory_cycles,
+        }
+
+
+class PeStats:
+    """Aggregate counters for one processing element."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.compute_cycles = 0
+        self.bus_cycles = 0
+        self.stall_cycles = 0
+        self.handshake_polls = 0
+        self.interrupts_taken = 0
+        self.words_read = 0
+        self.words_written = 0
+        self.icache_hits = 0
+        self.icache_misses = 0
+        self.dcache_hits = 0
+        self.dcache_misses = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "compute_cycles": self.compute_cycles,
+            "bus_cycles": self.bus_cycles,
+            "stall_cycles": self.stall_cycles,
+            "handshake_polls": self.handshake_polls,
+            "interrupts_taken": self.interrupts_taken,
+            "words_read": self.words_read,
+            "words_written": self.words_written,
+            "icache_hits": self.icache_hits,
+            "icache_misses": self.icache_misses,
+            "dcache_hits": self.dcache_hits,
+            "dcache_misses": self.dcache_misses,
+        }

@@ -1,0 +1,28 @@
+"""Software substrate: communication APIs, handshake protocols, RTOS."""
+
+from .api import Address, SocAPI
+from .handshake import (
+    BfbaChannel,
+    Channel,
+    FpaDistributor,
+    GbaviChannel,
+    GlobalChannel,
+    ThreeRegisterChannel,
+    make_channel,
+)
+from . import pack
+from . import rtos
+
+__all__ = [
+    "Address",
+    "SocAPI",
+    "BfbaChannel",
+    "Channel",
+    "FpaDistributor",
+    "GbaviChannel",
+    "GlobalChannel",
+    "ThreeRegisterChannel",
+    "make_channel",
+    "pack",
+    "rtos",
+]

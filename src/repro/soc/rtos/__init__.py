@@ -1,0 +1,22 @@
+"""ATALANTA-like RTOS substrate.
+
+The paper's database experiment runs forty-one tasks on top of the ATALANTA
+RTOS (GIT-CC-02-19) -- one kernel instance per BAN, tasks scheduled by
+priority, with mutual exclusion over database objects implemented through
+locks in shared memory.  This package provides the equivalent kernel for
+the simulated PEs.
+"""
+
+from .kernel import Rtos, Syscall, Task, TaskState
+from .sync import LockManager, SpinLock
+from .mailbox import Mailbox
+
+__all__ = [
+    "Rtos",
+    "Syscall",
+    "Task",
+    "TaskState",
+    "LockManager",
+    "SpinLock",
+    "Mailbox",
+]

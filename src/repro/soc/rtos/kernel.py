@@ -1,0 +1,216 @@
+"""Priority-scheduled cooperative RTOS kernel for one simulated PE.
+
+Tasks are Python generators over the :class:`repro.soc.api.SocAPI` surface.
+The kernel multiplexes them on its PE: bus transactions and compute phases
+run synchronously (a blocked bus access stalls the CPU, as on real
+hardware), while *kernel services* -- sleeping, yielding, blocking on a lock
+or mailbox -- reschedule to another ready task, charging a context-switch
+cost in instructions.
+
+Scheduling is fixed-priority preemptive-at-service-points with FIFO order
+inside a priority level, like ATALANTA's static-priority scheduler; priority
+0 is highest.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..api import SocAPI
+
+__all__ = ["Syscall", "TaskState", "Task", "Rtos"]
+
+
+class Syscall:
+    """A kernel-service request yielded out of a task body.
+
+    ``kind`` is one of:
+
+    * ``"yield"``  -- give up the CPU voluntarily;
+    * ``"sleep"``  -- block for ``arg`` cycles;
+    * ``"block"``  -- block until :meth:`Rtos.wake` is called with ``arg``
+      (an arbitrary waiting-channel key);
+    * ``"exit"``   -- terminate the calling task.
+    """
+
+    __slots__ = ("kind", "arg")
+
+    def __init__(self, kind: str, arg: Any = None):
+        self.kind = kind
+        self.arg = arg
+
+
+class TaskState:
+    READY = "ready"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class Task:
+    """One RTOS task: a generator body plus scheduling metadata."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, name: str, body: Generator, priority: int = 10):
+        self.task_id = next(Task._ids)
+        self.name = name
+        self.body = body
+        self.priority = priority
+        self.state = TaskState.READY
+        self.wake_at: Optional[int] = None
+        self.wait_key: Any = None
+        self.result: Any = None
+        self.enqueued_at = 0
+        self.switches = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Task %s #%d %s>" % (self.name, self.task_id, self.state)
+
+
+class Rtos:
+    """One kernel instance bound to one PE."""
+
+    def __init__(
+        self,
+        api: SocAPI,
+        context_switch_instructions: int = 120,
+        idle_tick_cycles: int = 32,
+    ):
+        self.api = api
+        self.context_switch_instructions = context_switch_instructions
+        self.idle_tick_cycles = idle_tick_cycles
+        self.tasks: List[Task] = []
+        self.current: Optional[Task] = None
+        self.context_switches = 0
+        self.idle_cycles = 0
+        self._enqueue_seq = 0
+
+    # ------------------------------------------------------------------
+    # Task management
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, body: Generator, priority: int = 10) -> Task:
+        task = Task(name, body, priority)
+        self._enqueue_seq += 1
+        task.enqueued_at = self._enqueue_seq
+        self.tasks.append(task)
+        return task
+
+    def live_tasks(self) -> List[Task]:
+        return [task for task in self.tasks if task.state != TaskState.DONE]
+
+    # ------------------------------------------------------------------
+    # Kernel services callable from task bodies (via ``yield from``)
+    # ------------------------------------------------------------------
+    def yield_cpu(self) -> Generator:
+        yield Syscall("yield")
+
+    def sleep(self, cycles: int) -> Generator:
+        yield Syscall("sleep", cycles)
+
+    def block_on(self, key: Any) -> Generator:
+        yield Syscall("block", key)
+
+    def wake(self, key: Any) -> int:
+        """Make every task blocked on ``key`` ready; returns how many."""
+        count = 0
+        for task in self.tasks:
+            if task.state == TaskState.BLOCKED and task.wait_key == key:
+                task.state = TaskState.READY
+                task.wait_key = None
+                self._enqueue_seq += 1
+                task.enqueued_at = self._enqueue_seq
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _pick(self) -> Optional[Task]:
+        ready = [task for task in self.tasks if task.state == TaskState.READY]
+        if not ready:
+            return None
+        return min(ready, key=lambda task: (task.priority, task.enqueued_at))
+
+    def _next_wake(self) -> Optional[int]:
+        times = [
+            task.wake_at
+            for task in self.tasks
+            if task.state == TaskState.SLEEPING and task.wake_at is not None
+        ]
+        return min(times) if times else None
+
+    def run(self) -> Generator:
+        """The scheduler loop; launch with ``machine.pe(...).run(rtos.run())``."""
+        sim = self.api.machine.sim
+        while self.live_tasks():
+            self._wake_sleepers(sim.now)
+            task = self._pick()
+            if task is None:
+                yield from self._idle(sim)
+                continue
+            if task is not self.current:
+                self.context_switches += 1
+                task.switches += 1
+                yield from self.api.compute(self.context_switch_instructions)
+            self.current = task
+            task.state = TaskState.RUNNING
+            yield from self._drive(task)
+        self.current = None
+
+    def _wake_sleepers(self, now: int) -> None:
+        for task in self.tasks:
+            if (
+                task.state == TaskState.SLEEPING
+                and task.wake_at is not None
+                and task.wake_at <= now
+            ):
+                task.state = TaskState.READY
+                task.wake_at = None
+                self._enqueue_seq += 1
+                task.enqueued_at = self._enqueue_seq
+
+    def _idle(self, sim) -> Generator:
+        next_wake = self._next_wake()
+        if next_wake is None:
+            # Every live task is blocked on a key that only another PE can
+            # wake (through shared state polled by a retry loop); tick.
+            wait = self.idle_tick_cycles
+        else:
+            wait = max(1, next_wake - sim.now)
+        self.idle_cycles += wait
+        yield sim.timeout(wait)
+        self._wake_sleepers(sim.now)
+
+    def _drive(self, task: Task) -> Generator:
+        """Advance one task until it requests a service or finishes."""
+        sim = self.api.machine.sim
+        send_value: Any = None
+        while True:
+            try:
+                item = task.body.send(send_value)
+            except StopIteration as stop:
+                task.state = TaskState.DONE
+                task.result = stop.value
+                return
+            if isinstance(item, Syscall):
+                if item.kind == "yield":
+                    task.state = TaskState.READY
+                    self._enqueue_seq += 1
+                    task.enqueued_at = self._enqueue_seq
+                elif item.kind == "sleep":
+                    task.state = TaskState.SLEEPING
+                    task.wake_at = sim.now + max(1, int(item.arg))
+                elif item.kind == "block":
+                    task.state = TaskState.BLOCKED
+                    task.wait_key = item.arg
+                elif item.kind == "exit":
+                    task.state = TaskState.DONE
+                else:  # pragma: no cover - defensive
+                    raise ValueError("unknown syscall %r" % item.kind)
+                return
+            # Anything else is a simulation event (bus access, compute):
+            # the whole PE stalls on it -- no task switch.
+            send_value = yield item

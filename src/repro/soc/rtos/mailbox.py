@@ -1,0 +1,66 @@
+"""Intra-PE mailboxes: ATALANTA-style message queues between local tasks.
+
+A mailbox passes small messages between tasks scheduled by the *same* RTOS
+instance; receivers block (the kernel switches to another ready task) until
+a message arrives.  Cross-PE data still moves through the bus fabric -- a
+mailbox is purely a local kernel object, so it charges only the scheduling
+cost, like a real single-address-space RTOS queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .kernel import Rtos, Syscall
+
+__all__ = ["Mailbox"]
+
+
+class Mailbox:
+    """A FIFO message queue local to one RTOS instance."""
+
+    def __init__(self, rtos: Rtos, name: str, capacity: Optional[int] = None):
+        self.rtos = rtos
+        self.name = name
+        self.capacity = capacity
+        self._messages: Deque[Any] = deque()
+        self.sends = 0
+        self.receives = 0
+
+    @property
+    def _key(self) -> str:
+        return "mailbox:%s" % self.name
+
+    @property
+    def _space_key(self) -> str:
+        return "mailbox-space:%s" % self.name
+
+    def post(self, message: Any) -> Generator:
+        """Send; blocks the calling task while the mailbox is full."""
+        while self.capacity is not None and len(self._messages) >= self.capacity:
+            yield Syscall("block", self._space_key)
+        self._messages.append(message)
+        self.sends += 1
+        self.rtos.wake(self._key)
+
+    def pend(self) -> Generator:
+        """Receive; blocks the calling task while the mailbox is empty."""
+        while not self._messages:
+            yield Syscall("block", self._key)
+        message = self._messages.popleft()
+        self.receives += 1
+        self.rtos.wake(self._space_key)
+        return message
+
+    def try_pend(self) -> Optional[Any]:
+        """Non-blocking receive; None when empty."""
+        if not self._messages:
+            return None
+        self.receives += 1
+        message = self._messages.popleft()
+        self.rtos.wake(self._space_key)
+        return message
+
+    def __len__(self) -> int:
+        return len(self._messages)

@@ -1,0 +1,89 @@
+"""Shared-memory locks for cross-PE mutual exclusion.
+
+The database example synchronizes "mutually exclusive accesses of the
+database objects in a multiprocessor system" (Figure 21) through locks.  A
+:class:`SpinLock` is a word in *shared* memory manipulated with the bus-
+locked read-modify-write primitive; acquisition failure suspends the calling
+task in its local RTOS and retries after a backoff, so lock contention shows
+up as both bus traffic (the test-and-set transactions) and scheduling time
+-- the two costs the paper's Table IV architecture comparison stresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from ..api import Address, SocAPI
+from .kernel import Rtos, Syscall
+
+__all__ = ["SpinLock", "LockManager"]
+
+
+class SpinLock:
+    """One test-and-set lock word in shared memory."""
+
+    def __init__(self, name: str, address: Address):
+        self.name = name
+        self.address = address
+        self.acquisitions = 0
+        self.contentions = 0
+
+    def acquire(self, rtos: Rtos, retry_cycles: int = 64) -> Generator:
+        """Acquire from an RTOS task: test-and-set, sleep-retry on failure."""
+        api = rtos.api
+        while True:
+            old, _new = yield from api.atomic_update(self.address, lambda v: 1)
+            if old == 0:
+                self.acquisitions += 1
+                return
+            self.contentions += 1
+            yield Syscall("sleep", retry_cycles)
+
+    def acquire_raw(self, api: SocAPI, retry_cycles: int = 64) -> Generator:
+        """Acquire from a bare program (no RTOS): spin with idle backoff."""
+        while True:
+            old, _new = yield from api.atomic_update(self.address, lambda v: 1)
+            if old == 0:
+                self.acquisitions += 1
+                return
+            self.contentions += 1
+            yield from api.stall(retry_cycles)
+
+    def release(self, api: SocAPI) -> Generator:
+        yield from api.mem_write([0], self.address)
+
+    def holder_value(self, api: SocAPI) -> Generator:
+        values = yield from api.read(self.address, 1)
+        return values[0]
+
+
+class LockManager:
+    """Allocates named locks out of a shared-memory region.
+
+    All PEs must construct their manager over the same memory device with
+    the same names in the same order so the lock words line up; the manager
+    derives each lock's address deterministically from a common base.
+    """
+
+    def __init__(self, api: SocAPI, base: Address, capacity: int = 64):
+        self.api = api
+        self.base = api.resolve(base)
+        self.capacity = capacity
+        self._locks: Dict[str, SpinLock] = {}
+        self._order: Dict[str, int] = {}
+
+    def lock(self, name: str) -> SpinLock:
+        if name not in self._locks:
+            index = len(self._order)
+            if index >= self.capacity:
+                raise RuntimeError("lock region exhausted (%d locks)" % self.capacity)
+            self._order[name] = index
+            device, offset = self.base
+            self._locks[name] = SpinLock(name, (device, offset + index))
+        return self._locks[name]
+
+    def acquire(self, rtos: Rtos, name: str, retry_cycles: int = 64) -> Generator:
+        yield from self.lock(name).acquire(rtos, retry_cycles)
+
+    def release(self, name: str) -> Generator:
+        yield from self.lock(name).release(self.api)

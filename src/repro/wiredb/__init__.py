@@ -1,0 +1,20 @@
+"""Wire Library: legal-connection database (section V.A, Figure 15)."""
+
+from .model import Endpoint, WireGroup, WireSpec, MEMBER_INDEX
+from .parser import WireParseError, parse_wire_text, render_wire_text
+from .library import WireLibrary, default_wire_library, expand_chain
+from . import builtin
+
+__all__ = [
+    "Endpoint",
+    "WireGroup",
+    "WireSpec",
+    "MEMBER_INDEX",
+    "WireParseError",
+    "parse_wire_text",
+    "render_wire_text",
+    "WireLibrary",
+    "default_wire_library",
+    "expand_chain",
+    "builtin",
+]

@@ -1,0 +1,469 @@
+"""Built-in Wire Library content.
+
+Produces the ``%wire`` sections for every supported BAN kind and subsystem
+kind.  Wire text is *generated* for the requested shape (PE count, memory
+address width, ...) because vector widths -- arbiter request fans, chain
+lengths -- depend on the user options; the fixed-shape examples of the
+paper (Examples 7 and 8) fall out as the 4-PE instantiation.
+
+Conventions:
+
+* logical instance names inside a BAN: ``CPU``, ``CBI``, ``SB`` (``SBC``/
+  ``SBM`` for GBAVI's two sides), ``MBI0``/``MEM0``, ``HS``, ``FIFO``,
+  ``GBI`` (and ``GGBI`` for Hybrid's global-bus interface), ``BB``, and in
+  the global-resource BAN ``ARB``/``ABI0``/``SBG``;
+* the pseudo-module ``EXT`` marks a net that must surface as a port of the
+  enclosing BAN or subsystem;
+* chip-select bit plan on a local bus: bit0 memory, bit1 FIFO data, bit2
+  FIFO threshold, bit3 DONE_OP, bit4 DONE_RV, bit5 bus interface.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = [
+    "ban_section",
+    "subsystem_section",
+    "CSB_MEM",
+    "CSB_FIFO",
+    "CSB_THRESHOLD",
+    "CSB_DONE_OP",
+    "CSB_DONE_RV",
+    "CSB_GBI",
+]
+
+CSB_MEM = 0
+CSB_FIFO = 1
+CSB_THRESHOLD = 2
+CSB_DONE_OP = 3
+CSB_DONE_RV = 4
+CSB_GBI = 5
+
+
+def _cpu_to_cbi() -> List[str]:
+    return [
+        "w_cpu_a 32 CPU cpu_a 31 0 CBI cpu_a 31 0",
+        "w_cpu_d 64 CPU cpu_d 63 0 CBI cpu_d 63 0",
+        "w_cpu_ts 1 CPU cpu_ts_b 0 0 CBI cpu_ts_b 0 0",
+        "w_cpu_wr 1 CPU cpu_wr_b 0 0 CBI cpu_wr_b 0 0",
+        "w_cpu_ta 1 CPU cpu_ta_b 0 0 CBI cpu_ta_b 0 0",
+        "w_cpu_int 1 CPU cpu_int_b 0 0 CBI cpu_int_b 0 0",
+    ]
+
+
+def _local_bus(modules: List[str], sb: str = "SB", prefix: str = "w") -> List[str]:
+    """Multi-drop local-bus nets: every module joins the SB's wires."""
+    lines = []
+    for module in modules:
+        lines.append("%s_dh 32 %s dh 31 0 %s dh 31 0" % (prefix, module, sb))
+        lines.append("%s_dl 32 %s dl 31 0 %s dl 31 0" % (prefix, module, sb))
+    for module in modules:
+        if module in ("HS",):
+            continue
+        lines.append("%s_web 1 %s web_local 0 0 %s web_local 0 0" % (prefix, module, sb))
+        lines.append("%s_reb 1 %s reb_local 0 0 %s reb_local 0 0" % (prefix, module, sb))
+    return lines
+
+
+def _mbi_to_mem(mem_aw: int) -> List[str]:
+    msb = mem_aw - 1
+    return [
+        "w_sram_addr %d MBI0 sram_addr %d 0 MEM0 sram_addr %d 0" % (mem_aw, msb, msb),
+        "w_sram_web 1 MBI0 sram_web 0 0 MEM0 sram_web 0 0",
+        "w_sram_oeb 1 MBI0 sram_oeb 0 0 MEM0 sram_oeb 0 0",
+        "w_sram_csb 1 MBI0 sram_csb 0 0 MEM0 sram_csb 0 0",
+        "w_sram_dq 64 MBI0 sram_dq 63 0 MEM0 sram_dq 63 0",
+    ]
+
+
+def _section(name: str, lines: List[str]) -> str:
+    return "%%wire %s\n%s\n%%endwire\n" % (name, "\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# BAN sections
+# ----------------------------------------------------------------------
+
+
+CSB_IPIF = 7
+
+
+def _ipif_lines(sb: str = "SB") -> List[str]:
+    """Wires attaching an IPIF (hardware-IP port, Example 8) to a local bus."""
+    return [
+        "w_addr 32 IPIF addr_local 31 0 %s addr_local 31 0" % sb,
+        "w_dh 32 IPIF dh 31 0 %s dh 31 0" % sb,
+        "w_dl 32 IPIF dl 31 0 %s dl 31 0" % sb,
+        "w_web 1 IPIF web_local 0 0 %s web_local 0 0" % sb,
+        "w_reb 1 IPIF reb_local 0 0 %s reb_local 0 0" % sb,
+        "w_csb 8 IPIF csb_local %d %d %s csb_local %d %d"
+        % (CSB_IPIF, CSB_IPIF, sb, CSB_IPIF, CSB_IPIF),
+    ]
+
+
+def ban_section(kind: str, mem_aw: int = 20, with_ip_port: bool = False) -> str:
+    """Wire section text for one BAN kind.
+
+    ``kind`` is one of ``bfba``, ``gbavi``, ``gbaviii``, ``hybrid``,
+    ``splitba`` (also used for GGBA's memory-less BANs) or ``global``.
+    ``with_ip_port`` adds the IPIF wires for a BAN hosting a hardware-IP
+    attachment (Example 8's "BAN B has another bus to BAN FFT").
+    """
+    if kind == "gbavi" and with_ip_port:
+        raise ValueError("IP attachments are not supported on GBAVI BANs")
+    if kind == "bfba":
+        text = _ban_bfba(mem_aw)
+    elif kind == "gbavi":
+        text = _ban_gbavi(mem_aw)
+    elif kind == "gbaviii":
+        text = _ban_gbaviii(mem_aw)
+    elif kind == "hybrid":
+        text = _ban_hybrid(mem_aw)
+    elif kind == "splitba":
+        text = _ban_splitba()
+    elif kind == "global":
+        raise ValueError("global BAN section needs global_ban_section(n_masters, ...)")
+    else:
+        raise ValueError("unknown BAN kind %r" % kind)
+    if with_ip_port:
+        lines = text.strip().splitlines()
+        lines = lines[:-1] + _ipif_lines("SB") + [lines[-1]]
+        text = "\n".join(lines) + "\n"
+    return text
+
+
+def _ban_bfba(mem_aw: int) -> str:
+    mem_msb = mem_aw - 1
+    lines = _cpu_to_cbi()
+    lines.append("w_addr 32 CBI addr_local 31 0 SB addr_local 31 0")
+    lines.append("w_addr 32 MBI0 addr_local %d 0 SB addr_local %d 0" % (mem_msb, mem_msb))
+    lines.append("w_addr 32 GBI addr_local 31 0 SB addr_local 31 0")
+    lines += _local_bus(["CBI", "MBI0", "HS", "FIFO", "GBI"])
+    lines += [
+        "w_web 1 HS web_local 0 0 SB web_local 0 0",
+        "w_reb 1 HS reb_local 0 0 SB reb_local 0 0",
+        "w_csb 8 CBI csb 7 0 SB csb_local 7 0",
+    ]
+    lines += [
+        "w_csb 8 MBI0 csb_local %d %d SB csb_local %d %d" % (CSB_MEM, CSB_MEM, CSB_MEM, CSB_MEM),
+        "w_csb 8 FIFO fifo_cs_local %d %d SB csb_local %d %d"
+        % (CSB_FIFO, CSB_FIFO, CSB_FIFO, CSB_FIFO),
+        "w_csb 8 FIFO thr_cs_local %d %d SB csb_local %d %d"
+        % (CSB_THRESHOLD, CSB_THRESHOLD, CSB_THRESHOLD, CSB_THRESHOLD),
+        "w_csb 8 HS op_cs_local %d %d SB csb_local %d %d"
+        % (CSB_DONE_OP, CSB_DONE_OP, CSB_DONE_OP, CSB_DONE_OP),
+        "w_csb 8 HS rv_cs_local %d %d SB csb_local %d %d"
+        % (CSB_DONE_RV, CSB_DONE_RV, CSB_DONE_RV, CSB_DONE_RV),
+        "w_csb 8 GBI csb_local %d %d SB csb_local %d %d"
+        % (CSB_GBI, CSB_GBI, CSB_GBI, CSB_GBI),
+        "w_irq 1 FIFO irq_b 0 0 CBI irq_b 0 0",
+    ]
+    lines += _mbi_to_mem(mem_aw)
+    return _section("ban_bfba", lines)
+
+
+def _ban_gbavi(mem_aw: int) -> str:
+    mem_msb = mem_aw - 1
+    lines = _cpu_to_cbi()
+    # CPU-side segment: CBI, bridge side a, handshake side a.
+    lines += [
+        "w_caddr 32 CBI addr_local 31 0 SBC addr_local 31 0",
+        "w_caddr 32 BB a_addr 31 0 SBC addr_local 31 0",
+        "w_cdh 32 CBI dh 31 0 SBC dh 31 0",
+        "w_cdh 32 BB a_dh 31 0 SBC dh 31 0",
+        "w_cdh 32 HS dh_a 31 0 SBC dh 31 0",
+        "w_cdl 32 CBI dl 31 0 SBC dl 31 0",
+        "w_cdl 32 BB a_dl 31 0 SBC dl 31 0",
+        "w_cdl 32 HS dl_a 31 0 SBC dl 31 0",
+        "w_cweb 1 CBI web_local 0 0 SBC web_local 0 0",
+        "w_cweb 1 BB a_web 0 0 SBC web_local 0 0",
+        "w_cweb 1 HS web_a 0 0 SBC web_local 0 0",
+        "w_creb 1 CBI reb_local 0 0 SBC reb_local 0 0",
+        "w_creb 1 BB a_reb 0 0 SBC reb_local 0 0",
+        "w_creb 1 HS reb_a 0 0 SBC reb_local 0 0",
+        "w_ccsb 8 CBI csb 7 0 SBC csb_local 7 0",
+        "w_ccsb 8 HS op_cs_a %d %d SBC csb_local %d %d"
+        % (CSB_DONE_OP, CSB_DONE_OP, CSB_DONE_OP, CSB_DONE_OP),
+        "w_ccsb 8 HS rv_cs_a %d %d SBC csb_local %d %d"
+        % (CSB_DONE_RV, CSB_DONE_RV, CSB_DONE_RV, CSB_DONE_RV),
+    ]
+    # SRAM-side segment: bridge side b, MBI, handshake side b, GBI local.
+    lines += [
+        "w_maddr 32 BB b_addr 31 0 SBM addr_local 31 0",
+        "w_maddr 32 MBI0 addr_local %d 0 SBM addr_local %d 0" % (mem_msb, mem_msb),
+        "w_maddr 32 GBI addr_local 31 0 SBM addr_local 31 0",
+        "w_mdh 32 BB b_dh 31 0 SBM dh 31 0",
+        "w_mdh 32 MBI0 dh 31 0 SBM dh 31 0",
+        "w_mdh 32 HS dh_b 31 0 SBM dh 31 0",
+        "w_mdh 32 GBI dh 31 0 SBM dh 31 0",
+        "w_mdl 32 BB b_dl 31 0 SBM dl 31 0",
+        "w_mdl 32 MBI0 dl 31 0 SBM dl 31 0",
+        "w_mdl 32 HS dl_b 31 0 SBM dl 31 0",
+        "w_mdl 32 GBI dl 31 0 SBM dl 31 0",
+        "w_mweb 1 BB b_web 0 0 SBM web_local 0 0",
+        "w_mweb 1 MBI0 web_local 0 0 SBM web_local 0 0",
+        "w_mweb 1 HS web_b 0 0 SBM web_local 0 0",
+        "w_mweb 1 GBI web_local 0 0 SBM web_local 0 0",
+        "w_mreb 1 BB b_reb 0 0 SBM reb_local 0 0",
+        "w_mreb 1 MBI0 reb_local 0 0 SBM reb_local 0 0",
+        "w_mreb 1 HS reb_b 0 0 SBM reb_local 0 0",
+        "w_mreb 1 GBI reb_local 0 0 SBM reb_local 0 0",
+        # First line anchors the full 8-bit select bundle on the segment.
+        "w_mcsb 8 MBI0 csb_local %d %d SBM csb_local 7 0" % (CSB_MEM, CSB_MEM),
+        "w_mcsb 8 HS op_cs_b %d %d SBM csb_local %d %d"
+        % (CSB_DONE_OP, CSB_DONE_OP, CSB_DONE_OP, CSB_DONE_OP),
+        "w_mcsb 8 HS rv_cs_b %d %d SBM csb_local %d %d"
+        % (CSB_DONE_RV, CSB_DONE_RV, CSB_DONE_RV, CSB_DONE_RV),
+        "w_mcsb 8 GBI csb_local %d %d SBM csb_local %d %d"
+        % (CSB_GBI, CSB_GBI, CSB_GBI, CSB_GBI),
+    ]
+    lines += _mbi_to_mem(mem_aw)
+    return _section("ban_gbavi", lines)
+
+
+def _ban_gbaviii(mem_aw: int, name: str = "ban_gbaviii") -> str:
+    mem_msb = mem_aw - 1
+    lines = _cpu_to_cbi()
+    lines += [
+        "w_addr 32 CBI addr_local 31 0 SB addr_local 31 0",
+        "w_addr 32 MBI0 addr_local %d 0 SB addr_local %d 0" % (mem_msb, mem_msb),
+        "w_addr 32 GBI addr_local 31 0 SB addr_local 31 0",
+    ]
+    lines += _local_bus(["CBI", "MBI0", "GBI"])
+    lines += [
+        "w_csb 8 CBI csb 7 0 SB csb_local 7 0",
+        "w_csb 8 MBI0 csb_local %d %d SB csb_local %d %d"
+        % (CSB_MEM, CSB_MEM, CSB_MEM, CSB_MEM),
+        "w_csb 8 GBI csb_local %d %d SB csb_local %d %d"
+        % (CSB_GBI, CSB_GBI, CSB_GBI, CSB_GBI),
+    ]
+    lines += _mbi_to_mem(mem_aw)
+    return _section(name, lines)
+
+
+def _ban_hybrid(mem_aw: int) -> str:
+    mem_msb = mem_aw - 1
+    lines = _cpu_to_cbi()
+    lines += [
+        "w_addr 32 CBI addr_local 31 0 SB addr_local 31 0",
+        "w_addr 32 MBI0 addr_local %d 0 SB addr_local %d 0" % (mem_msb, mem_msb),
+        "w_addr 32 GGBI addr_local 31 0 SB addr_local 31 0",
+        "w_addr 32 GBI addr_local 31 0 SB addr_local 31 0",
+    ]
+    lines += _local_bus(["CBI", "MBI0", "HS", "FIFO", "GBI", "GGBI"])
+    lines += [
+        "w_web 1 HS web_local 0 0 SB web_local 0 0",
+        "w_reb 1 HS reb_local 0 0 SB reb_local 0 0",
+        "w_csb 8 CBI csb 7 0 SB csb_local 7 0",
+        "w_csb 8 MBI0 csb_local %d %d SB csb_local %d %d"
+        % (CSB_MEM, CSB_MEM, CSB_MEM, CSB_MEM),
+        "w_csb 8 FIFO fifo_cs_local %d %d SB csb_local %d %d"
+        % (CSB_FIFO, CSB_FIFO, CSB_FIFO, CSB_FIFO),
+        "w_csb 8 FIFO thr_cs_local %d %d SB csb_local %d %d"
+        % (CSB_THRESHOLD, CSB_THRESHOLD, CSB_THRESHOLD, CSB_THRESHOLD),
+        "w_csb 8 HS op_cs_local %d %d SB csb_local %d %d"
+        % (CSB_DONE_OP, CSB_DONE_OP, CSB_DONE_OP, CSB_DONE_OP),
+        "w_csb 8 HS rv_cs_local %d %d SB csb_local %d %d"
+        % (CSB_DONE_RV, CSB_DONE_RV, CSB_DONE_RV, CSB_DONE_RV),
+        "w_csb 8 GBI csb_local 6 6 SB csb_local 6 6",
+        "w_csb 8 GGBI csb_local %d %d SB csb_local %d %d"
+        % (CSB_GBI, CSB_GBI, CSB_GBI, CSB_GBI),
+        "w_irq 1 FIFO irq_b 0 0 CBI irq_b 0 0",
+    ]
+    lines += _mbi_to_mem(mem_aw)
+    return _section("ban_hybrid", lines)
+
+
+def _ban_splitba() -> str:
+    lines = _cpu_to_cbi()
+    lines += [
+        "w_addr 32 CBI addr_local 31 0 SB addr_local 31 0",
+        "w_addr 32 GBI addr_local 31 0 SB addr_local 31 0",
+    ]
+    lines += _local_bus(["CBI", "GBI"])
+    lines += [
+        "w_csb 8 CBI csb 7 0 SB csb_local 7 0",
+        "w_csb 8 GBI csb_local %d %d SB csb_local %d %d"
+        % (CSB_GBI, CSB_GBI, CSB_GBI, CSB_GBI),
+    ]
+    return _section("ban_splitba", lines)
+
+
+def global_ban_section(n_masters: int, mem_aw: int = 20) -> str:
+    """The global-resource BAN (BAN G): arbiter + ABI + shared memory."""
+    msb = n_masters - 1
+    mem_msb = mem_aw - 1
+    lines = [
+        "w_arb_req %d ARB req_b %d 0 ABI0 arb_req_b %d 0" % (n_masters, msb, msb),
+        "w_arb_gnt %d ARB gnt_b %d 0 ABI0 arb_gnt_b %d 0" % (n_masters, msb, msb),
+        "w_req %d ABI0 bus_req_b %d 0 SBG req_b %d 0" % (n_masters, msb, msb),
+        "w_gnt %d ABI0 bus_gnt_b %d 0 SBG gnt_b %d 0" % (n_masters, msb, msb),
+        "w_req %d EXT g_req_b %d 0 SBG req_b %d 0" % (n_masters, msb, msb),
+        "w_gnt %d EXT g_gnt_b %d 0 SBG gnt_b %d 0" % (n_masters, msb, msb),
+        "w_gaddr 32 MBI0 addr_local %d 0 SBG addr_local 31 0" % mem_msb,
+        "w_gaddr 32 EXT g_addr 31 0 SBG addr_local 31 0",
+        "w_gdh 32 MBI0 dh 31 0 SBG dh 31 0",
+        "w_gdh 32 EXT g_dh 31 0 SBG dh 31 0",
+        "w_gdl 32 MBI0 dl 31 0 SBG dl 31 0",
+        "w_gdl 32 EXT g_dl 31 0 SBG dl 31 0",
+        "w_gweb 1 MBI0 web_local 0 0 SBG web_local 0 0",
+        "w_gweb 1 EXT g_web 0 0 SBG web_local 0 0",
+        "w_greb 1 MBI0 reb_local 0 0 SBG reb_local 0 0",
+        "w_greb 1 EXT g_reb 0 0 SBG reb_local 0 0",
+        "w_gcsb 1 MBI0 csb_local 0 0 EXT g_csb 0 0",
+    ]
+    lines += _mbi_to_mem(mem_aw)
+    return _section("ban_global", lines)
+
+
+# ----------------------------------------------------------------------
+# Subsystem sections
+# ----------------------------------------------------------------------
+
+
+def subsystem_section(kind: str, ban_names: List[str], global_ban: str = "G") -> str:
+    if kind == "bfba":
+        return _subsys_bfba(ban_names)
+    if kind == "gbavi":
+        return _subsys_gbavi(ban_names)
+    if kind == "gbavii":
+        return _subsys_gbavii(ban_names, global_ban)
+    if kind in ("gbaviii", "splitba", "ggba", "ccba"):
+        return _subsys_global(kind, ban_names, global_ban)
+    if kind == "hybrid":
+        chain = _subsys_bfba(ban_names, name=None, as_lines=True)
+        shared = _subsys_global("hybrid", ban_names, global_ban, as_lines=True)
+        return _section("subsys_hybrid", shared + chain)
+    raise ValueError("unknown subsystem kind %r" % kind)
+
+
+def _group(ban_names: List[str]) -> str:
+    return "BAN[%s]" % ",".join(ban_names)
+
+
+def _subsys_bfba(ban_names: List[str], name: str = "subsys_bfba", as_lines: bool = False):
+    """Example 8's chain list, verbatim in shape."""
+    group = _group(ban_names)
+    lines = [
+        "w_done_op_cs 2 %s done_op_cs_dn 1 0 %s done_op_cs_up 1 0" % (group, group),
+        "w_done_rv_cs 2 %s done_rv_cs_dn 1 0 %s done_rv_cs_up 1 0" % (group, group),
+        "w_ban_web 1 %s web_dn 0 0 %s web_up 0 0" % (group, group),
+        "w_ban_reb 1 %s reb_dn 0 0 %s reb_up 0 0" % (group, group),
+        "w_fifo_cs 1 %s fifo_cs_dn 0 0 %s fifo_cs_up 0 0" % (group, group),
+        "w_data 64 %s data_dn 63 0 %s data_up 63 0" % (group, group),
+    ]
+    if as_lines:
+        return lines
+    return _section(name, lines)
+
+
+def _gbavi_pair_lines(index: int, left_ban: str, right_ban: str, bridge: str) -> List[str]:
+    """The wires attaching one BB between two GBAVI-style BAN segments."""
+    return [
+        "w_sa_%d 32 %s seg_addr 31 0 %s a_addr 31 0" % (index, left_ban, bridge),
+        "w_sah_%d 32 %s seg_dh 31 0 %s a_dh 31 0" % (index, left_ban, bridge),
+        "w_sal_%d 32 %s seg_dl 31 0 %s a_dl 31 0" % (index, left_ban, bridge),
+        "w_saw_%d 1 %s seg_web 0 0 %s a_web 0 0" % (index, left_ban, bridge),
+        "w_sar_%d 1 %s seg_reb 0 0 %s a_reb 0 0" % (index, left_ban, bridge),
+        "w_sb_%d 32 %s seg_addr 31 0 %s b_addr 31 0" % (index, right_ban, bridge),
+        "w_sbh_%d 32 %s seg_dh 31 0 %s b_dh 31 0" % (index, right_ban, bridge),
+        "w_sbl_%d 32 %s seg_dl 31 0 %s b_dl 31 0" % (index, right_ban, bridge),
+        "w_sbw_%d 1 %s seg_web 0 0 %s b_web 0 0" % (index, right_ban, bridge),
+        "w_sbr_%d 1 %s seg_reb 0 0 %s b_reb 0 0" % (index, right_ban, bridge),
+        "w_bben_%d 1 %s bb_req 0 0 %s bb_enable 0 0" % (index, left_ban, bridge),
+    ]
+
+
+def _subsys_gbavi(ban_names: List[str]) -> str:
+    """Bridge-segmented chain: one BB between each adjacent BAN pair (ring)."""
+    lines: List[str] = []
+    count = len(ban_names)
+    pairs = list(zip(range(count), list(range(1, count)) + ([0] if count > 2 else [])))
+    for index, (left, right) in enumerate(pairs, start=1):
+        lines += _gbavi_pair_lines(
+            index, "BAN_%s" % ban_names[left], "BAN_%s" % ban_names[right], "BB_%d" % index
+        )
+    return _section("subsys_gbavi", lines)
+
+
+def _subsys_gbavii(ban_names: List[str], global_ban: str) -> str:
+    """GBAVII (extension): GBAVI's segment chain, ring-closed through the
+    global-memory BAN -- BB_n joins the last PE segment to BAN G's bus, and
+    BB_n+1 joins BAN G back to the first PE segment."""
+    lines: List[str] = []
+    count = len(ban_names)
+    for index in range(count - 1):
+        left_ban = "BAN_%s" % ban_names[index]
+        right_ban = "BAN_%s" % ban_names[index + 1]
+        bridge = "BB_%d" % (index + 1)
+        lines += _gbavi_pair_lines(index + 1, left_ban, right_ban, bridge)
+    global_inst = "BAN_%s" % global_ban
+    # Last PE segment -> BAN G.
+    bridge_index = count
+    bridge = "BB_%d" % bridge_index
+    last_ban = "BAN_%s" % ban_names[-1]
+    lines += [
+        "w_sa_%d 32 %s seg_addr 31 0 %s a_addr 31 0" % (bridge_index, last_ban, bridge),
+        "w_sah_%d 32 %s seg_dh 31 0 %s a_dh 31 0" % (bridge_index, last_ban, bridge),
+        "w_sal_%d 32 %s seg_dl 31 0 %s a_dl 31 0" % (bridge_index, last_ban, bridge),
+        "w_saw_%d 1 %s seg_web 0 0 %s a_web 0 0" % (bridge_index, last_ban, bridge),
+        "w_sar_%d 1 %s seg_reb 0 0 %s a_reb 0 0" % (bridge_index, last_ban, bridge),
+        "w_sb_%d 32 %s g_addr 31 0 %s b_addr 31 0" % (bridge_index, global_inst, bridge),
+        "w_sbh_%d 32 %s g_dh 31 0 %s b_dh 31 0" % (bridge_index, global_inst, bridge),
+        "w_sbl_%d 32 %s g_dl 31 0 %s b_dl 31 0" % (bridge_index, global_inst, bridge),
+        "w_sbw_%d 1 %s g_web 0 0 %s b_web 0 0" % (bridge_index, global_inst, bridge),
+        "w_sbr_%d 1 %s g_reb 0 0 %s b_reb 0 0" % (bridge_index, global_inst, bridge),
+        "w_bben_%d 1 %s bb_req 0 0 %s bb_enable 0 0" % (bridge_index, last_ban, bridge),
+    ]
+    if count > 1:
+        # BAN G -> first PE segment, closing the ring.
+        bridge_index = count + 1
+        bridge = "BB_%d" % bridge_index
+        first_ban = "BAN_%s" % ban_names[0]
+        lines += [
+            "w_sa_%d 32 %s g_addr 31 0 %s a_addr 31 0" % (bridge_index, global_inst, bridge),
+            "w_sah_%d 32 %s g_dh 31 0 %s a_dh 31 0" % (bridge_index, global_inst, bridge),
+            "w_sal_%d 32 %s g_dl 31 0 %s a_dl 31 0" % (bridge_index, global_inst, bridge),
+            "w_saw_%d 1 %s g_web 0 0 %s a_web 0 0" % (bridge_index, global_inst, bridge),
+            "w_sar_%d 1 %s g_reb 0 0 %s a_reb 0 0" % (bridge_index, global_inst, bridge),
+            "w_sb_%d 32 %s seg_addr 31 0 %s b_addr 31 0" % (bridge_index, first_ban, bridge),
+            "w_sbh_%d 32 %s seg_dh 31 0 %s b_dh 31 0" % (bridge_index, first_ban, bridge),
+            "w_sbl_%d 32 %s seg_dl 31 0 %s b_dl 31 0" % (bridge_index, first_ban, bridge),
+            "w_sbw_%d 1 %s seg_web 0 0 %s b_web 0 0" % (bridge_index, first_ban, bridge),
+            "w_sbr_%d 1 %s seg_reb 0 0 %s b_reb 0 0" % (bridge_index, first_ban, bridge),
+            "w_bben_%d 1 %s bb_req 0 0 %s bb_enable 0 0" % (bridge_index, first_ban, bridge),
+        ]
+    return _section("subsys_gbavii", lines)
+
+
+def _subsys_global(
+    kind: str, ban_names: List[str], global_ban: str, as_lines: bool = False
+):
+    """Shared global bus: every PE BAN's GBI port onto BAN G's segment."""
+    group = _group(ban_names)
+    count = len(ban_names)
+    global_inst = "BAN_%s" % global_ban
+    lines = [
+        "w_g_addr 32 %s g_addr 31 0 %s g_addr 31 0" % (group, global_inst),
+        "w_g_dh 32 %s g_dh 31 0 %s g_dh 31 0" % (group, global_inst),
+        "w_g_dl 32 %s g_dl 31 0 %s g_dl 31 0" % (group, global_inst),
+        "w_g_web 1 %s g_web 0 0 %s g_web 0 0" % (group, global_inst),
+        "w_g_reb 1 %s g_reb 0 0 %s g_reb 0 0" % (group, global_inst),
+        "w_g_req %d %s g_req_b @ @ %s g_req_b %d 0" % (count, group, global_inst, count - 1),
+        "w_g_gnt %d %s g_gnt_b @ @ %s g_gnt_b %d 0" % (count, group, global_inst, count - 1),
+    ]
+    if kind in ("splitba", "gbaviii", "ggba", "ccba", "hybrid"):
+        # Expose the subsystem's shared bus for a possible inter-subsystem
+        # bridge (Figure 7: SplitBA's two halves join through a BB; any
+        # global-bus subsystem can be bridged the same way).
+        lines += [
+            "w_g_addr 32 EXT sub_addr 31 0 %s g_addr 31 0" % global_inst,
+            "w_g_dh 32 EXT sub_dh 31 0 %s g_dh 31 0" % global_inst,
+            "w_g_dl 32 EXT sub_dl 31 0 %s g_dl 31 0" % global_inst,
+            "w_g_web 1 EXT sub_web 0 0 %s g_web 0 0" % global_inst,
+            "w_g_reb 1 EXT sub_reb 0 0 %s g_reb 0 0" % global_inst,
+        ]
+    if as_lines:
+        return lines
+    return _section("subsys_%s" % kind, lines)

@@ -1,0 +1,125 @@
+"""Wire Library data model (Figure 15).
+
+A wire spec line carries: wire name, wire width, and two endpoints, each
+``(module name, port name, wire MSB, wire LSB)`` -- the MSB/LSB select the
+*wire* bits the endpoint's port attaches to, which is how a 20-bit memory
+address port rides the low bits of a 32-bit address wire (Example 7).
+
+Module names may be *groups*, ``BAN[A,B,C,D]``: one spec line then
+describes the whole chain of identical links between consecutive members,
+expanded with enumerated suffixes (``w_data_1`` ... ``w_data_4``,
+Example 8 / Figure 17a, ring-closed).  An endpoint bit index written as
+``@`` resolves to the member's position in the group -- used to fan
+per-BAN request lines into an arbiter's request vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+__all__ = ["Endpoint", "WireSpec", "WireGroup"]
+
+MEMBER_INDEX = "@"
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One end of a wire: a module (or group) pin with wire-bit selection."""
+
+    module: str  # instance logical name, or group text "BAN[A,B,C]"
+    port: str
+    wire_msb: Union[int, str]  # int, or MEMBER_INDEX
+    wire_lsb: Union[int, str]
+
+    @property
+    def is_group(self) -> bool:
+        return "[" in self.module
+
+    @property
+    def group_base(self) -> str:
+        return self.module.split("[", 1)[0]
+
+    @property
+    def group_members(self) -> List[str]:
+        if not self.is_group:
+            return [self.module]
+        inner = self.module.split("[", 1)[1].rstrip("]")
+        return [member.strip() for member in inner.split(",") if member.strip()]
+
+    def member_name(self, member: str) -> str:
+        """Concrete instance name for one group member."""
+        if not self.is_group:
+            return self.module
+        base = self.group_base
+        return "%s_%s" % (base, member) if base else member
+
+    def resolve_bits(self, member_index: int) -> "Endpoint":
+        """Replace ``@`` bit indices with the member's position."""
+        msb = member_index if self.wire_msb == MEMBER_INDEX else self.wire_msb
+        lsb = member_index if self.wire_lsb == MEMBER_INDEX else self.wire_lsb
+        return Endpoint(self.module, self.port, msb, lsb)
+
+    @property
+    def width(self) -> Optional[int]:
+        if isinstance(self.wire_msb, int) and isinstance(self.wire_lsb, int):
+            return self.wire_msb - self.wire_lsb + 1
+        return None
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    """One line of the Wire Library."""
+
+    name: str
+    width: int
+    end1: Endpoint
+    end2: Endpoint
+
+    @property
+    def is_chain(self) -> bool:
+        """A BAN[..] group on both ends: a chain of BAN-to-BAN links."""
+        return (
+            self.end1.is_group
+            and self.end2.is_group
+            and self.end1.group_members == self.end2.group_members
+            and len(self.end1.group_members) > 1
+        )
+
+    def validate(self) -> None:
+        for endpoint in (self.end1, self.end2):
+            width = endpoint.width
+            if width is not None:
+                if width <= 0:
+                    raise ValueError(
+                        "wire %s: endpoint %s.%s has inverted bit range"
+                        % (self.name, endpoint.module, endpoint.port)
+                    )
+                if width > self.width:
+                    raise ValueError(
+                        "wire %s: endpoint %s.%s selects %d bits of a %d-bit wire"
+                        % (self.name, endpoint.module, endpoint.port, width, self.width)
+                    )
+                if isinstance(endpoint.wire_msb, int) and endpoint.wire_msb >= self.width:
+                    raise ValueError(
+                        "wire %s: endpoint %s.%s MSB %d outside width %d"
+                        % (
+                            self.name,
+                            endpoint.module,
+                            endpoint.port,
+                            endpoint.wire_msb,
+                            self.width,
+                        )
+                    )
+
+
+@dataclass
+class WireGroup:
+    """A named ``%wire`` section: all specs for one BAN or subsystem kind."""
+
+    name: str
+    specs: List[WireSpec]
+
+    def validate(self) -> None:
+        for spec in self.specs:
+            spec.validate()

@@ -1,0 +1,120 @@
+"""Parser for the Wire Library's ASCII format (Figure 15).
+
+Sections look like::
+
+    %wire ban_bfba
+    w_addr 32 CBI addr_local 31 0 SB addr_local 31 0
+    w_csb   8 CBI csb          7 0 SB csb_local   7 0
+    %endwire
+
+Ten whitespace-separated fields per line: wire name, wire width, then two
+endpoints of (module, port, wire-MSB, wire-LSB).  ``#`` starts a comment.
+Group module names (``BAN[A,B,C,D]``) and the ``@`` member-index bit marker
+are handled by the model layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from .model import MEMBER_INDEX, Endpoint, WireGroup, WireSpec
+
+__all__ = ["WireParseError", "parse_wire_text", "render_wire_text"]
+
+
+class WireParseError(ValueError):
+    pass
+
+
+def _parse_bit(token: str, where: str) -> Union[int, str]:
+    if token == MEMBER_INDEX:
+        return MEMBER_INDEX
+    try:
+        value = int(token)
+    except ValueError:
+        raise WireParseError("%s: bad bit index %r" % (where, token))
+    if value < 0:
+        raise WireParseError("%s: negative bit index %d" % (where, value))
+    return value
+
+
+def parse_wire_text(text: str) -> Dict[str, WireGroup]:
+    """Parse every %wire section in ``text``."""
+    groups: Dict[str, WireGroup] = {}
+    current: WireGroup = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        where = "line %d" % line_number
+        if line.startswith("%wire"):
+            if current is not None:
+                raise WireParseError("%s: nested %%wire section" % where)
+            parts = line.split()
+            if len(parts) != 2:
+                raise WireParseError("%s: %%wire needs a section name" % where)
+            if parts[1] in groups:
+                raise WireParseError("%s: duplicate section %r" % (where, parts[1]))
+            current = WireGroup(parts[1], [])
+            continue
+        if line.startswith("%endwire"):
+            if current is None:
+                raise WireParseError("%s: %%endwire outside a section" % where)
+            groups[current.name] = current
+            current = None
+            continue
+        if current is None:
+            raise WireParseError("%s: wire line outside a %%wire section" % where)
+        fields = line.split()
+        if len(fields) != 10:
+            raise WireParseError(
+                "%s: expected 10 fields (w_name w_width m1 p1 msb lsb m2 p2 msb lsb), got %d"
+                % (where, len(fields))
+            )
+        try:
+            width = int(fields[1])
+        except ValueError:
+            raise WireParseError("%s: bad wire width %r" % (where, fields[1]))
+        if width <= 0:
+            raise WireParseError("%s: wire width must be positive" % where)
+        spec = WireSpec(
+            name=fields[0],
+            width=width,
+            end1=Endpoint(
+                fields[2], fields[3], _parse_bit(fields[4], where), _parse_bit(fields[5], where)
+            ),
+            end2=Endpoint(
+                fields[6], fields[7], _parse_bit(fields[8], where), _parse_bit(fields[9], where)
+            ),
+        )
+        spec.validate()
+        current.specs.append(spec)
+    if current is not None:
+        raise WireParseError("unterminated %%wire section %r" % current.name)
+    return groups
+
+
+def render_wire_text(groups: Dict[str, WireGroup]) -> str:
+    """Inverse of :func:`parse_wire_text` (round-trips in tests)."""
+    lines: List[str] = []
+    for name in sorted(groups):
+        lines.append("%%wire %s" % name)
+        for spec in groups[name].specs:
+            lines.append(
+                "%s %d %s %s %s %s %s %s %s %s"
+                % (
+                    spec.name,
+                    spec.width,
+                    spec.end1.module,
+                    spec.end1.port,
+                    spec.end1.wire_msb,
+                    spec.end1.wire_lsb,
+                    spec.end2.module,
+                    spec.end2.port,
+                    spec.end2.wire_msb,
+                    spec.end2.wire_lsb,
+                )
+            )
+        lines.append("%endwire")
+        lines.append("")
+    return "\n".join(lines)

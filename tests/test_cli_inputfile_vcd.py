@@ -1,0 +1,167 @@
+"""Tests for the CLI, the option input-file format, and the VCD export."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.options import presets
+from repro.options.inputfile import parse_option_text, render_option_text
+from repro.options.schema import OptionError
+from repro.sim.fabric import build_machine
+from repro.sim.vcd import VcdWriter, vcd_from_machine
+from repro.soc.api import SocAPI
+from repro.soc.handshake import GbaviChannel
+
+EXAMPLE9 = """
+# Example 9: the BFBA Bus System of Figure 4
+bus_system 1
+subsystem SUB1
+  bans 4
+  bus BFBA
+    address_width 32
+    data_width 64
+    fifo_depth 1024
+  ban A
+    cpu MPC755
+    memory SRAM 20 64
+"""
+
+
+class TestInputFile:
+    def test_example9_round_trips_the_paper(self):
+        """Example 9's input sequence yields the Figure 4 BFBA system."""
+        spec = parse_option_text(EXAMPLE9, name="BFBA")
+        assert spec.pe_count == 4
+        assert spec.subsystems[0].buses[0].bus_type == "BFBA"
+        assert spec.subsystems[0].buses[0].fifo_depth == 1024
+        # 4 x 8 MB = the paper's 32 MB of total non-cache memory.
+        assert spec.total_memory_bytes == 32 * 2**20
+
+    def test_ban_fill_clones_shape(self):
+        spec = parse_option_text(EXAMPLE9)
+        bans = spec.subsystems[0].pe_bans
+        assert [ban.name for ban in bans] == ["A", "B", "C", "D"]
+        for ban in bans:
+            assert ban.cpu_type == "MPC755"
+            assert ban.memories[0].address_width == 20
+
+    def test_global_and_ip_modifiers(self):
+        text = """
+bus_system 1
+subsystem S
+  bus GBAVIII
+  ban A
+    cpu MPC755
+    memory SRAM 20 64
+  ban G global
+    memory SRAM 20 64
+  ban FFT ip DCT attach A
+"""
+        spec = parse_option_text(text)
+        subsystem = spec.subsystems[0]
+        assert subsystem.global_bans[0].name == "G"
+        ip = subsystem.ip_bans[0]
+        assert ip.non_cpu_type == "DCT" and ip.ip_attach == "A"
+
+    def test_subsystem_count_mismatch(self):
+        with pytest.raises(OptionError):
+            parse_option_text("bus_system 2\nsubsystem S\n  bus GBAVI\n  ban A\n    cpu MPC755\n    memory SRAM 20 64\n")
+
+    def test_unknown_line(self):
+        with pytest.raises(OptionError):
+            parse_option_text("frobnicate 3\n")
+
+    @pytest.mark.parametrize("name", ["BFBA", "GBAVII", "SPLITBA", "HYBRID"])
+    def test_render_parse_round_trip(self, name):
+        spec = presets.preset(name, 4)
+        text = render_option_text(spec)
+        again = parse_option_text(text, name=name)
+        assert again.pe_count == spec.pe_count
+        assert len(again.subsystems) == len(spec.subsystems)
+        for sub_a, sub_b in zip(spec.subsystems, again.subsystems):
+            assert [b.bus_type for b in sub_a.buses] == [b.bus_type for b in sub_b.buses]
+            assert [b.name for b in sub_a.bans] == [b.name for b in sub_b.bans]
+
+
+class TestCli:
+    def test_generate_writes_files(self, tmp_path):
+        out = str(tmp_path / "gen")
+        code = main(["generate", "--preset", "GBAVI", "--pes", "2", "--out", out])
+        assert code == 0
+        files = os.listdir(out)
+        assert "report.txt" in files
+        assert any(name.startswith("bus_system_") for name in files)
+
+    def test_generate_from_option_file(self, tmp_path):
+        option_file = tmp_path / "system.txt"
+        option_file.write_text(EXAMPLE9)
+        out = str(tmp_path / "gen")
+        code = main(["generate", "--options", str(option_file), "--out", out])
+        assert code == 0
+
+    def test_simulate_ofdm(self, capsys):
+        code = main(
+            ["simulate", "--preset", "GBAVIII", "--app", "ofdm", "--style", "FPA",
+             "--packets", "2"]
+        )
+        assert code == 0
+        assert "Mbps" in capsys.readouterr().out
+
+    def test_simulate_database(self, capsys):
+        code = main(["simulate", "--preset", "GGBA", "--app", "database"])
+        assert code == 0
+        assert "41 tasks" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "GBAVII" in out and "MBI_SRAM" in out
+
+
+class TestVcd:
+    def test_writer_format(self):
+        writer = VcdWriter()
+        a = writer.add_signal("top", "sig_a")
+        b = writer.add_signal("top", "bus_b", width=4)
+        writer.change(0, a, 0)
+        writer.change(5, a, 1)
+        writer.change(5, b, 0b1010, width=4)
+        text = writer.dumps()
+        assert "$var wire 1" in text and "$var wire 4" in text
+        assert "#5" in text
+        assert "b1010" in text
+        assert text.index("#0") < text.index("#5")
+
+    def test_negative_time_rejected(self):
+        writer = VcdWriter()
+        identifier = writer.add_signal("top", "x")
+        with pytest.raises(ValueError):
+            writer.change(-1, identifier, 0)
+
+    def test_machine_export_contains_handshake_edges(self):
+        machine = build_machine(presets.preset("GBAVI", 4), trace_hsregs=True)
+        for segment in machine.segments.values():
+            segment.arbiter.trace_enabled = True
+        channel = GbaviChannel(SocAPI(machine, "A"), SocAPI(machine, "B"), 8)
+
+        def sender():
+            yield from channel.send(list(range(8)))
+
+        def receiver():
+            yield from channel.recv()
+
+        machine.pe("A").run(sender())
+        machine.pe("B").run(receiver())
+        machine.sim.run()
+        text = vcd_from_machine(machine)
+        assert "done_op" in text and "done_rv" in text
+        assert "gnt_mpc755_a" in text
+        # The transfer produces real value changes after time zero: the
+        # handshake registers toggle and bus grants come and go.
+        body = text.split("$enddefinitions $end", 1)[1]
+        after_t0 = body.split("#", 2)[-1]
+        scalar_changes = [
+            line for line in after_t0.splitlines() if line[:1] in ("0", "1") and len(line) > 1
+        ]
+        assert len(scalar_changes) >= 6

@@ -1,0 +1,83 @@
+"""Smoke tests for the experiment drivers (small configurations).
+
+The full paper-scale runs live in benchmarks/; these tests exercise the
+same code paths at reduced size so the unit suite stays fast, plus the
+figure reproductions at full fidelity (they are cheap).
+"""
+
+import pytest
+
+from repro.apps.ofdm import OfdmParameters
+from repro.experiments import figures, table2, table3, table4, table5
+
+
+class TestTable2Driver:
+    def test_small_run_produces_rows(self):
+        rows = table2.run_table2(
+            packets=2,
+            cases=[(3, "GBAVIII", "FPA"), (4, "GBAVIII", "PPA")],
+        )
+        assert len(rows) == 2
+        by_style = {row.style: row for row in rows}
+        assert by_style["FPA"].throughput_mbps > by_style["PPA"].throughput_mbps
+        assert all(row.paper_mbps > 0 for row in rows)
+
+    def test_row_text(self):
+        rows = table2.run_table2(packets=2, cases=[(3, "GBAVIII", "FPA")])
+        assert "GBAVIII" in rows[0].text()
+
+
+class TestTable3Driver:
+    def test_small_run_verifies_frames(self):
+        rows = table3.run_table3(frame_count=8, cases=["GBAVIII", "HYBRID"])
+        assert all(row.frames_correct for row in rows)
+        assert all(row.throughput_mbps > 0 for row in rows)
+
+
+class TestTable4Driver:
+    def test_small_run(self):
+        rows = table4.run_table4(client_count=8)
+        assert [row.bus_system for row in rows] == ["GGBA", "SPLITBA"]
+        assert all(row.tasks_completed == 9 for row in rows)
+
+
+class TestTable5Driver:
+    def test_small_sweep_shape(self):
+        rows = table5.run_table5(pe_counts=[2, 4])
+        failures = []
+        for row in rows:
+            assert row.lint_errors == 0, row.bus_system
+            assert row.generation_time_ms < 10_000
+        buses = {row.bus_system for row in rows}
+        assert buses == set(table5.TABLE5_BUSES)
+
+    def test_full_shape_check_on_small_counts(self):
+        rows = table5.run_table5(pe_counts=[8, 16])
+        assert table5.check_table5_shape(rows) == []
+
+
+class TestFigures:
+    @pytest.mark.parametrize(
+        "protocol,expected",
+        [
+            ("GBAVI", figures.FIGURE11_ORDER),
+            ("BFBA", figures.FIGURE12_ORDER),
+            ("GBAVIII", figures.FIGURE13_ORDER),
+        ],
+    )
+    def test_handshake_step_orders(self, protocol, expected):
+        trace = figures.run_handshake_trace(protocol)
+        assert figures.check_step_order(trace, expected) == []
+
+    def test_figure26_schedules(self):
+        schedules = figures.run_figure26(packets=2)
+        assert figures.check_figure26(schedules) == []
+
+    def test_figure27_assignment(self):
+        assignment = figures.run_figure27()
+        assert figures.check_figure27(assignment) == []
+        assert assignment[0] == "A" and assignment[7] == "D"
+
+    def test_step_order_checker_catches_disorder(self):
+        trace = [("b", 1), ("a", 2)]
+        assert figures.check_step_order(trace, ["a", "b"]) != []

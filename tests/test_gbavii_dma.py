@@ -1,0 +1,144 @@
+"""Tests for the GBAVII extension and the DMA engine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.database import run_database
+from repro.apps.mpeg2.codec import decode_sequence, encode_sequence, synthetic_video
+from repro.apps.mpeg2.parallel import run_mpeg2
+from repro.apps.ofdm import OfdmParameters, run_ofdm
+from repro.core import BusSyn
+from repro.hdl import elaborate
+from repro.options import presets
+from repro.sim.dma import DmaEngine
+from repro.sim.fabric import build_machine
+from repro.soc.api import SocAPI
+
+
+class TestGbaviiTopology:
+    def test_fabric_shape(self):
+        machine = build_machine(presets.preset("GBAVII", 4))
+        assert len(machine.segments) == 5  # 4 PE segments + BAN G
+        bridge_names = {bridge.name for bridge in machine.bridges}
+        assert bridge_names == {"BB_AB", "BB_BC", "BB_CD", "BB_DG", "BB_GA"}
+        assert machine.global_memory == "GLOBAL_SRAM_G"
+
+    def test_shared_memory_reachable_from_every_pe(self):
+        machine = build_machine(presets.preset("GBAVII", 4))
+        results = {}
+
+        def reader(ban):
+            api = SocAPI(machine, ban)
+
+            def program():
+                yield from api.var_write("PING_%s" % ban, 1)
+                value = yield from api.var_read("PING_%s" % ban)
+                results[ban] = value
+
+            return program
+
+        for ban in machine.pe_order:
+            machine.pe(ban).run(reader(ban)())
+        machine.sim.run()
+        assert results == {"A": 1, "B": 1, "C": 1, "D": 1}
+
+    def test_generator_output(self):
+        generated = BusSyn().generate(presets.preset("GBAVII", 4))
+        assert generated.lint_errors() == []
+        counts = elaborate(generated.design())
+        assert counts["bb_gbavi"] == 4 + 5  # per-BAN BB_1 + 5 ring bridges
+        assert any(name.startswith("ban_global") for name in counts)
+
+    def test_performance_sits_between_versions(self):
+        """GBAVII interpolates: above GGBA, below GBAVIII (OFDM FPA)."""
+        params = OfdmParameters(packets=4)
+        v2 = run_ofdm(build_machine(presets.preset("GBAVII", 4)), "FPA", params)
+        v3 = run_ofdm(build_machine(presets.preset("GBAVIII", 4)), "FPA", params)
+        ggba = run_ofdm(build_machine(presets.preset("GGBA", 4)), "FPA", params)
+        assert ggba.throughput_mbps < v2.throughput_mbps < v3.throughput_mbps
+
+    def test_mpeg2_decodes_correctly(self):
+        video = synthetic_video(8)
+        gops, _ = decode_sequence(encode_sequence(video))
+        reference = {
+            (gop.index, i): frame for gop in gops for i, frame in enumerate(gop.frames)
+        }
+        result = run_mpeg2(build_machine(presets.preset("GBAVII", 4)), video)
+        assert sorted(result.frames) == sorted(reference)
+        for key in reference:
+            np.testing.assert_allclose(result.frames[key].y, reference[key].y, atol=0.51)
+
+    def test_database_runs(self):
+        result = run_database(
+            build_machine(presets.preset("GBAVII", 4)), client_count=8
+        )
+        assert result.tasks_completed == 9
+
+
+class TestDmaEngine:
+    def test_basic_copy(self):
+        machine = build_machine(presets.preset("GBAVIII", 4))
+        machine.memory("GLOBAL_SRAM_G").write(100, list(range(50)))
+        dma = DmaEngine(machine)
+        process = dma.copy(("GLOBAL_SRAM_G", 100), ("GLOBAL_SRAM_G", 500), 50)
+        machine.sim.run()
+        assert process.value == 50
+        assert machine.memory("GLOBAL_SRAM_G").read(500, 50) == list(range(50))
+        assert dma.transfers == 1 and dma.words_moved == 50
+
+    def test_copy_arbitrates_with_pes(self):
+        """The DMA is a real bus master: PE traffic and DMA interleave."""
+        machine = build_machine(presets.preset("GBAVIII", 4))
+        dma = DmaEngine(machine, chunk_words=16)
+        api = SocAPI(machine, "A")
+        machine.memory("GLOBAL_SRAM_G").write(0, [7] * 256)
+        dma.copy(("GLOBAL_SRAM_G", 0), ("GLOBAL_SRAM_G", 1024), 256)
+
+        def pe_traffic():
+            for _ in range(10):
+                yield from api.read(("GLOBAL_SRAM_G", 2048), 16)
+
+        machine.pe("A").run(pe_traffic())
+        machine.sim.run()
+        global_segment = machine.devices["GLOBAL_SRAM_G"].segment
+        masters = set(global_segment.stats.per_master)
+        assert "DMA0" in masters and api.pe.name in masters
+        assert machine.memory("GLOBAL_SRAM_G").read(1024, 3) == [7, 7, 7]
+
+    def test_overlaps_with_pe_compute(self):
+        """Offloading the copy frees the PE (the paper's DMA motivation)."""
+        def distribution_time(use_dma):
+            machine = build_machine(presets.preset("GBAVIII", 4))
+            api = SocAPI(machine, "A")
+            machine.memory("GLOBAL_SRAM_G").write(0, [1] * 2048)
+
+            def program():
+                if use_dma:
+                    dma = DmaEngine(machine)
+                    done = dma.copy(("GLOBAL_SRAM_G", 0), ("GLOBAL_SRAM_G", 4096), 2048)
+                    yield from api.compute(20_000)  # overlapped compute
+                    yield done
+                else:
+                    values = yield from api.read(("GLOBAL_SRAM_G", 0), 2048)
+                    yield from api.mem_write(values, ("GLOBAL_SRAM_G", 4096))
+                    yield from api.compute(20_000)
+
+            machine.pe("A").run(program())
+            machine.sim.run()
+            return machine.sim.now
+
+        assert distribution_time(True) < distribution_time(False)
+
+    def test_single_descriptor_at_a_time(self):
+        machine = build_machine(presets.preset("GBAVIII", 4))
+        dma = DmaEngine(machine)
+        dma.copy(("GLOBAL_SRAM_G", 0), ("GLOBAL_SRAM_G", 100), 64)
+        second = dma.copy(("GLOBAL_SRAM_G", 0), ("GLOBAL_SRAM_G", 200), 64)
+        machine.sim.run()
+        with pytest.raises(RuntimeError):
+            second.value
+
+    def test_requires_global_bus(self):
+        machine = build_machine(presets.preset("BFBA", 4))
+        with pytest.raises(ValueError):
+            DmaEngine(machine)

@@ -1,0 +1,262 @@
+"""Tests for the Verilog substrate: AST, parser, emitter, lint."""
+
+import pytest
+
+from repro.hdl import (
+    Assign,
+    Design,
+    Instance,
+    Module,
+    Parameter,
+    Port,
+    PortConnection,
+    Range,
+    VerilogParseError,
+    Wire,
+    elaborate,
+    emit_design,
+    emit_module,
+    lint_design,
+    parse_design,
+    parse_modules,
+)
+
+
+class TestAst:
+    def test_range_width(self):
+        assert Range(31, 0).width == 32
+        assert Range(0, 0).width == 1
+        assert str(Range(7, 4)) == "[7:4]"
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            Port("p", "bidir")
+
+    def test_module_lookup(self):
+        module = Module("m", ports=[Port("a", "input", Range(3, 0))])
+        module.add_wire("w", 8)
+        assert module.signal_width("a") == 4
+        assert module.signal_width("w") == 8
+        assert module.signal_width("nope") is None
+
+    def test_duplicate_wire_rejected(self):
+        module = Module("m")
+        module.add_wire("w")
+        with pytest.raises(ValueError):
+            module.add_wire("w")
+
+    def test_design_duplicate_module(self):
+        design = Design()
+        design.add(Module("m"))
+        with pytest.raises(ValueError):
+            design.add(Module("m"))
+
+    def test_connection_base_signal(self):
+        assert PortConnection("p", "wire_name[3:0]").base_signal == "wire_name"
+        assert PortConnection("p", "8'b0").base_signal == ""
+        assert PortConnection("p", "{a, b}").base_signal == ""
+
+
+SAMPLE = """
+// leading comment
+module leaf(clk, d, q, bus);
+  parameter WIDTH = 8;
+  input clk;
+  input [7:0] d;
+  output [7:0] q;
+  inout [15:0] bus;
+  reg [7:0] q_reg;
+  assign q = q_reg;
+  assign bus = (q_reg[0]) ? {d, q_reg} : 16'bz;
+  always @(posedge clk) begin
+    q_reg <= d;
+  end
+endmodule
+
+module top(clk);
+  input clk;
+  wire [7:0] a;
+  wire [7:0] b;
+  wire [15:0] shared;
+  leaf #(.WIDTH(8)) u0 (
+    .clk(clk),
+    .d(a),
+    .q(b),
+    .bus(shared)
+  );
+endmodule
+"""
+
+
+class TestParser:
+    def test_parses_modules(self):
+        modules = parse_modules(SAMPLE)
+        assert [m.name for m in modules] == ["leaf", "top"]
+
+    def test_ports_with_ranges(self):
+        leaf = parse_modules(SAMPLE)[0]
+        assert [p.name for p in leaf.ports] == ["clk", "d", "q", "bus"]
+        assert leaf.port("bus").direction == "inout"
+        assert leaf.port("bus").width == 16
+
+    def test_parameters(self):
+        leaf = parse_modules(SAMPLE)[0]
+        assert leaf.parameters[0].name == "WIDTH"
+        assert leaf.parameters[0].value == "8"
+
+    def test_regs_become_wires(self):
+        leaf = parse_modules(SAMPLE)[0]
+        assert leaf.wire("q_reg").width == 8
+
+    def test_assigns_captured(self):
+        leaf = parse_modules(SAMPLE)[0]
+        assert len(leaf.assigns) == 2
+        assert leaf.assigns[0].target == "q"
+
+    def test_always_block_captured_raw(self):
+        leaf = parse_modules(SAMPLE)[0]
+        assert len(leaf.raw_blocks) == 1
+        assert "q_reg <= d" in leaf.raw_blocks[0].text
+
+    def test_instance_connections(self):
+        top = parse_modules(SAMPLE)[1]
+        instance = top.instances[0]
+        assert instance.module == "leaf"
+        assert instance.parameter_overrides[0].name == "WIDTH"
+        assert instance.connection("bus").expression == "shared"
+
+    def test_comments_stripped(self):
+        modules = parse_modules("/* block */ module m(); // line\nendmodule")
+        assert modules[0].name == "m"
+
+    def test_memory_declaration(self):
+        source = "module m(clk);\ninput clk;\nreg [63:0] store [1023:0];\nendmodule"
+        module = parse_modules(source)[0]
+        assert module.wire("store").width == 64
+
+    def test_single_statement_always(self):
+        source = "module m(clk, q);\ninput clk;\noutput q;\nreg q;\nalways @(posedge clk) q <= ~q;\nendmodule"
+        module = parse_modules(source)[0]
+        assert len(module.raw_blocks) == 1
+
+    def test_case_block_nesting(self):
+        source = """
+module m(clk, s, q);
+  input clk;
+  input [1:0] s;
+  output q;
+  reg q;
+  always @(posedge clk) begin
+    case (s)
+      2'b00: q <= 1'b0;
+      default: q <= 1'b1;
+    endcase
+  end
+endmodule
+"""
+        module = parse_modules(source)[0]
+        assert "endcase" in module.raw_blocks[0].text
+
+    def test_missing_direction_rejected(self):
+        with pytest.raises(VerilogParseError):
+            parse_modules("module m(a);\nendmodule")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(VerilogParseError):
+            parse_modules("definitely not verilog")
+
+    def test_unterminated_module(self):
+        with pytest.raises(VerilogParseError):
+            parse_modules("module m(); input a")
+
+
+class TestEmitter:
+    def test_roundtrip(self):
+        design = parse_design(SAMPLE, top="top")
+        text = emit_design(design)
+        design2 = parse_design(text, top="top")
+        assert sorted(design2.modules) == sorted(design.modules)
+        leaf2 = design2.modules["leaf"]
+        assert [p.name for p in leaf2.ports] == ["clk", "d", "q", "bus"]
+        assert len(leaf2.assigns) == 2
+        assert len(leaf2.raw_blocks) == 1
+
+    def test_emit_module_header(self):
+        module = Module("m", ports=[Port("x", "input")])
+        text = emit_module(module)
+        assert text.startswith("module m(x);")
+        assert text.rstrip().endswith("endmodule")
+
+    def test_parameter_override_emitted(self):
+        module = Module("t", ports=[Port("clk", "input")])
+        module.instances.append(
+            Instance("leaf", "u0", [PortConnection("clk", "clk")], [Parameter("W", "4")])
+        )
+        assert "leaf #(.W(4)) u0 (" in emit_module(module)
+
+    def test_top_emitted_last(self):
+        design = parse_design(SAMPLE, top="top")
+        text = emit_design(design)
+        assert text.index("module leaf") < text.index("module top")
+
+
+class TestLint:
+    def test_clean_design(self):
+        design = parse_design(SAMPLE, top="top")
+        assert [m for m in lint_design(design) if m.severity == "error"] == []
+
+    def test_undefined_module(self):
+        design = parse_design("module t(c);\ninput c;\nghost u0 (.p(c));\nendmodule")
+        errors = [m for m in lint_design(design) if m.severity == "error"]
+        assert any("undefined module" in e.text for e in errors)
+
+    def test_unknown_port(self):
+        source = SAMPLE.replace(".d(a)", ".nonexistent(a)")
+        errors = [m for m in lint_design(parse_design(source)) if m.severity == "error"]
+        assert any("no port" in e.text for e in errors)
+
+    def test_width_mismatch(self):
+        source = SAMPLE.replace("wire [7:0] a;", "wire [3:0] a;")
+        errors = [m for m in lint_design(parse_design(source)) if m.severity == "error"]
+        assert any("width mismatch" in e.text for e in errors)
+
+    def test_undeclared_signal_in_connection(self):
+        source = SAMPLE.replace(".q(b)", ".q(phantom)").replace("wire [7:0] b;", "")
+        errors = [m for m in lint_design(parse_design(source)) if m.severity == "error"]
+        assert any("undeclared" in e.text for e in errors)
+
+    def test_dangling_port_is_warning(self):
+        source = SAMPLE.replace(".d(a),", "")
+        messages = lint_design(parse_design(source))
+        warnings = [m for m in messages if m.severity == "warning"]
+        assert any("dangling" in w.text for w in warnings)
+        assert not [m for m in messages if m.severity == "error"]
+
+    def test_double_driver(self):
+        source = """
+module drv(o);
+  output o;
+  assign o = 1'b0;
+endmodule
+module t(x);
+  output x;
+  drv u0 (.o(x));
+  drv u1 (.o(x));
+endmodule
+"""
+        errors = [m for m in lint_design(parse_design(source)) if m.severity == "error"]
+        assert any("drivers" in e.text for e in errors)
+
+    def test_missing_top(self):
+        design = parse_design(SAMPLE, top="nonexistent")
+        errors = [m for m in lint_design(design) if m.severity == "error"]
+        assert any("top module" in e.text for e in errors)
+
+    def test_elaborate_counts(self):
+        design = parse_design(SAMPLE, top="top")
+        counts = elaborate(design)
+        assert counts == {"top": 1, "leaf": 1}
+
+    def test_elaborate_requires_top(self):
+        with pytest.raises(ValueError):
+            elaborate(parse_design(SAMPLE))

@@ -1,0 +1,149 @@
+"""Cross-cutting integration tests: generator <-> simulator consistency,
+random-spec fuzzing, and end-to-end flows."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import BusSyn, build_machine, presets
+from repro.apps.ofdm import OfdmParameters, run_ofdm
+from repro.hdl import elaborate, lint_design, parse_design
+from repro.options.inputfile import parse_option_text, render_option_text
+from repro.options.schema import (
+    BANSpec,
+    BusSpec,
+    BusSubsystemSpec,
+    BusSystemSpec,
+    MemorySpec,
+)
+
+ALL_PRESETS = ["BFBA", "GBAVI", "GBAVII", "GBAVIII", "HYBRID", "SPLITBA", "GGBA", "CCBA"]
+
+
+class TestGeneratorSimulatorConsistency:
+    """The Verilog and the machine come from one spec; their shapes agree."""
+
+    @pytest.mark.parametrize("preset_name", ALL_PRESETS)
+    def test_pe_instances_match_machine(self, preset_name):
+        spec = presets.preset(preset_name, 4)
+        generated = BusSyn().generate(spec)
+        machine = build_machine(spec)
+        counts = elaborate(generated.design())
+        cpu_instances = sum(
+            count for name, count in counts.items() if name in ("mpc755", "arm9tdmi")
+        )
+        assert cpu_instances == len(machine.pes) == 4
+
+    @pytest.mark.parametrize("preset_name", ["BFBA", "HYBRID"])
+    def test_fifo_blocks_match(self, preset_name):
+        spec = presets.preset(preset_name, 4)
+        counts = elaborate(BusSyn().generate(spec).design())
+        machine = build_machine(spec)
+        fifo_instances = sum(
+            count for name, count in counts.items() if name.startswith("bififo")
+        )
+        assert fifo_instances == len(machine.fifo_blocks)
+
+    @pytest.mark.parametrize("preset_name", ["GBAVIII", "GGBA", "CCBA"])
+    def test_arbiter_master_count_matches(self, preset_name):
+        spec = presets.preset(preset_name, 4)
+        generated = BusSyn().generate(spec)
+        arbiter_modules = [
+            name for name in generated.design().modules if name.startswith("arbiter_")
+        ]
+        assert arbiter_modules == ["arbiter_fcfs_n4"]
+
+    def test_grant_cycles_agree(self):
+        spec = presets.preset("CCBA", 4)
+        generated = BusSyn().generate(spec)
+        machine = build_machine(spec)
+        assert "abi_n4_g5" in generated.design().modules
+        assert machine.segments["PLB_SUB1"].grant_cycles == 5
+
+
+class TestEndToEnd:
+    def test_quickstart_flow(self):
+        spec = presets.preset("GBAVIII", 4)
+        generated = BusSyn().generate(spec)
+        assert generated.lint_errors() == []
+        machine = generated.build_machine()
+        result = run_ofdm(
+            machine, "FPA", OfdmParameters(data_samples=256, guard_samples=64, packets=2)
+        )
+        assert result.throughput_mbps > 0
+
+    def test_option_file_to_verilog_to_machine(self):
+        text = render_option_text(presets.preset("HYBRID", 4))
+        spec = parse_option_text(text, name="HYBRID")
+        generated = BusSyn().generate(spec)
+        assert generated.lint_errors() == []
+        machine = build_machine(spec)
+        assert machine.fifo_blocks and machine.global_memory
+
+
+def _random_spec(draw) -> BusSystemSpec:
+    bus_type = draw(st.sampled_from(
+        ["BFBA", "GBAVI", "GBAVII", "GBAVIII", "SPLITBA", "GGBA", "CCBA"]
+    ))
+    pe_count = draw(st.integers(min_value=1, max_value=6))
+    cpu = draw(st.sampled_from(["MPC750", "MPC755", "MPC7410", "ARM9TDMI"]))
+    mem_aw = draw(st.sampled_from([16, 18, 20]))
+    fifo_depth = draw(st.sampled_from([64, 256, 1024]))
+    if bus_type == "SPLITBA" and pe_count < 2:
+        pe_count = 2
+    kwargs = {"cpu_type": cpu}
+    if bus_type == "BFBA":
+        kwargs["fifo_depth"] = fifo_depth
+    if bus_type not in ("GGBA",):
+        kwargs["mem_address_width"] = mem_aw
+    return presets.preset(bus_type, pe_count, **kwargs)
+
+
+@st.composite
+def random_specs(draw):
+    return _random_spec(draw)
+
+
+class TestFuzzing:
+    @given(random_specs())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_any_preset_shape_generates_lint_clean(self, spec):
+        """Property: every legal spec yields parseable, lint-clean Verilog
+        whose text round-trips through the parser."""
+        generated = BusSyn().generate(spec)
+        assert generated.lint_errors() == []
+        reparsed = parse_design(generated.verilog(), top=generated.top_name)
+        assert sorted(reparsed.modules) == sorted(generated.design().modules)
+        errors = [m for m in lint_design(reparsed) if m.severity == "error"]
+        assert errors == []
+
+    @given(random_specs())
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_any_preset_shape_builds_a_machine(self, spec):
+        """Property: the simulation twin builds and its PEs can touch their
+        program memories."""
+        machine = build_machine(spec)
+        assert len(machine.pes) == spec.pe_count
+        for pe in machine.pes.values():
+            memory = machine.memory(pe.program_device)
+            assert memory.size_words >= pe.code_footprint_words
+
+    @given(random_specs())
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_option_text_round_trip_property(self, spec):
+        text = render_option_text(spec)
+        again = parse_option_text(text, name=spec.name)
+        assert again.pe_count == spec.pe_count
+        assert render_option_text(again) == text

@@ -1,0 +1,289 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.fired
+
+    def test_succeed_carries_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        sim.run()
+        assert event.value == 42
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().value
+
+    def test_double_trigger_raises(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().fail("not an exception")
+
+    def test_fail_reraises_at_value(self, sim):
+        event = sim.event()
+        event.fail(RuntimeError("boom"))
+        sim.run()
+        with pytest.raises(RuntimeError):
+            event.value
+
+    def test_callback_runs_once(self, sim):
+        event = sim.event()
+        hits = []
+        event.add_callback(lambda e: hits.append(e.value))
+        event.succeed("x")
+        sim.run()
+        assert hits == ["x"]
+
+    def test_late_callback_still_runs(self, sim):
+        event = sim.event()
+        event.succeed(7)
+        sim.run()
+        hits = []
+        event.add_callback(lambda e: hits.append(e.value))
+        sim.run()
+        assert hits == [7]
+
+
+class TestTimeout:
+    def test_advances_clock(self, sim):
+        timeout = sim.timeout(25)
+        sim.run()
+        assert sim.now == 25
+        assert timeout.fired
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_zero_delay_fires_now(self, sim):
+        sim.timeout(0)
+        sim.run()
+        assert sim.now == 0
+
+    def test_carries_value(self, sim):
+        timeout = sim.timeout(3, value="done")
+        sim.run()
+        assert timeout.value == "done"
+
+
+class TestProcess:
+    def test_sequential_timeouts(self, sim):
+        trace = []
+
+        def body():
+            yield sim.timeout(10)
+            trace.append(sim.now)
+            yield sim.timeout(5)
+            trace.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert trace == [10, 15]
+
+    def test_integer_yield_means_timeout(self, sim):
+        def body():
+            yield 7
+            return sim.now
+
+        process = sim.process(body())
+        sim.run()
+        assert process.value == 7
+
+    def test_return_value_becomes_event_value(self, sim):
+        def body():
+            yield sim.timeout(1)
+            return "result"
+
+        process = sim.process(body())
+        sim.run()
+        assert process.value == "result"
+
+    def test_process_waits_on_process(self, sim):
+        def child():
+            yield sim.timeout(4)
+            return 99
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        parent_process = sim.process(parent())
+        sim.run()
+        assert parent_process.value == 100
+
+    def test_bad_yield_raises(self, sim):
+        def body():
+            yield "not an event"
+
+        sim.process(body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_exception_propagates_to_waiter(self, sim):
+        def child():
+            yield sim.timeout(1)
+            raise ValueError("inner")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError:
+                return "caught"
+
+        parent_process = sim.process(parent())
+        sim.run()
+        assert parent_process.value == "caught"
+
+    def test_interrupt_delivery(self, sim):
+        def body():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, sim.now)
+
+        process = sim.process(body())
+
+        def interrupter():
+            yield sim.timeout(10)
+            process.interrupt("cause!")
+
+        sim.process(interrupter())
+        sim.run()
+        assert process.value == ("interrupted", "cause!", 10)
+
+    def test_interrupt_dead_process_is_noop(self, sim):
+        def body():
+            yield sim.timeout(1)
+
+        process = sim.process(body())
+        sim.run()
+        process.interrupt()  # should not raise
+        assert not process.is_alive
+
+    def test_is_alive(self, sim):
+        def body():
+            yield sim.timeout(5)
+
+        process = sim.process(body())
+        assert process.is_alive
+        sim.run()
+        assert not process.is_alive
+
+
+class TestComposites:
+    def test_any_of_first_wins(self, sim):
+        def body():
+            fast = sim.timeout(3, "fast")
+            slow = sim.timeout(9, "slow")
+            winner = yield sim.any_of([fast, slow])
+            return winner.value
+
+        process = sim.process(body())
+        sim.run()
+        assert process.value == "fast"
+        assert sim.now == 9  # the slow timeout still fires
+
+    def test_all_of_waits_for_all(self, sim):
+        def body():
+            values = yield sim.all_of([sim.timeout(3, "a"), sim.timeout(9, "b")])
+            return (sim.now, values)
+
+        process = sim.process(body())
+        sim.run()
+        assert process.value == (9, ["a", "b"])
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        composite = sim.all_of([])
+        sim.run()
+        assert composite.value == []
+
+
+class TestScheduler:
+    def test_same_cycle_fifo_order(self, sim):
+        trace = []
+        for tag in "abc":
+            sim.timeout(5).add_callback(lambda e, t=tag: trace.append(t))
+        sim.run()
+        assert trace == ["a", "b", "c"]
+
+    def test_run_until_cycle(self, sim):
+        def body():
+            while True:
+                yield sim.timeout(10)
+
+        sim.process(body())
+        sim.run(until=35)
+        assert sim.now == 35
+
+    def test_run_until_event(self, sim):
+        def body():
+            yield sim.timeout(12)
+            return "finished"
+
+        process = sim.process(body())
+        value = sim.run(until=process)
+        assert value == "finished"
+        assert sim.now == 12
+
+    def test_run_until_unreachable_event_raises(self, sim):
+        event = sim.event()
+        sim.timeout(1)
+        with pytest.raises(SimulationError):
+            sim.run(until=event)
+
+    def test_event_limit_guards_livelock(self, sim):
+        def spinner():
+            while True:
+                yield sim.timeout(1)
+
+        sim.process(spinner())
+        with pytest.raises(SimulationError):
+            sim.run(limit=100)
+
+    def test_determinism(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def worker(tag, period):
+                while sim.now < 100:
+                    yield sim.timeout(period)
+                    trace.append((sim.now, tag))
+
+            sim.process(worker("x", 3))
+            sim.process(worker("y", 5))
+            sim.run(until=100)
+            return trace
+
+        assert run_once() == run_once()
+
+    def test_peek(self, sim):
+        assert sim.peek() is None
+        sim.timeout(8)
+        assert sim.peek() == 8

@@ -1,0 +1,167 @@
+"""Tests for the Module Library (templates, expansion, built-ins)."""
+
+import pytest
+
+from repro.hdl import Design, lint_design, parse_design
+from repro.moduledb import (
+    DEFAULT_PARAMETERS,
+    ModuleLibrary,
+    TemplateError,
+    default_library,
+    parse_library_text,
+    render_library_text,
+)
+
+
+SAMPLE_LIBRARY = """
+%module COUNTER
+module @MODULE_NAME@(clk, rst_n, count);
+  parameter WIDTH = @WIDTH@;
+  input clk;
+  input rst_n;
+  output [@WIDTH_MSB@:0] count;
+  reg [@WIDTH_MSB@:0] count_q;
+  assign count = count_q;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      count_q <= @WIDTH@'b0;
+    end else begin
+      count_q <= count_q + 1;
+    end
+  end
+endmodule
+%endmodule COUNTER
+"""
+
+
+class TestFormat:
+    def test_parse_blocks(self):
+        templates = parse_library_text(SAMPLE_LIBRARY)
+        assert list(templates) == ["COUNTER"]
+        assert "@WIDTH@" in templates["COUNTER"].body
+
+    def test_parameters_listed_in_order(self):
+        template = parse_library_text(SAMPLE_LIBRARY)["COUNTER"]
+        assert template.parameters[0] == "MODULE_NAME"
+        assert "WIDTH" in template.parameters
+
+    def test_expand_substitutes(self):
+        template = parse_library_text(SAMPLE_LIBRARY)["COUNTER"]
+        text = template.expand({"MODULE_NAME": "ctr8", "WIDTH": 8, "WIDTH_MSB": 7})
+        assert "module ctr8(" in text
+        assert "@WIDTH@" not in text and "@WIDTH_MSB@" not in text
+
+    def test_expand_missing_parameter(self):
+        template = parse_library_text(SAMPLE_LIBRARY)["COUNTER"]
+        with pytest.raises(TemplateError):
+            template.expand({"MODULE_NAME": "x"})
+
+    def test_duplicate_component_rejected(self):
+        with pytest.raises(TemplateError):
+            parse_library_text(SAMPLE_LIBRARY + SAMPLE_LIBRARY)
+
+    def test_stray_text_rejected(self):
+        with pytest.raises(TemplateError):
+            parse_library_text("junk before\n" + SAMPLE_LIBRARY)
+
+    def test_render_roundtrip(self):
+        templates = parse_library_text(SAMPLE_LIBRARY)
+        text = render_library_text(templates)
+        again = parse_library_text(text)
+        assert again["COUNTER"].body == templates["COUNTER"].body
+
+
+class TestLibrary:
+    def test_load_and_generate_user_component(self):
+        library = ModuleLibrary(SAMPLE_LIBRARY)
+        generated = library.generate("COUNTER", "ctr4", WIDTH=4)
+        assert generated.name == "ctr4"
+        assert generated.module.port("count").width == 4
+
+    def test_generation_cached(self):
+        library = ModuleLibrary(SAMPLE_LIBRARY)
+        a = library.generate("COUNTER", "c", WIDTH=4)
+        b = library.generate("COUNTER", "c", WIDTH=4)
+        assert a is b
+
+    def test_unknown_component(self):
+        library = ModuleLibrary()
+        with pytest.raises(KeyError):
+            library.generate("MISSING")
+
+    def test_double_load_rejected(self):
+        library = ModuleLibrary(SAMPLE_LIBRARY)
+        with pytest.raises(TemplateError):
+            library.load_text(SAMPLE_LIBRARY)
+
+    def test_derived_msb(self):
+        library = ModuleLibrary(SAMPLE_LIBRARY)
+        generated = library.generate("COUNTER", "c16", WIDTH=16)
+        assert generated.module.port("count").width == 16
+
+
+class TestBuiltins:
+    @pytest.fixture(scope="class")
+    def library(self):
+        return default_library()
+
+    def test_paper_component_list_present(self, library):
+        """Section V.A items (A)-(I) are all in the library."""
+        for component in (
+            "MPC750", "MPC755", "MPC7410", "ARM9TDMI",          # (A)
+            "CBI_MPC755", "CBI_ARM9TDMI",                        # (B)
+            "SRAM_comp", "DRAM_comp",                            # (C)
+            "MBI_SRAM", "MBI_DRAM",                              # (D)
+            "BB_GBAVI", "BB_SPLITBA",                            # (E)
+            "ARBITER_FCFS", "ARBITER_ROUND_ROBIN", "ARBITER_PRIORITY",  # (F)
+            "ABI",                                               # (G)
+            "GBI_GBAVI", "GBI_GBAVIII", "GBI_BFBA",              # (H)
+            "SB_GBAVI", "SB_GBAVIII", "SB_BFBA",                 # (I)
+            "HS_REGS", "BIFIFO",
+        ):
+            assert component in library, component
+
+    def test_every_component_generates_and_lints(self, library):
+        for component in library.components():
+            generated = library.generate(component, component.lower() + "_x")
+            design = parse_design(generated.text, top=generated.name)
+            errors = [m for m in lint_design(design) if m.severity == "error"]
+            assert errors == [], (component, errors)
+
+    def test_mbi_sram_matches_paper_parameters(self, library):
+        """Example 6: MEM_A_WIDTH=20, MEM_D_WIDTH=64, BIT_DIFFERENCE=0."""
+        generated = library.generate("MBI_SRAM", "mbi20")
+        assert generated.parameters["MEM_A_WIDTH"] == 20
+        assert generated.parameters["MEM_D_WIDTH"] == 64
+        assert generated.module.port("sram_addr").width == 20
+        assert generated.module.port("sram_dq").width == 64
+
+    def test_mbi_sram_bit_difference_padding(self, library):
+        generated = library.generate(
+            "MBI_SRAM", "mbi_narrow", MEM_D_WIDTH=32, BIT_DIFFERENCE=32
+        )
+        assert "32'b0," in generated.text
+
+    def test_memory_template_any_size(self, library):
+        """Component (C): 'generate any size of behavioural memory'."""
+        for width in (10, 16, 24):
+            generated = library.generate("SRAM_comp", "s%d" % width, MEM_A_WIDTH=width)
+            assert generated.module.port("sram_addr").width == width
+
+    def test_arbiter_master_scaling(self, library):
+        for n in (2, 8, 16):
+            generated = library.generate("ARBITER_FCFS", "arb%d" % n, N_MASTERS=n)
+            assert generated.module.port("req_b").width == n
+
+    def test_bififo_pointer_width_follows_depth(self, library):
+        shallow = library.generate("BIFIFO", "f16", FIFO_DEPTH=16)
+        deep = library.generate("BIFIFO", "f1024", FIFO_DEPTH=1024)
+        assert deep.parameters["PTR_WIDTH"] > shallow.parameters["PTR_WIDTH"]
+
+    def test_hs_regs_reset_parameters(self, library):
+        generated = library.generate("HS_REGS", "hs1", OP_RESET="1'b1")
+        assert "OP_RESET = 1'b1" in generated.text
+
+    def test_defaults_table_covers_all_builtins(self, library):
+        for component in library.components():
+            assert component in DEFAULT_PARAMETERS, component

@@ -1,0 +1,242 @@
+"""Tests for the MPEG2 codec: bitstream, DCT, quantization, encode/decode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.mpeg2.bitstream import (
+    BitReader,
+    BitWriter,
+    END_CODE,
+    GOP_START,
+    SEQUENCE_START,
+)
+from repro.apps.mpeg2.codec import (
+    SequenceHeader,
+    decode_gop_payloads,
+    decode_sequence,
+    encode_sequence,
+    iter_decode_chunk,
+    psnr,
+    split_stream,
+    synthetic_video,
+)
+from repro.apps.mpeg2.dct import BLOCK, ZIGZAG_ORDER, dct2, dct_matrix, dezigzag, idct2, zigzag
+from repro.apps.mpeg2.quant import INTRA_QUANT_MATRIX, dequantize, quantize
+
+
+class TestBitstream:
+    def test_fixed_bits_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        writer.write_bits(0x1FF, 9)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(4) == 0b1011
+        assert reader.read_bits(9) == 0x1FF
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(4, 2)
+
+    def test_exp_golomb_known_values(self):
+        writer = BitWriter()
+        for value in (0, 1, 2, 7):
+            writer.write_ue(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_ue() for _ in range(4)] == [0, 1, 2, 7]
+
+    def test_start_code_scan(self):
+        writer = BitWriter()
+        writer.write_bits(0xAB, 8)
+        writer.start_code(SEQUENCE_START)
+        writer.write_bits(3, 4)
+        writer.start_code(GOP_START)
+        reader = BitReader(writer.getvalue())
+        assert reader.next_start_code() == SEQUENCE_START
+        assert reader.read_bits(4) == 3
+        assert reader.next_start_code() == GOP_START
+        assert reader.next_start_code() is None
+
+    def test_expect_start_code_mismatch(self):
+        writer = BitWriter()
+        writer.start_code(GOP_START)
+        reader = BitReader(writer.getvalue())
+        with pytest.raises(ValueError):
+            reader.expect_start_code(SEQUENCE_START)
+
+    def test_eof(self):
+        reader = BitReader(b"\x01")
+        reader.read_bits(8)
+        with pytest.raises(EOFError):
+            reader.read_bits(1)
+
+    @given(st.lists(st.integers(min_value=-500, max_value=500), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_signed_exp_golomb_roundtrip(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_se(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_se() for _ in values] == values
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(1, 8)), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_bits_roundtrip_property(self, fields):
+        writer = BitWriter()
+        clipped = [(value & ((1 << width) - 1), width) for value, width in fields]
+        for value, width in clipped:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bits(width) for _value, width in clipped] == [
+            value for value, _width in clipped
+        ]
+
+
+class TestDct:
+    def test_basis_is_orthonormal(self):
+        c = dct_matrix()
+        np.testing.assert_allclose(c @ c.T, np.eye(BLOCK), atol=1e-12)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(3)
+        block = rng.uniform(-128, 127, (8, 8))
+        np.testing.assert_allclose(idct2(dct2(block)), block, atol=1e-9)
+
+    def test_dc_coefficient(self):
+        block = np.full((8, 8), 16.0)
+        coefficients = dct2(block)
+        assert coefficients[0, 0] == pytest.approx(128.0)  # 16 * 8
+        assert np.abs(coefficients).sum() == pytest.approx(128.0)
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            dct2(np.zeros((4, 4)))
+
+    def test_zigzag_starts_at_dc_and_covers_block(self):
+        assert ZIGZAG_ORDER[0] == 0
+        assert sorted(ZIGZAG_ORDER) == list(range(64))
+        # Classic zig-zag: second and third entries are (0,1) and (1,0).
+        assert list(ZIGZAG_ORDER[1:3]) == [1, 8]
+
+    def test_zigzag_roundtrip(self):
+        block = np.arange(64).reshape(8, 8)
+        np.testing.assert_array_equal(dezigzag(zigzag(block)), block)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_preserved_property(self, seed):
+        rng = np.random.default_rng(seed)
+        block = rng.uniform(-100, 100, (8, 8))
+        np.testing.assert_allclose(
+            np.sum(dct2(block) ** 2), np.sum(block ** 2), rtol=1e-9
+        )
+
+
+class TestQuant:
+    def test_quantize_dequantize_error_bounded(self):
+        rng = np.random.default_rng(5)
+        coefficients = rng.uniform(-200, 200, (8, 8))
+        levels = quantize(coefficients, intra=True, quantizer_scale=4)
+        recovered = dequantize(levels, intra=True, quantizer_scale=4)
+        step = INTRA_QUANT_MATRIX * 4 / 16.0
+        assert np.all(np.abs(recovered - coefficients) <= step / 2 + 1e-9)
+
+    def test_higher_scale_coarser(self):
+        coefficients = np.full((8, 8), 30.0)
+        fine = quantize(coefficients, True, 1)
+        coarse = quantize(coefficients, True, 16)
+        assert np.abs(fine).sum() > np.abs(coarse).sum()
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros((8, 8)), True, 0)
+        with pytest.raises(ValueError):
+            dequantize(np.zeros((8, 8)), False, 0)
+
+    def test_nonintra_flat_matrix(self):
+        levels = quantize(np.full((8, 8), 16.0), intra=False, quantizer_scale=16)
+        assert np.all(levels == 1)
+
+
+class TestCodec:
+    def test_stream_structure(self):
+        stream = encode_sequence(synthetic_video(4))
+        chunks = split_stream(stream)
+        assert len(chunks) == 2  # 4 frames -> 2 GOPs
+        assert stream.endswith(b"\x00\x00\x01" + bytes([END_CODE]))
+
+    def test_stream_size_matches_paper_scale(self):
+        """The paper's 16-frame input stream was ~1.47 KB."""
+        stream = encode_sequence(synthetic_video(16))
+        assert 800 <= len(stream) <= 4000
+
+    def test_decode_quality(self):
+        video = synthetic_video(8)
+        gops, _stats = decode_sequence(encode_sequence(video))
+        decoded = [frame for gop in gops for frame in gop.frames]
+        assert len(decoded) == 8
+        for original, out in zip(video, decoded):
+            assert psnr(original.y, out.y) > 32.0
+            assert psnr(original.cb, out.cb) > 32.0
+
+    def test_gop_structure_i_then_p(self):
+        gops, _stats = decode_sequence(encode_sequence(synthetic_video(6)))
+        for gop in gops:
+            assert [frame.picture_type for frame in gop.frames] == ["I", "P"]
+
+    def test_chunks_decode_independently(self):
+        video = synthetic_video(8)
+        stream = encode_sequence(video)
+        serial_gops, _ = decode_sequence(stream)
+        for chunk, expected in zip(split_stream(stream), serial_gops):
+            gop, _stats = decode_gop_payloads(chunk)
+            assert gop.index == expected.index
+            for frame, expected_frame in zip(gop.frames, expected.frames):
+                np.testing.assert_allclose(frame.y, expected_frame.y)
+
+    def test_iter_decode_matches_batch(self):
+        stream = encode_sequence(synthetic_video(4))
+        chunk = split_stream(stream)[1]
+        batch_gop, batch_stats = decode_gop_payloads(chunk)
+        streamed = list(iter_decode_chunk(chunk))
+        assert len(streamed) == len(batch_gop.frames)
+        total_blocks = sum(stats.blocks for _g, _f, stats in streamed)
+        assert total_blocks == batch_stats.blocks
+        for (gop_index, frame, _stats), expected in zip(streamed, batch_gop.frames):
+            assert gop_index == batch_gop.index
+            np.testing.assert_allclose(frame.y, expected.y)
+
+    def test_stats_counts(self):
+        _gops, stats = decode_sequence(encode_sequence(synthetic_video(4)))
+        assert stats.pictures == 4
+        assert stats.blocks == 4 * 6  # 4 luma + 2 chroma per 16x16 picture
+        assert stats.motion_blocks == 2 * 6  # P frames only
+        assert stats.coefficients > 0
+
+    def test_p_frames_exploit_temporal_redundancy(self):
+        """A P frame of unchanged content must cost far less than its I frame."""
+        still = synthetic_video(1) * 2  # two identical frames
+        both = len(encode_sequence(still))
+        i_only = len(encode_sequence(still[:1]))
+        p_cost = both - i_only
+        assert p_cost < 0.5 * i_only
+
+    def test_header_validation(self):
+        with pytest.raises(ValueError):
+            SequenceHeader(width=20).validate()
+        with pytest.raises(ValueError):
+            SequenceHeader(quantizer_scale=0).validate()
+
+    def test_empty_video_rejected(self):
+        with pytest.raises(ValueError):
+            encode_sequence([])
+
+    def test_synthetic_video_deterministic(self):
+        a = synthetic_video(3)
+        b = synthetic_video(3)
+        for frame_a, frame_b in zip(a, b):
+            np.testing.assert_array_equal(frame_a.y, frame_b.y)
+
+    def test_psnr_infinite_for_identical(self):
+        frame = synthetic_video(1)[0]
+        assert psnr(frame.y, frame.y) == float("inf")

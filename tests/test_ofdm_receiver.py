@@ -1,0 +1,104 @@
+"""Tests for the OFDM receiver (end-to-end modem verification)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.ofdm import OfdmParameters, transmit_packet
+from repro.apps.ofdm.receiver import (
+    ChannelModel,
+    bit_error_rate,
+    demap,
+    receive_packet,
+    remove_guard,
+)
+from repro.apps.ofdm.transmitter import generate_bits, symbol_map, train_pulse
+
+PARAMS = OfdmParameters(data_samples=256, guard_samples=64)
+
+
+class TestDemap:
+    def test_inverse_of_symbol_map(self):
+        bits = np.array([0, 0, 0, 1, 1, 0, 1, 1])
+        np.testing.assert_array_equal(demap(symbol_map(bits)), bits)
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=128).filter(lambda b: len(b) % 2 == 0))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, bits):
+        np.testing.assert_array_equal(demap(symbol_map(np.array(bits))), bits)
+
+
+class TestGuard:
+    def test_remove_guard(self):
+        packet = transmit_packet(PARAMS, 0)
+        data = remove_guard(packet, PARAMS.guard_samples)
+        assert len(data) == PARAMS.data_samples
+
+    def test_guard_longer_than_packet(self):
+        with pytest.raises(ValueError):
+            remove_guard(np.zeros(4), 8)
+
+
+class TestEndToEnd:
+    def test_clean_channel_is_error_free(self):
+        """The modem property: transmit -> receive recovers every bit."""
+        for packet_index in range(3):
+            bits = generate_bits(PARAMS, packet_index)
+            packet = transmit_packet(PARAMS, packet_index)
+            recovered = receive_packet(PARAMS, packet)
+            assert bit_error_rate(bits, recovered) == 0.0
+
+    def test_flat_channel_with_known_gain(self):
+        gain = 0.7 * np.exp(1j * 1.1)
+        bits = generate_bits(PARAMS, 0)
+        packet = ChannelModel(gain=gain).apply(transmit_packet(PARAMS, 0))
+        recovered = receive_packet(PARAMS, packet, channel_estimate=gain)
+        assert bit_error_rate(bits, recovered) == 0.0
+
+    def test_high_snr_error_free_low_snr_degrades(self):
+        bits = generate_bits(PARAMS, 0)
+        packet = transmit_packet(PARAMS, 0)
+        high = receive_packet(PARAMS, ChannelModel(snr_db=25).apply(packet))
+        low = receive_packet(PARAMS, ChannelModel(snr_db=0).apply(packet))
+        assert bit_error_rate(bits, high) == 0.0
+        low_ber = bit_error_rate(bits, low)
+        assert 0.0 < low_ber < 0.5  # noisy but far better than chance
+
+    def test_ber_monotone_in_snr(self):
+        bits = generate_bits(PARAMS, 0)
+        packet = transmit_packet(PARAMS, 0)
+        bers = []
+        for snr in (0, 6, 12):
+            received = receive_packet(PARAMS, ChannelModel(snr_db=snr, seed=7).apply(packet))
+            bers.append(bit_error_rate(bits, received))
+        assert bers[0] >= bers[1] >= bers[2]
+
+    def test_train_pulse_channel_estimation(self):
+        """Figure 24's train pulse supports channel estimation."""
+        gain = 0.6 + 0.5j
+        channel = ChannelModel(gain=gain, snr_db=25)
+        stream = np.concatenate([train_pulse(PARAMS), transmit_packet(PARAMS, 0)])
+        received = channel.apply(stream)
+        estimate = channel.estimate_from_train(PARAMS, received)
+        assert abs(estimate - gain) < 0.05
+        bits = generate_bits(PARAMS, 0)
+        packet = received[len(train_pulse(PARAMS)):]
+        recovered = receive_packet(PARAMS, packet, channel_estimate=estimate)
+        # The IFFT-normalized data block carries far less power than the
+        # constant-envelope train pulse the SNR was set against, so some
+        # residual errors remain -- but well under the decodable waterline.
+        assert bit_error_rate(bits, recovered) < 0.15
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            receive_packet(PARAMS, np.zeros(100, dtype=complex))
+
+    def test_ber_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bit_error_rate([0, 1], [0])
+
+    def test_delay_shifts_stream(self):
+        channel = ChannelModel(delay_samples=7)
+        out = channel.apply(np.ones(10))
+        assert len(out) == 17
+        assert np.all(out[:7] == 0)

@@ -1,0 +1,172 @@
+"""Tests for the user-option schema (Figure 18) and presets."""
+
+import pytest
+
+from repro.options import presets
+from repro.options.schema import (
+    BANSpec,
+    BusSpec,
+    BusSubsystemSpec,
+    BusSystemSpec,
+    MemorySpec,
+    OptionError,
+)
+
+
+class TestMemorySpec:
+    def test_size_math_matches_example9(self):
+        """Example 9: width 20 x 64 bits = 8 MB."""
+        memory = MemorySpec("SRAM", address_width=20, data_width=64)
+        assert memory.size_bytes == 8 * 2**20
+        assert memory.size_words == 2 * 2**20
+
+    def test_type_validation(self):
+        with pytest.raises(OptionError):
+            MemorySpec("FLASH").validate("here")
+
+    def test_width_validation(self):
+        with pytest.raises(OptionError):
+            MemorySpec("SRAM", address_width=40).validate("here")
+        with pytest.raises(OptionError):
+            MemorySpec("SRAM", data_width=48).validate("here")
+
+    def test_none_skips_checks(self):
+        MemorySpec("NONE", address_width=99).validate("here")
+
+
+class TestBanSpec:
+    def test_cpu_and_non_cpu_exclusive(self):
+        """Definition F: a BAN holds at most one PE."""
+        ban = BANSpec("X", cpu_type="MPC755", non_cpu_type="DCT")
+        with pytest.raises(OptionError):
+            ban.validate()
+
+    def test_unknown_cpu(self):
+        with pytest.raises(OptionError):
+            BANSpec("X", cpu_type="PENTIUM").validate()
+
+    def test_global_resource_needs_memory(self):
+        with pytest.raises(OptionError):
+            BANSpec("G", cpu_type="NONE", is_global_resource=True).validate()
+
+    def test_has_pe(self):
+        assert BANSpec("X", cpu_type="MPC750").has_pe
+        assert not BANSpec("G", cpu_type="NONE").has_pe
+
+
+class TestBusSpec:
+    def test_fifo_depth_only_for_bfba(self):
+        """User option 3.3 is 'available only for BFBA and Hybrid'."""
+        with pytest.raises(OptionError):
+            BusSpec("GBAVIII", fifo_depth=64).validate("here")
+        BusSpec("BFBA", fifo_depth=64).validate("here")
+
+    def test_bfba_needs_depth(self):
+        with pytest.raises(OptionError):
+            BusSpec("BFBA").validate("here")
+
+    def test_unknown_type(self):
+        with pytest.raises(OptionError):
+            BusSpec("TOKENRING").validate("here")
+
+    def test_write_grant_default(self):
+        assert BusSpec("GBAVIII", grant_cycles=3).effective_write_grant == 3
+        assert BusSpec("CCBA", grant_cycles=5, write_grant_cycles=3).effective_write_grant == 3
+
+
+class TestSubsystemSpec:
+    def test_duplicate_ban_names(self):
+        subsystem = BusSubsystemSpec(
+            "S",
+            bans=[BANSpec("A"), BANSpec("A")],
+            buses=[BusSpec("GBAVI")],
+        )
+        with pytest.raises(OptionError):
+            subsystem.validate()
+
+    def test_global_bus_needs_global_ban(self):
+        subsystem = BusSubsystemSpec("S", bans=[BANSpec("A")], buses=[BusSpec("GBAVIII")])
+        with pytest.raises(OptionError):
+            subsystem.validate()
+
+    def test_duplicate_bus_types(self):
+        subsystem = BusSubsystemSpec(
+            "S", bans=[BANSpec("A")], buses=[BusSpec("GBAVI"), BusSpec("GBAVI")]
+        )
+        with pytest.raises(OptionError):
+            subsystem.validate()
+
+    def test_needs_bus_and_ban(self):
+        with pytest.raises(OptionError):
+            BusSubsystemSpec("S", bans=[], buses=[BusSpec("GBAVI")]).validate()
+        with pytest.raises(OptionError):
+            BusSubsystemSpec("S", bans=[BANSpec("A")], buses=[]).validate()
+
+
+class TestSystemSpec:
+    def test_implied_bridge_chain(self):
+        spec = presets.splitba(4)
+        assert spec.effective_bridges() == [("SUB1", "SUB2")]
+
+    def test_bridge_validation(self):
+        spec = presets.splitba(4)
+        spec.bridges = [("SUB1", "NOWHERE")]
+        with pytest.raises(OptionError):
+            spec.validate()
+        spec.bridges = [("SUB1", "SUB1")]
+        with pytest.raises(OptionError):
+            spec.validate()
+
+    def test_pe_count(self):
+        assert presets.gbaviii(4).pe_count == 4
+        assert presets.splitba(6).pe_count == 6
+
+    def test_total_memory_paper_configuration(self):
+        """Section IV.B: all examples have 32 MB total memory."""
+        for name in ("BFBA", "GBAVI"):
+            assert presets.preset(name, 4).total_memory_bytes == 32 * 2**20
+
+
+class TestPresets:
+    def test_ban_letters_skip_g(self):
+        letters = presets.ban_letters(8)
+        assert "G" not in letters
+        assert letters[:4] == ["A", "B", "C", "D"]
+
+    def test_ban_letters_beyond_alphabet(self):
+        letters = presets.ban_letters(30)
+        assert len(letters) == 30
+        assert len(set(letters)) == 30
+
+    @pytest.mark.parametrize("name", sorted(presets.PRESETS))
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_presets_validate_at_many_sizes(self, name, n):
+        if name == "SPLITBA" and n < 2:
+            with pytest.raises(OptionError):
+                presets.preset(name, n)
+            return
+        spec = presets.preset(name, n)
+        spec.validate()
+        assert spec.pe_count == n
+
+    def test_unknown_preset(self):
+        with pytest.raises(OptionError):
+            presets.preset("TOKENRING")
+
+    def test_splitba_halves(self):
+        spec = presets.splitba(6)
+        assert len(spec.subsystems) == 2
+        assert len(spec.subsystems[0].pe_bans) == 3
+        assert len(spec.subsystems[1].pe_bans) == 3
+
+    def test_ggba_bans_have_no_local_memory(self):
+        spec = presets.ggba(4)
+        assert all(not ban.memories for ban in spec.subsystems[0].pe_bans)
+
+    def test_ccba_read_write_grants(self):
+        bus = presets.ccba(4).subsystems[0].buses[0]
+        assert bus.grant_cycles == 5 and bus.effective_write_grant == 3
+
+    def test_cpu_type_parameter(self):
+        spec = presets.bfba(4, cpu_type="ARM9TDMI")
+        assert all(b.cpu_type == "ARM9TDMI" for b in spec.subsystems[0].pe_bans)

@@ -1,0 +1,104 @@
+"""Tests for data packing helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.soc import pack
+
+
+class TestQ15:
+    def test_roundtrip_small_values(self):
+        samples = [0.5 + 0.25j, -0.75 - 0.125j, 0j]
+        words = pack.complex_to_words(samples)
+        back = pack.words_to_complex(words)
+        np.testing.assert_allclose(back, samples, atol=1 / pack.Q15_SCALE)
+
+    def test_clipping(self):
+        words = pack.complex_to_words([2.0 + 2.0j])
+        back = pack.words_to_complex(words)[0]
+        assert back.real <= 1.0 and back.imag <= 1.0
+
+    @given(
+        st.lists(
+            st.complex_numbers(max_magnitude=0.99, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, samples):
+        words = pack.complex_to_words(samples)
+        assert all(0 <= w < 2**32 for w in words)
+        back = pack.words_to_complex(words)
+        np.testing.assert_allclose(back, samples, atol=2 / pack.Q15_SCALE)
+
+
+class TestFloat32:
+    def test_roundtrip_exact_for_float32(self):
+        samples = np.array([1.5 - 2.25j, 1e-3 + 4j, -7j], dtype=np.complex64)
+        words = pack.complex_to_float_words(samples)
+        assert len(words) == 6
+        back = pack.float_words_to_complex(words)
+        np.testing.assert_array_equal(back.astype(np.complex64), samples)
+
+    def test_odd_word_count_rejected(self):
+        with pytest.raises(ValueError):
+            pack.float_words_to_complex([1, 2, 3])
+
+    @given(
+        st.lists(
+            st.complex_numbers(max_magnitude=1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, samples):
+        words = pack.complex_to_float_words(samples)
+        back = pack.float_words_to_complex(words)
+        expected = np.asarray(samples, dtype=np.complex64)
+        np.testing.assert_array_equal(back.astype(np.complex64), expected)
+
+
+class TestBytes:
+    def test_roundtrip_with_padding(self):
+        data = b"hello world!!"
+        words = pack.bytes_to_words(data)
+        assert len(words) == 4  # 13 bytes -> 4 words
+        assert pack.words_to_bytes(words, len(data)) == data
+
+    def test_empty(self):
+        assert pack.bytes_to_words(b"") == []
+        assert pack.words_to_bytes([], 0) == b""
+
+    @given(st.binary(min_size=0, max_size=256))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data):
+        words = pack.bytes_to_words(data)
+        assert pack.words_to_bytes(words, len(data)) == data
+
+
+class TestBits:
+    def test_roundtrip(self):
+        bits = [1, 0, 1, 1] * 10
+        words = pack.bits_to_words(bits)
+        assert pack.words_to_bits(words, len(bits)) == bits
+
+    def test_partial_word_msb_aligned(self):
+        words = pack.bits_to_words([1])
+        assert words == [0x80000000]
+
+    def test_too_few_words_raises(self):
+        with pytest.raises(ValueError):
+            pack.words_to_bits([0], 64)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, bits):
+        assert pack.words_to_bits(pack.bits_to_words(bits), len(bits)) == bits
+
+
+class TestInts:
+    def test_masking(self):
+        assert pack.ints_to_words([2**33 + 7, -1]) == [7, 0xFFFFFFFF]

@@ -1,0 +1,88 @@
+"""Tests for the Table V checker, figure checkers, and the report formatter."""
+
+from repro.experiments import figures
+from repro.experiments.report import _section
+from repro.experiments.table5 import Table5Row, check_table5_shape
+
+
+def _rows(per_pe):
+    """Synthesize Table5 rows from a per-PE cost dict."""
+    rows = []
+    for bus, cost in per_pe.items():
+        for n in (8, 16, 24):
+            rows.append(Table5Row(bus, n, 5.0, cost * n, 0, None))
+    return rows
+
+
+GOOD = {"HYBRID": 2200, "GBAVIII": 1800, "GBAVI": 900, "BFBA": 880, "SPLITBA": 600}
+
+
+class TestTable5Checker:
+    def test_good_shape_passes(self):
+        assert check_table5_shape(_rows(GOOD)) == []
+
+    def test_catches_lint_errors(self):
+        rows = _rows(GOOD)
+        rows[0].lint_errors = 3
+        assert any("lint" in failure for failure in check_table5_shape(rows))
+
+    def test_catches_slow_generation(self):
+        rows = _rows(GOOD)
+        rows[0].generation_time_ms = 60_000
+        assert any("10 s" in failure for failure in check_table5_shape(rows))
+
+    def test_catches_nonlinear_scaling(self):
+        rows = _rows(GOOD)
+        # Blow up one 24-PE point so the slope jumps.
+        for row in rows:
+            if row.bus_system == "BFBA" and row.pe_count == 24:
+                row.gate_count *= 3
+        assert any("near-linear" in failure for failure in check_table5_shape(rows))
+
+    def test_catches_wrong_ordering(self):
+        swapped = dict(GOOD)
+        swapped["SPLITBA"], swapped["HYBRID"] = swapped["HYBRID"], swapped["SPLITBA"]
+        failures = check_table5_shape(_rows(swapped))
+        assert any("ordering" in failure for failure in failures)
+
+
+class TestFigureCheckers:
+    def test_figure26_catches_mixed_groups_in_ppa(self):
+        schedules = {
+            "PPA": [("A", "E", 0, 0, 10), ("A", "F", 0, 10, 20)],
+            "FPA": [("A", "EFGH", 0, 0, 10)],
+        }
+        failures = figures.check_figure26(schedules)
+        assert any("expected one" in failure for failure in failures)
+
+    def test_figure26_catches_pipeline_violation(self):
+        schedules = {
+            "PPA": [
+                ("A", "E", 0, 0, 100),
+                ("B", "F", 0, 50, 150),  # F starts before E ends
+                ("C", "G", 0, 160, 170),
+                ("D", "H", 0, 180, 190),
+            ],
+            "FPA": [("A", "EFGH", 0, 0, 10)],
+        }
+        failures = figures.check_figure26(schedules)
+        assert any("before E finished" in failure for failure in failures)
+
+    def test_figure27_catches_non_round_robin(self):
+        assignment = {0: "A", 1: "B", 2: "C", 3: "C"}
+        assert figures.check_figure27(assignment) != []
+
+
+class TestReportFormatting:
+    def test_section_ok(self):
+        lines = _section("Title", ["row1", "row2"], [])
+        text = "\n".join(lines)
+        assert "## Title" in text
+        assert "    row1" in text
+        assert "**OK**" in text
+
+    def test_section_failures_listed(self):
+        lines = _section("Title", ["row"], ["something broke"])
+        text = "\n".join(lines)
+        assert "SHAPE CHECK FAILED" in text
+        assert "* something broke" in text

@@ -1,0 +1,274 @@
+"""Tests for the RTOS kernel, locks, and mailboxes."""
+
+import pytest
+
+from repro.options import presets
+from repro.sim.fabric import build_machine
+from repro.soc.api import SocAPI
+from repro.soc.rtos import LockManager, Mailbox, Rtos, SpinLock, Syscall, TaskState
+
+
+def make_rtos(preset_name="GBAVIII", ban="A"):
+    machine = build_machine(presets.preset(preset_name, 4))
+    api = SocAPI(machine, ban)
+    return machine, api, Rtos(api)
+
+
+def run(machine, rtos, ban="A"):
+    machine.pe(ban).run(rtos.run(), "rtos")
+    machine.sim.run()
+
+
+class TestScheduling:
+    def test_single_task_runs_to_completion(self):
+        machine, api, rtos = make_rtos()
+        log = []
+
+        def task():
+            yield from api.compute(100)
+            log.append("done")
+
+        rtos.spawn("t", task())
+        run(machine, rtos)
+        assert log == ["done"]
+        assert rtos.tasks[0].state == TaskState.DONE
+
+    def test_priority_order(self):
+        machine, api, rtos = make_rtos()
+        order = []
+
+        def task(tag):
+            def body():
+                order.append(tag)
+                yield from api.compute(10)
+            return body
+
+        rtos.spawn("low", task("low")(), priority=20)
+        rtos.spawn("high", task("high")(), priority=1)
+        rtos.spawn("mid", task("mid")(), priority=10)
+        run(machine, rtos)
+        assert order == ["high", "mid", "low"]
+
+    def test_yield_round_robins_within_priority(self):
+        machine, api, rtos = make_rtos()
+        order = []
+
+        def task(tag):
+            def body():
+                for _ in range(3):
+                    order.append(tag)
+                    yield Syscall("yield")
+            return body
+
+        rtos.spawn("a", task("a")())
+        rtos.spawn("b", task("b")())
+        run(machine, rtos)
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_sleep_orders_by_wake_time(self):
+        machine, api, rtos = make_rtos()
+        order = []
+
+        def sleeper(tag, cycles):
+            def body():
+                yield Syscall("sleep", cycles)
+                order.append((tag, machine.sim.now))
+            return body
+
+        rtos.spawn("late", sleeper("late", 500)())
+        rtos.spawn("early", sleeper("early", 100)())
+        run(machine, rtos)
+        assert [tag for tag, _t in order] == ["early", "late"]
+        assert order[0][1] >= 100 and order[1][1] >= 500
+
+    def test_block_and_wake(self):
+        machine, api, rtos = make_rtos()
+        log = []
+
+        def blocked():
+            yield Syscall("block", "channel")
+            log.append("woken@%d" % machine.sim.now)
+
+        def waker():
+            yield Syscall("sleep", 200)
+            count = rtos.wake("channel")
+            log.append("woke %d" % count)
+
+        rtos.spawn("blocked", blocked())
+        rtos.spawn("waker", waker())
+        run(machine, rtos)
+        assert log[0] == "woke 1"
+        assert log[1].startswith("woken@")
+
+    def test_context_switches_counted_and_charged(self):
+        machine, api, rtos = make_rtos()
+
+        def chatty(tag):
+            def body():
+                for _ in range(4):
+                    yield Syscall("yield")
+            return body
+
+        rtos.spawn("a", chatty("a")())
+        rtos.spawn("b", chatty("b")())
+        run(machine, rtos)
+        assert rtos.context_switches >= 8
+        assert api.pe.stats.compute_cycles > 0
+
+    def test_bus_access_does_not_switch_tasks(self):
+        """A blocking bus transaction stalls the PE; no context switch."""
+        machine, api, rtos = make_rtos()
+        buffer = api.alloc(64)
+        order = []
+
+        def io_task():
+            yield from api.mem_write(list(range(64)), buffer)
+            order.append("io")
+
+        def cpu_task():
+            order.append("cpu")
+            yield from api.compute(1)
+
+        rtos.spawn("io", io_task(), priority=1)
+        rtos.spawn("cpu", cpu_task(), priority=2)
+        run(machine, rtos)
+        assert order == ["io", "cpu"]
+
+    def test_exit_syscall(self):
+        machine, api, rtos = make_rtos()
+        log = []
+
+        def quitter():
+            yield Syscall("exit")
+            log.append("unreachable")
+
+        rtos.spawn("q", quitter())
+        run(machine, rtos)
+        assert log == []
+        assert rtos.tasks[0].state == TaskState.DONE
+
+
+class TestSpinLock:
+    def test_cross_pe_mutual_exclusion(self):
+        machine = build_machine(presets.preset("GGBA", 4))
+        apis = {ban: SocAPI(machine, ban) for ban in machine.pe_order}
+        lock_address = apis["A"].alloc(1)
+        counter = apis["A"].alloc(1)
+        lock = SpinLock("L", lock_address)
+        in_section = []
+        violations = []
+
+        def contender(api):
+            def body():
+                for _ in range(5):
+                    yield from lock.acquire_raw(api)
+                    if in_section:
+                        violations.append(api.ban)
+                    in_section.append(api.ban)
+                    values = yield from api.read(counter, 1)
+                    yield from api.stall(20)
+                    yield from api.mem_write([values[0] + 1], counter)
+                    in_section.pop()
+                    yield from lock.release(api)
+            return body
+
+        for ban, api in apis.items():
+            machine.pe(ban).run(contender(api)())
+        machine.sim.run()
+        assert violations == []
+        assert machine.memory(counter[0]).read_word(counter[1]) == 20
+        assert lock.acquisitions == 20
+
+    def test_contention_counted(self):
+        machine = build_machine(presets.preset("GGBA", 4))
+        api_a, api_b = SocAPI(machine, "A"), SocAPI(machine, "B")
+        lock = SpinLock("L", api_a.alloc(1))
+
+        def holder():
+            yield from lock.acquire_raw(api_a)
+            yield from api_a.stall(1000)
+            yield from lock.release(api_a)
+
+        def contender():
+            yield from api_b.stall(50)
+            yield from lock.acquire_raw(api_b)
+            yield from lock.release(api_b)
+
+        machine.pe("A").run(holder())
+        machine.pe("B").run(contender())
+        machine.sim.run()
+        assert lock.contentions >= 1
+
+
+class TestLockManager:
+    def test_deterministic_layout_across_pes(self):
+        machine = build_machine(presets.preset("GGBA", 4))
+        api_a, api_b = SocAPI(machine, "A"), SocAPI(machine, "B")
+        base = api_a.alloc(16)
+        manager_a = LockManager(api_a, base)
+        manager_b = LockManager(api_b, base)
+        for name in ("obj0", "obj1", "obj2"):
+            assert manager_a.lock(name).address == manager_b.lock(name).address
+
+    def test_capacity_limit(self):
+        machine = build_machine(presets.preset("GGBA", 4))
+        api = SocAPI(machine, "A")
+        manager = LockManager(api, api.alloc(4), capacity=2)
+        manager.lock("a")
+        manager.lock("b")
+        with pytest.raises(RuntimeError):
+            manager.lock("c")
+
+
+class TestMailbox:
+    def test_post_then_pend(self):
+        machine, api, rtos = make_rtos()
+        box = Mailbox(rtos, "m")
+        got = []
+
+        def producer():
+            yield from api.compute(100)
+            yield from box.post("hello")
+
+        def consumer():
+            message = yield from box.pend()
+            got.append(message)
+
+        rtos.spawn("consumer", consumer())
+        rtos.spawn("producer", producer())
+        run(machine, rtos)
+        assert got == ["hello"]
+
+    def test_capacity_blocks_producer(self):
+        machine, api, rtos = make_rtos()
+        box = Mailbox(rtos, "m", capacity=1)
+        order = []
+
+        def producer():
+            yield from box.post(1)
+            order.append("posted1")
+            yield from box.post(2)
+            order.append("posted2")
+
+        def consumer():
+            yield Syscall("sleep", 100)
+            first = yield from box.pend()
+            second = yield from box.pend()
+            order.append(("got", first, second))
+
+        rtos.spawn("producer", producer(), priority=1)
+        rtos.spawn("consumer", consumer(), priority=2)
+        run(machine, rtos)
+        assert order == ["posted1", "posted2", ("got", 1, 2)]
+
+    def test_try_pend(self):
+        machine, api, rtos = make_rtos()
+        box = Mailbox(rtos, "m")
+        assert box.try_pend() is None
+
+        def producer():
+            yield from box.post(9)
+
+        rtos.spawn("p", producer())
+        run(machine, rtos)
+        assert box.try_pend() == 9

@@ -1,0 +1,85 @@
+"""Scaling tests, the generated testbench, and larger-format codec runs."""
+
+import numpy as np
+import pytest
+
+from repro import BusSyn, build_machine, presets
+from repro.apps.mpeg2.codec import decode_sequence, encode_sequence, psnr, synthetic_video
+from repro.apps.ofdm import OfdmParameters, run_ofdm
+from repro.hdl import lint_design, parse_design, parse_modules
+
+
+class TestTestbench:
+    def test_testbench_parses_and_lints_with_design(self):
+        generated = BusSyn().generate(presets.preset("GBAVIII", 2))
+        tb_text = generated.testbench(cycles=100)
+        design = parse_design(generated.verilog() + "\n" + tb_text)
+        design.top = "tb_%s" % generated.top_name
+        errors = [m for m in lint_design(design) if m.severity == "error"]
+        assert errors == []
+
+    def test_testbench_drives_every_input(self):
+        generated = BusSyn().generate(presets.preset("BFBA", 2))
+        tb_text = generated.testbench()
+        top = generated.design().modules[generated.top_name]
+        for port in top.ports:
+            if port.direction == "input":
+                assert ".%s(%s)" % (port.name, port.name) in tb_text
+
+    def test_testbench_has_clock_and_finish(self):
+        tb_text = BusSyn().generate(presets.preset("GGBA", 2)).testbench(cycles=42)
+        assert "always begin" in tb_text
+        assert "$finish;" in tb_text
+        assert "#420;" in tb_text
+
+
+class TestScaling:
+    def test_ofdm_fpa_scales_with_pes(self):
+        """More PEs decode more packets concurrently (up to packet count)."""
+        params = OfdmParameters(data_samples=512, guard_samples=128, packets=8)
+        four = run_ofdm(build_machine(presets.preset("GBAVIII", 4)), "FPA", params)
+        eight = run_ofdm(build_machine(presets.preset("GBAVIII", 8)), "FPA", params)
+        assert eight.throughput_mbps > 1.5 * four.throughput_mbps
+
+    def test_splitba_scales_to_six_pes(self):
+        params = OfdmParameters(data_samples=256, guard_samples=64, packets=6)
+        result = run_ofdm(build_machine(presets.preset("SPLITBA", 6)), "FPA", params)
+        assert len(result.outputs) == 6
+
+    def test_generation_scales_to_24_pes_everywhere(self):
+        tool = BusSyn()
+        for name in ("BFBA", "GBAVI", "GBAVII", "GBAVIII", "HYBRID", "SPLITBA"):
+            generated = tool.generate(presets.preset(name, 24))
+            assert generated.lint_errors() == [], name
+            assert generated.report.pe_count == 24
+
+
+class TestLargerVideo:
+    def test_codec_handles_32x32(self):
+        video = synthetic_video(4, width=32, height=32)
+        stream = encode_sequence(video)
+        gops, stats = decode_sequence(stream)
+        decoded = [frame for gop in gops for frame in gop.frames]
+        assert stats.blocks == 4 * (16 + 2 * 4)  # 16 luma + 8 chroma blocks
+        for original, out in zip(video, decoded):
+            assert psnr(original.y, out.y) > 30.0
+
+    def test_non_multiple_of_16_rejected(self):
+        from repro.apps.mpeg2.codec import SequenceHeader
+
+        with pytest.raises(ValueError):
+            SequenceHeader(width=24, height=16).validate()
+
+    def test_simulated_decode_32x32(self):
+        from repro.apps.mpeg2.parallel import run_mpeg2
+
+        video = synthetic_video(8, width=32, height=32)
+        machine = build_machine(presets.preset("GBAVIII", 4))
+        result = run_mpeg2(machine, video)
+        gops, _stats = decode_sequence(encode_sequence(video))
+        reference = {
+            (gop.index, i): frame for gop in gops for i, frame in enumerate(gop.frames)
+        }
+        assert sorted(result.frames) == sorted(reference)
+        for key in reference:
+            np.testing.assert_allclose(result.frames[key].y, reference[key].y, atol=0.51)

@@ -1,0 +1,174 @@
+"""Tests for the Wire Library (format, model, expansion, built-ins)."""
+
+import pytest
+
+from repro.wiredb import (
+    Endpoint,
+    WireLibrary,
+    WireParseError,
+    WireSpec,
+    builtin,
+    default_wire_library,
+    expand_chain,
+    parse_wire_text,
+    render_wire_text,
+)
+
+# Example 7's section, transliterated (MBI_SRAM <-> SRAM_A wires).
+EXAMPLE7 = """
+%wire ban_bfba
+w_addr 20 SRAM_A sram_addr 19 0 MBI_SRAM addr 19 0
+w_web 1 SRAM_A sram_web 0 0 MBI_SRAM web 0 0
+w_reb 1 SRAM_A sram_reb 0 0 MBI_SRAM reb 0 0
+w_csb 8 SRAM_A sram_csb 7 0 MBI_SRAM csb 7 0
+w_dq 64 SRAM_A sram_dq 63 0 MBI_SRAM dq 63 0
+%endwire
+"""
+
+# Example 8's chain section (verbatim shape).
+EXAMPLE8 = """
+%wire subsys_bfba
+w_done_op_cs 2 BAN[A,B,C,D] done_op_cs_dn 1 0 BAN[A,B,C,D] done_op_cs_up 1 0
+w_data 64 BAN[A,B,C,D] data_dn 63 0 BAN[A,B,C,D] data_up 63 0
+w_fft_ad 12 BAN_B addr_b 11 0 BAN_FFT addr_fft 11 0
+%endwire
+"""
+
+
+class TestParser:
+    def test_example7_parses(self):
+        groups = parse_wire_text(EXAMPLE7)
+        section = groups["ban_bfba"]
+        assert len(section.specs) == 5
+        first = section.specs[0]
+        assert first.name == "w_addr"
+        assert first.width == 20
+        assert first.end1.module == "SRAM_A"
+        assert first.end2.port == "addr"
+
+    def test_example8_groups(self):
+        section = parse_wire_text(EXAMPLE8)["subsys_bfba"]
+        chain = section.specs[0]
+        assert chain.end1.is_group
+        assert chain.end1.group_members == ["A", "B", "C", "D"]
+        assert chain.is_chain
+        fft = section.specs[2]
+        assert not fft.end1.is_group
+
+    def test_comments_and_blanks(self):
+        text = "%wire s\n# comment\n\nw_x 1 A p 0 0 B q 0 0  # trailing\n%endwire"
+        section = parse_wire_text(text)["s"]
+        assert len(section.specs) == 1
+
+    def test_field_count_enforced(self):
+        with pytest.raises(WireParseError):
+            parse_wire_text("%wire s\nw_x 1 A p 0 0 B q 0\n%endwire")
+
+    def test_width_validation(self):
+        with pytest.raises(WireParseError):
+            parse_wire_text("%wire s\nw_x 0 A p 0 0 B q 0 0\n%endwire")
+
+    def test_endpoint_wider_than_wire(self):
+        with pytest.raises(ValueError):
+            parse_wire_text("%wire s\nw_x 2 A p 3 0 B q 0 0\n%endwire")
+
+    def test_unterminated_section(self):
+        with pytest.raises(WireParseError):
+            parse_wire_text("%wire s\nw_x 1 A p 0 0 B q 0 0")
+
+    def test_line_outside_section(self):
+        with pytest.raises(WireParseError):
+            parse_wire_text("w_x 1 A p 0 0 B q 0 0")
+
+    def test_duplicate_section(self):
+        with pytest.raises(WireParseError):
+            parse_wire_text(EXAMPLE7 + EXAMPLE7)
+
+    def test_member_index_marker(self):
+        text = "%wire s\nw_req 4 BAN[A,B,C,D] g_req_b @ @ GLOBAL g_req_b 3 0\n%endwire"
+        spec = parse_wire_text(text)["s"].specs[0]
+        assert spec.end1.wire_msb == "@"
+        resolved = spec.end1.resolve_bits(2)
+        assert (resolved.wire_msb, resolved.wire_lsb) == (2, 2)
+
+    def test_render_roundtrip(self):
+        groups = parse_wire_text(EXAMPLE8)
+        text = render_wire_text(groups)
+        again = parse_wire_text(text)
+        assert again["subsys_bfba"].specs == groups["subsys_bfba"].specs
+
+
+class TestChainExpansion:
+    def test_ring_of_four(self):
+        spec = parse_wire_text(EXAMPLE8)["subsys_bfba"].specs[1]
+        wires = expand_chain(spec)
+        names = [name for name, _up, _dn in wires]
+        assert names == ["w_data_1", "w_data_2", "w_data_3", "w_data_4"]
+        # Figure 17a: wire 4 wraps the last BAN back to the first.
+        _name, upstream, downstream = wires[-1]
+        assert upstream.module == "BAN_D" and downstream.module == "BAN_A"
+        assert upstream.port == "data_up" and downstream.port == "data_dn"
+
+    def test_pair_gets_both_directions(self):
+        text = "%wire s\nw_d 8 BAN[X,Y] in 7 0 BAN[X,Y] out 7 0\n%endwire"
+        spec = parse_wire_text(text)["s"].specs[0]
+        wires = expand_chain(spec)
+        assert len(wires) == 2
+        assert wires[0][1].module == "BAN_X" and wires[0][2].module == "BAN_Y"
+        assert wires[1][1].module == "BAN_Y" and wires[1][2].module == "BAN_X"
+
+    def test_non_chain_rejected(self):
+        spec = WireSpec("w", 1, Endpoint("A", "p", 0, 0), Endpoint("B", "q", 0, 0))
+        with pytest.raises(ValueError):
+            expand_chain(spec)
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("kind", ["bfba", "gbavi", "gbaviii", "hybrid", "splitba"])
+    def test_ban_sections_parse(self, kind):
+        library = default_wire_library()
+        section = library.ban_section(kind)
+        assert section.specs
+        section.validate()
+
+    def test_global_ban_section_scales(self):
+        library = default_wire_library()
+        for n in (2, 4, 8):
+            section = library.global_ban_section(n)
+            req = [s for s in section.specs if s.name == "w_req"][0]
+            assert req.width == n
+
+    @pytest.mark.parametrize("kind", ["bfba", "gbavi", "gbaviii", "hybrid", "ggba", "ccba", "splitba"])
+    def test_subsystem_sections_parse(self, kind):
+        library = default_wire_library()
+        section = library.subsystem_section(kind, ["A", "B", "C", "D"])
+        assert section.specs
+
+    def test_bfba_subsystem_matches_example8_wires(self):
+        """The generated BFBA chain list carries Example 8's six wires."""
+        library = default_wire_library()
+        section = library.subsystem_section("bfba", ["A", "B", "C", "D"])
+        names = {spec.name for spec in section.specs}
+        assert names == {
+            "w_done_op_cs",
+            "w_done_rv_cs",
+            "w_ban_web",
+            "w_ban_reb",
+            "w_fifo_cs",
+            "w_data",
+        }
+        widths = {spec.name: spec.width for spec in section.specs}
+        assert widths["w_done_op_cs"] == 2 and widths["w_data"] == 64
+
+    def test_sections_cached_per_shape(self):
+        library = default_wire_library()
+        a = library.ban_section("bfba", 20)
+        b = library.ban_section("bfba", 20)
+        c = library.ban_section("bfba", 18)
+        assert a is b and a is not c
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            builtin.ban_section("token_ring")
+        with pytest.raises(ValueError):
+            builtin.subsystem_section("token_ring", ["A"])
