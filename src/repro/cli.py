@@ -95,7 +95,36 @@ def _cmd_table(args) -> int:
     from .experiments import table2, table3, table4, table5
 
     module = {2: table2, 3: table3, 4: table4, 5: table5}[args.number]
-    module.main()
+    module.main(jobs=args.jobs)
+    return 0
+
+
+# One representative (worker, case, kwargs) per table for ``repro profile``.
+_PROFILE_CASES = {
+    2: ("repro.experiments.table2", "run_table2_case", (7, "SPLITBA", "FPA")),
+    3: ("repro.experiments.table3", "run_table3_case", (10, "BFBA")),
+    4: ("repro.experiments.table4", "run_table4_case", (15, "GGBA")),
+    5: ("repro.experiments.table5", "run_table5_case", ("HYBRID", 24)),
+}
+
+
+def _cmd_profile(args) -> int:
+    """Run one representative case of a table under cProfile and print the
+    top cumulative-time hotspots (the workflow behind the kernel fast
+    paths; see benchmarks/perf_harness.py for the regression side)."""
+    import cProfile
+    import importlib
+    import pstats
+
+    module_name, worker_name, case = _PROFILE_CASES[args.number]
+    worker = getattr(importlib.import_module(module_name), worker_name)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = worker(case)
+    profiler.disable()
+    print("profiled %s.%s(%r)" % (module_name, worker_name, case))
+    print("result: %r" % (result,))
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.top)
     return 0
 
 
@@ -136,7 +165,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     table = sub.add_parser("table", help="reprint a table of the paper")
     table.add_argument("number", type=int, choices=[2, 3, 4, 5])
+    table.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent cases (1 = run inline)",
+    )
     table.set_defaults(func=_cmd_table)
+
+    profile = sub.add_parser(
+        "profile", help="profile one representative case of a table (cProfile)"
+    )
+    profile.add_argument("number", type=int, choices=[2, 3, 4, 5])
+    profile.add_argument(
+        "--top", type=int, default=20, help="hotspot lines to print"
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     listing = sub.add_parser("list", help="list presets and library components")
     listing.set_defaults(func=_cmd_list)

@@ -25,8 +25,16 @@ from typing import Dict, List, Optional, Tuple
 from ..apps.ofdm import OfdmParameters, run_ofdm
 from ..options import presets
 from ..sim.fabric import build_machine
+from .runner import run_cases
 
-__all__ = ["Table2Row", "TABLE2_PAPER", "TABLE2_CASES", "run_table2", "check_table2_shape"]
+__all__ = [
+    "Table2Row",
+    "TABLE2_PAPER",
+    "TABLE2_CASES",
+    "run_table2",
+    "run_table2_case",
+    "check_table2_shape",
+]
 
 # (case number, preset, style) as in the paper's Table II.
 TABLE2_CASES: List[Tuple[int, str, str]] = [
@@ -73,26 +81,41 @@ class Table2Row:
         )
 
 
+def run_table2_case(
+    case: Tuple[int, str, str], packets: int = 8, pe_count: int = 4
+) -> Table2Row:
+    """Simulate one Table II case (a ``TABLE2_CASES`` entry); picklable."""
+    number, bus_name, style = case
+    machine = build_machine(presets.preset(bus_name, pe_count))
+    result = run_ofdm(machine, style, OfdmParameters(packets=packets))
+    return Table2Row(
+        number,
+        bus_name,
+        style,
+        result.throughput_mbps,
+        result.cycles,
+        TABLE2_PAPER[(bus_name, style)],
+    )
+
+
 def run_table2(
     packets: int = 8,
     pe_count: int = 4,
     cases: Optional[List[Tuple[int, str, str]]] = None,
+    jobs: int = 1,
 ) -> List[Table2Row]:
-    """Simulate every Table II case; returns rows in case order."""
-    rows: List[Table2Row] = []
-    for case, bus_name, style in cases or TABLE2_CASES:
-        machine = build_machine(presets.preset(bus_name, pe_count))
-        result = run_ofdm(machine, style, OfdmParameters(packets=packets))
-        rows.append(
-            Table2Row(
-                case,
-                bus_name,
-                style,
-                result.throughput_mbps,
-                result.cycles,
-                TABLE2_PAPER[(bus_name, style)],
-            )
-        )
+    """Simulate every Table II case; returns rows in case order.
+
+    ``jobs > 1`` fans the independent cases out over worker processes via
+    :func:`repro.experiments.runner.run_cases`; row order and values are
+    identical to a sequential run.
+    """
+    rows, _telemetry = run_cases(
+        run_table2_case,
+        list(cases or TABLE2_CASES),
+        jobs=jobs,
+        kwargs={"packets": packets, "pe_count": pe_count},
+    )
     return rows
 
 
@@ -143,8 +166,8 @@ def check_table2_shape(rows: List[Table2Row]) -> List[str]:
     return failures
 
 
-def main() -> None:  # pragma: no cover - CLI convenience
-    rows = run_table2()
+def main(jobs: int = 1) -> None:  # pragma: no cover - CLI convenience
+    rows = run_table2(jobs=jobs)
     print("Table II -- OFDM transmitter throughput")
     for row in rows:
         print(row.text())

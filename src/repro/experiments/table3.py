@@ -11,7 +11,8 @@ Paper rows (Mbps): BFBA 0.8594, GBAVI 0.8271, GBAVIII 1.1444, Hybrid
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -19,8 +20,16 @@ from ..apps.mpeg2.codec import decode_sequence, encode_sequence, psnr, synthetic
 from ..apps.mpeg2.parallel import run_mpeg2
 from ..options import presets
 from ..sim.fabric import build_machine
+from .runner import run_cases
 
-__all__ = ["Table3Row", "TABLE3_PAPER", "TABLE3_CASES", "run_table3", "check_table3_shape"]
+__all__ = [
+    "Table3Row",
+    "TABLE3_PAPER",
+    "TABLE3_CASES",
+    "run_table3",
+    "run_table3_case",
+    "check_table3_shape",
+]
 
 TABLE3_CASES = ["BFBA", "GBAVI", "GBAVIII", "HYBRID", "CCBA"]
 
@@ -52,13 +61,12 @@ class Table3Row:
         )
 
 
-def run_table3(
-    frame_count: int = 16,
-    pe_count: int = 4,
-    cases: Optional[List[str]] = None,
-) -> List[Table3Row]:
-    """Simulate the Table III cases, verifying decoded frames bit-exactly
-    (to the 8-bit output rounding) against a serial reference decode."""
+@lru_cache(maxsize=2)
+def _reference_decode(frame_count: int):
+    """(video, reference frames) for ``frame_count`` -- computed once per
+    process.  Deterministic, so every worker derives the identical
+    reference; within one process (the sequential path) it is shared by all
+    cases exactly as before."""
     video = synthetic_video(frame_count)
     stream = encode_sequence(video)
     reference_gops, _stats = decode_sequence(stream)
@@ -67,25 +75,47 @@ def run_table3(
         for gop in reference_gops
         for index, frame in enumerate(gop.frames)
     }
-    rows: List[Table3Row] = []
-    for case, bus_name in enumerate(cases or TABLE3_CASES, start=10):
-        machine = build_machine(presets.preset(bus_name, pe_count))
-        result = run_mpeg2(machine, video)
-        correct = len(result.frames) == len(reference) and all(
-            np.allclose(result.frames[key].y, reference[key].y, atol=0.51)
-            and np.allclose(result.frames[key].cb, reference[key].cb, atol=0.51)
-            for key in reference
-        )
-        rows.append(
-            Table3Row(
-                case,
-                bus_name,
-                result.throughput_mbps,
-                result.cycles,
-                TABLE3_PAPER[bus_name],
-                correct,
-            )
-        )
+    return video, reference
+
+
+def run_table3_case(
+    case: Tuple[int, str], frame_count: int = 16, pe_count: int = 4
+) -> Table3Row:
+    """Simulate one ``(case number, bus)`` Table III entry; picklable."""
+    number, bus_name = case
+    video, reference = _reference_decode(frame_count)
+    machine = build_machine(presets.preset(bus_name, pe_count))
+    result = run_mpeg2(machine, video)
+    correct = len(result.frames) == len(reference) and all(
+        np.allclose(result.frames[key].y, reference[key].y, atol=0.51)
+        and np.allclose(result.frames[key].cb, reference[key].cb, atol=0.51)
+        for key in reference
+    )
+    return Table3Row(
+        number,
+        bus_name,
+        result.throughput_mbps,
+        result.cycles,
+        TABLE3_PAPER[bus_name],
+        correct,
+    )
+
+
+def run_table3(
+    frame_count: int = 16,
+    pe_count: int = 4,
+    cases: Optional[List[str]] = None,
+    jobs: int = 1,
+) -> List[Table3Row]:
+    """Simulate the Table III cases, verifying decoded frames bit-exactly
+    (to the 8-bit output rounding) against a serial reference decode."""
+    numbered = list(enumerate(cases or TABLE3_CASES, start=10))
+    rows, _telemetry = run_cases(
+        run_table3_case,
+        numbered,
+        jobs=jobs,
+        kwargs={"frame_count": frame_count, "pe_count": pe_count},
+    )
     return rows
 
 
@@ -116,8 +146,8 @@ def check_table3_shape(rows: List[Table3Row]) -> List[str]:
     return failures
 
 
-def main() -> None:  # pragma: no cover
-    rows = run_table3()
+def main(jobs: int = 1) -> None:  # pragma: no cover
+    rows = run_table3(jobs=jobs)
     print("Table III -- MPEG2 decoder throughput")
     for row in rows:
         print(row.text())

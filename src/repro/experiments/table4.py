@@ -9,13 +9,20 @@ tasks completing on both.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..apps.database import run_database
 from ..options import presets
 from ..sim.fabric import build_machine
+from .runner import run_cases
 
-__all__ = ["Table4Row", "TABLE4_PAPER", "run_table4", "check_table4_shape"]
+__all__ = [
+    "Table4Row",
+    "TABLE4_PAPER",
+    "run_table4",
+    "run_table4_case",
+    "check_table4_shape",
+]
 
 TABLE4_PAPER: Dict[str, float] = {
     "GGBA": 2_241_100.0,
@@ -44,25 +51,36 @@ class Table4Row:
         )
 
 
+def run_table4_case(
+    case: Tuple[int, str], client_count: int = 40, pe_count: int = 4
+) -> Table4Row:
+    """Simulate one ``(case number, bus)`` Table IV entry; picklable."""
+    number, bus_name = case
+    machine = build_machine(presets.preset(bus_name, pe_count))
+    result = run_database(machine, client_count=client_count)
+    return Table4Row(
+        number,
+        bus_name,
+        result.execution_time_ns,
+        result.tasks_completed,
+        result.lock_contentions,
+        TABLE4_PAPER[bus_name],
+    )
+
+
 def run_table4(
     client_count: int = 40,
     pe_count: int = 4,
     cases: Optional[List[str]] = None,
+    jobs: int = 1,
 ) -> List[Table4Row]:
-    rows: List[Table4Row] = []
-    for case, bus_name in enumerate(cases or TABLE4_CASES, start=15):
-        machine = build_machine(presets.preset(bus_name, pe_count))
-        result = run_database(machine, client_count=client_count)
-        rows.append(
-            Table4Row(
-                case,
-                bus_name,
-                result.execution_time_ns,
-                result.tasks_completed,
-                result.lock_contentions,
-                TABLE4_PAPER[bus_name],
-            )
-        )
+    numbered = list(enumerate(cases or TABLE4_CASES, start=15))
+    rows, _telemetry = run_cases(
+        run_table4_case,
+        numbered,
+        jobs=jobs,
+        kwargs={"client_count": client_count, "pe_count": pe_count},
+    )
     return rows
 
 
@@ -83,8 +101,8 @@ def check_table4_shape(rows: List[Table4Row]) -> List[str]:
     return failures
 
 
-def main() -> None:  # pragma: no cover
-    rows = run_table4()
+def main(jobs: int = 1) -> None:  # pragma: no cover
+    rows = run_table4(jobs=jobs)
     print("Table IV -- database example execution time")
     for row in rows:
         print(row.text())

@@ -18,8 +18,15 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.busyn import BusSyn
 from ..options import presets
+from .runner import run_cases
 
-__all__ = ["Table5Row", "TABLE5_PAPER", "run_table5", "check_table5_shape"]
+__all__ = [
+    "Table5Row",
+    "TABLE5_PAPER",
+    "run_table5",
+    "run_table5_case",
+    "check_table5_shape",
+]
 
 # Paper values: {bus: {pe_count: (time_ms, gates)}}
 TABLE5_PAPER: Dict[str, Dict[int, Tuple[float, int]]] = {
@@ -54,28 +61,45 @@ class Table5Row:
         )
 
 
+# Per-process tool for run_table5_case.  Table V *measures* generation, so
+# the tool runs with its result cache off -- every case is timed afresh.
+_TOOL: Optional[BusSyn] = None
+
+
+def _measurement_tool() -> BusSyn:
+    global _TOOL
+    if _TOOL is None:
+        _TOOL = BusSyn(cache=False)
+    return _TOOL
+
+
+def run_table5_case(case: Tuple[str, int]) -> Table5Row:
+    """Generate one ``(bus, pe_count)`` Table V entry; picklable."""
+    bus_name, pe_count = case
+    generated = _measurement_tool().generate(presets.preset(bus_name, pe_count))
+    paper = TABLE5_PAPER.get(bus_name, {}).get(pe_count)
+    return Table5Row(
+        bus_name,
+        pe_count,
+        generated.report.generation_time_ms,
+        generated.report.gate_count,
+        len(generated.lint_errors()),
+        paper[1] if paper else None,
+    )
+
+
 def run_table5(
     buses: Optional[List[str]] = None,
     pe_counts: Optional[List[int]] = None,
+    jobs: int = 1,
 ) -> List[Table5Row]:
-    tool = BusSyn()
-    rows: List[Table5Row] = []
-    for bus_name in buses or TABLE5_BUSES:
-        for pe_count in pe_counts or TABLE5_PE_COUNTS:
-            if bus_name == "SPLITBA" and pe_count < 2:
-                continue  # N/A in the paper too
-            generated = tool.generate(presets.preset(bus_name, pe_count))
-            paper = TABLE5_PAPER.get(bus_name, {}).get(pe_count)
-            rows.append(
-                Table5Row(
-                    bus_name,
-                    pe_count,
-                    generated.report.generation_time_ms,
-                    generated.report.gate_count,
-                    len(generated.lint_errors()),
-                    paper[1] if paper else None,
-                )
-            )
+    cases = [
+        (bus_name, pe_count)
+        for bus_name in (buses or TABLE5_BUSES)
+        for pe_count in (pe_counts or TABLE5_PE_COUNTS)
+        if not (bus_name == "SPLITBA" and pe_count < 2)  # N/A in the paper too
+    ]
+    rows, _telemetry = run_cases(run_table5_case, cases, jobs=jobs)
     return rows
 
 
@@ -122,8 +146,8 @@ def check_table5_shape(rows: List[Table5Row]) -> List[str]:
     return failures
 
 
-def main() -> None:  # pragma: no cover
-    rows = run_table5()
+def main(jobs: int = 1) -> None:  # pragma: no cover
+    rows = run_table5(jobs=jobs)
     print("Table V -- generation time and gate count")
     for row in rows:
         print(row.text())

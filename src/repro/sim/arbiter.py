@@ -52,9 +52,38 @@ class Arbiter:
         self.trace: List[Tuple[int, str, bool]] = []
 
     # -- master interface ------------------------------------------------
+    def try_claim(self, master: str) -> bool:
+        """Synchronously claim an idle arbiter; returns False when busy.
+
+        Equivalent to :meth:`request` granting immediately, minus the event
+        round-trip through the kernel (the grant would fire this same cycle
+        with zero wait).  Callers fall back to ``yield request(master)``.
+        """
+        if self.owner is None and not self._pending:
+            self._note(master)
+            self.owner = master
+            self.grants += 1
+            self.busy_since = self.sim.now
+            if self.trace_enabled:
+                self.trace.append((self.sim.now, master, True))
+            return True
+        return False
+
     def request(self, master: str) -> Event:
         """Queue a bus request; the returned event fires on grant."""
         grant = self.sim.event()
+        if self.owner is None and not self._pending:
+            # Uncontended: grant immediately without queueing.  Selection is
+            # trivially identical for every policy (one candidate); policies
+            # that track requesters get the _note hook.
+            self._note(master)
+            self.owner = master
+            self.grants += 1
+            self.busy_since = self.sim.now
+            if self.trace_enabled:
+                self.trace.append((self.sim.now, master, True))
+            grant.succeed(master)
+            return grant
         self._enqueue(master, grant, self.sim.now)
         self._dispatch()
         return grant
@@ -77,6 +106,9 @@ class Arbiter:
         return len(self._pending)
 
     # -- policy hooks ------------------------------------------------------
+    def _note(self, master: str) -> None:
+        """Observe a requester on the immediate-grant fast path (no queue)."""
+
     def _enqueue(self, master: str, grant: Event, when: int) -> None:
         self._pending.append((master, grant, when))
 
@@ -120,6 +152,11 @@ class RoundRobinArbiter(Arbiter):
     def _note_master(self, master: str) -> None:
         if master not in self._order:
             self._order.append(master)
+
+    def _note(self, master: str) -> None:
+        # An immediate grant must rotate the ring exactly as _select would.
+        self._note_master(master)
+        self._order.rotate(-(list(self._order).index(master) + 1))
 
     def _enqueue(self, master: str, grant: Event, when: int) -> None:
         self._note_master(master)

@@ -79,7 +79,7 @@ class DmaEngine:
         try:
             # Descriptor setup: the PE programmed source/target/count
             # registers; the engine fetches them and arms its counters.
-            yield self.machine.sim.timeout(self.setup_cycles)
+            yield self.setup_cycles
             src_device, src_offset = source
             dst_device, dst_offset = target
             moved = 0

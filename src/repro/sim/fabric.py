@@ -41,7 +41,7 @@ from .hsregs import HandshakeRegisters, SharedVariables
 from .interrupt import InterruptController
 from .kernel import Simulator
 from .memory import Memory, Sram, make_memory
-from .pe import ProcessingElement
+from .pe import MISS_GROUP, ProcessingElement
 
 __all__ = ["Device", "Machine", "build_machine", "CODE_FOOTPRINT_WORDS", "VAR_AREA_WORDS"]
 
@@ -73,6 +73,28 @@ class Device:
         self.parties = parties or set()
 
 
+class _PreparedPlan:
+    """A route plan with its per-transfer invariants precomputed.
+
+    ``_occupy_path`` runs hundreds of thousands of times per table case;
+    the canonical segment ordering, the path-wide beat rate and the bridge
+    hop list never change for a given route, so they are computed once here
+    instead of per transfer.
+    """
+
+    __slots__ = ("plan", "segments", "single", "words_per_beat", "beat_cycles", "bridges")
+
+    def __init__(self, plan: List[Tuple[BusSegment, Optional["BusBridge"]]]):
+        self.plan = plan
+        unique = {segment.name: segment for segment, _bridge in plan}
+        # Canonical (name-sorted) acquisition order; see _occupy_path.
+        self.segments = [unique[name] for name in sorted(unique)]
+        self.single = self.segments[0] if len(self.segments) == 1 else None
+        self.beat_cycles = max(segment.beat_cycles for segment, _bridge in plan)
+        self.words_per_beat = min(segment.words_per_beat for segment, _bridge in plan)
+        self.bridges = [bridge for _segment, bridge in plan if bridge is not None]
+
+
 class Machine:
     """A runnable simulated SoC built from a BusSystemSpec."""
 
@@ -96,6 +118,10 @@ class Machine:
         self.fifo_blocks: Dict[str, BiFifo] = {}  # ban letter -> its block
         self.hs_blocks: Dict[str, HandshakeRegisters] = {}  # ban letter -> block
         self._alloc_next: Dict[str, int] = {}
+        # (pe name, device name) -> (bridge-enable state, _PreparedPlan).
+        # Routes only change when a bridge is toggled, so the cached plan is
+        # revalidated against the enable mask on every lookup.
+        self._plan_cache: Dict[Tuple[str, str], Tuple[Tuple[bool, ...], _PreparedPlan]] = {}
         self.bus_clock_hz = 100_000_000  # SYSCLK cap of the MPC755 (sec. VI.B)
 
     # ------------------------------------------------------------------
@@ -246,6 +272,23 @@ class Machine:
             )
         return best
 
+    def _plan_for(self, pe: ProcessingElement, device: Device) -> _PreparedPlan:
+        """Cached :class:`_PreparedPlan` for ``pe`` -> ``device``.
+
+        Cached plans are revalidated against the bridge-enable mask so that
+        toggling a bridge (isolation tests, reconfiguration experiments)
+        transparently re-routes.
+        """
+        bridges = self.bridges
+        state = tuple(bridge.enabled for bridge in bridges) if bridges else ()
+        key = (pe.name, device.name)
+        entry = self._plan_cache.get(key)
+        if entry is not None and entry[0] == state:
+            return entry[1]
+        prepared = _PreparedPlan(self._route_plan(pe, device))
+        self._plan_cache[key] = (state, prepared)
+        return prepared
+
     def _device_latency(self, device: Device, address: int, words: int, write: bool) -> int:
         if device.kind == "memory":
             return device.target.burst_latency(address, words, write)
@@ -273,48 +316,90 @@ class Machine:
         ``items`` charges arbitration and device latency per item (used for
         grouped cache-miss bursts: each miss re-arbitrates).
         """
+        if type(plan) is list:  # direct callers/tests pass a raw route plan
+            plan = _PreparedPlan(plan)
         sim = self.sim
-        held: List[BusSegment] = []
+        master = pe.name
+        memory_cycles = device_latency * items
+        segment = plan.single
+        if segment is not None:
+            # Fast path: the transfer stays on one segment (the common case
+            # on every topology -- bridged routes only occur for GBAVI
+            # neighbour and SplitBA cross-subsystem traffic).
+            entry = sim.now
+            held = False
+            if not segment.arbiter.try_claim(master):
+                yield segment.arbiter.request(master)
+            acquired = sim.now
+            grant = segment.write_grant_cycles if write else segment.grant_cycles
+            words_per_beat = segment.words_per_beat
+            beats = (
+                (max(words, 1) + words_per_beat - 1)
+                // words_per_beat
+                * segment.beat_cycles
+            )
+            try:
+                # Grant latency and the data beats are one uninterrupted
+                # tenure with no observable state change in between, so they
+                # are charged as a single kernel event.
+                held = True
+                yield grant * items + beats + memory_cycles
+            finally:
+                if held:
+                    end = sim.now
+                    segment.arbiter.release(master)
+                    # Inlined BusStats.record (hot path: one call per bus
+                    # tenure) without materializing a TransferTiming.
+                    stats = segment.stats
+                    stats.transactions += 1
+                    if write:
+                        stats.write_transactions += 1
+                    else:
+                        stats.read_transactions += 1
+                    stats.words_moved += words
+                    stats.busy_cycles += end - entry
+                    stats.arbitration_cycles += acquired - entry
+                    stats.memory_cycles += memory_cycles
+                    per_master = stats.per_master
+                    per_master[master] = per_master.get(master, 0) + 1
+            return
+        held_segments: List[BusSegment] = []
         entry = sim.now
         acquired_at: List[int] = []
         # Acquire in a canonical (name-sorted) order so that two crossing
         # transactions travelling in opposite directions cannot hold-and-
         # wait on each other's segments -- the bridge controller only joins
         # segments it can win on both sides.
-        ordered = sorted(
-            {segment for segment, _bridge in plan}, key=lambda s: s.name
-        )
         try:
-            for segment in ordered:
-                yield segment.arbiter.request(pe.name)
+            for segment in plan.segments:
+                if not segment.arbiter.try_claim(master):
+                    yield segment.arbiter.request(master)
                 acquired_at.append(sim.now)
                 grant = segment.write_grant_cycles if write else segment.grant_cycles
-                yield sim.timeout(grant * items)
-                held.append(segment)
-            beat = max(segment.beat_cycles for segment, _b in plan)
-            words_per_beat = min(segment.words_per_beat for segment, _b in plan)
-            beats = (max(words, 1) + words_per_beat - 1) // words_per_beat * beat
+                yield grant * items
+                held_segments.append(segment)
+            words_per_beat = plan.words_per_beat
+            beats = (max(words, 1) + words_per_beat - 1) // words_per_beat * plan.beat_cycles
             hops = 0
-            for _segment, bridge in plan:
-                if bridge is not None:
-                    if not bridge.enabled:
-                        raise RuntimeError("bus bridge %r is disabled" % bridge.name)
-                    bridge.crossings += 1
-                    hops += bridge.hop_cycles
-            yield sim.timeout(beats + hops + device_latency * items)
+            for bridge in plan.bridges:
+                if not bridge.enabled:
+                    raise RuntimeError("bus bridge %r is disabled" % bridge.name)
+                bridge.crossings += 1
+                hops += bridge.hop_cycles
+            yield beats + hops + memory_cycles
         finally:
             end = sim.now
-            for segment in reversed(held):
-                segment.arbiter.release(pe.name)
-            for index, segment in enumerate(held):
+            for segment in reversed(held_segments):
+                segment.arbiter.release(master)
+            for index, segment in enumerate(held_segments):
                 timing = TransferTiming(
                     start=entry,
                     end=end,
                     arbitration=acquired_at[index] - entry,
-                    transfer=end - acquired_at[index] - device_latency * items,
-                    memory=device_latency * items,
+                    transfer=end - acquired_at[index] - memory_cycles,
+                    memory=memory_cycles,
                 )
-                segment.stats.record(pe.name, words, write, timing)
+                segment.stats.record(master, words, write, timing)
 
     def transaction(
         self,
@@ -327,7 +412,7 @@ class Machine:
     ) -> Generator:
         """One bus transaction; moves real data; returns read values."""
         device = self.devices[device_name]
-        plan = self._route_plan(pe, device)
+        plan = self._plan_for(pe, device)
         latency = self._device_latency(device, address, words, write)
         yield from self._occupy_path(pe, plan, words, write, latency)
         return self._touch_device(device, address, words, write, data)
@@ -370,10 +455,8 @@ class Machine:
         the group, so contention costs scale with miss count while the
         simulator's event count stays proportional to groups.
         """
-        from .pe import MISS_GROUP  # local import to avoid a cycle
-
         device = self.devices[device_name]
-        plan = self._route_plan(pe, device)
+        plan = self._plan_for(pe, device)
         per_line_latency = self._device_latency(device, 0, line_words, write)
         remaining = misses
         while remaining > 0:
@@ -404,7 +487,7 @@ class Machine:
         its test-and-set in shared memory.  Returns ``(old, new)``.
         """
         device = self.devices[device_name]
-        plan = self._route_plan(pe, device)
+        plan = self._plan_for(pe, device)
         # One path tenure covers both the read beat and the write beat.
         latency = 2 * self._device_latency(device, address, 1, True)
         yield from self._occupy_path(pe, plan, 2, True, latency)

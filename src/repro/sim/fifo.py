@@ -83,14 +83,13 @@ class HardwareFifo:
 
     # -- data path -----------------------------------------------------------
     def push(self, values) -> None:
-        values = list(values)
+        values = [value & 0xFFFFFFFF for value in values]
         if len(values) > self.space:
             raise FifoFullError(
                 "%s: push of %d words with only %d free"
                 % (self.name, len(values), self.space)
             )
-        for value in values:
-            self._data.append(value & 0xFFFFFFFF)
+        self._data.extend(values)
         self.pushes += len(values)
         self._check_threshold()
         self._wake(self._data_waiters)

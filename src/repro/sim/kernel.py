@@ -19,12 +19,23 @@ The kernel deliberately supports only what the bus models need:
 Determinism: events scheduled for the same cycle fire in scheduling order
 (a monotonically increasing sequence number breaks ties), so simulations are
 exactly reproducible run-to-run.
+
+Performance notes.  The dominant yield in the bus models is ``yield <int>``
+(a plain cycle delay); :meth:`Process._resume` serves it from a free list of
+:class:`_PooledTimeout` objects instead of allocating a fresh
+:class:`Timeout` per delay, and pushes straight onto the heap without the
+``Event`` constructor.  A pooled timeout is recycled only after it has been
+popped and fired, and a process waits on at most one event at a time, so
+reuse is invisible to simulation semantics (same firing cycle, same
+tie-break order).  ``run`` additionally inlines the heap pop and binds the
+heap operations locally.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
 
 __all__ = [
     "SimulationError",
@@ -35,7 +46,18 @@ __all__ = [
     "AnyOf",
     "AllOf",
     "Simulator",
+    "total_events_processed",
 ]
+
+# Events processed by every Simulator in this interpreter, ever.  The
+# parallel experiment runner reads this before/after a case to report
+# per-case event counts from worker processes (repro.experiments.runner).
+_TOTAL_EVENTS = 0
+
+
+def total_events_processed() -> int:
+    """Events processed across all simulators in this process."""
+    return _TOTAL_EVENTS
 
 
 class SimulationError(Exception):
@@ -132,7 +154,18 @@ class Event:
 
     def _fire(self) -> None:
         self._fired = True
-        callbacks, self.callbacks = self.callbacks, []
+        callbacks = self.callbacks
+        if not callbacks:
+            return
+        if len(callbacks) == 1:
+            # Single-waiter fast case: no list churn.  add_callback cannot
+            # append concurrently -- _fired is already set, so any new
+            # subscription goes through the late-subscription proxy.
+            callback = callbacks[0]
+            callbacks.clear()
+            callback(self)
+            return
+        self.callbacks = []
         for callback in callbacks:
             callback(self)
 
@@ -152,6 +185,18 @@ class Timeout(Event):
         sim._schedule(self, delay)
 
 
+class _PooledTimeout(Event):
+    """A free-listed timeout used for the internal ``yield <int>`` fast path.
+
+    Never handed to user code: the only reference is the waiting process's
+    ``_target``, so after it fires the kernel can reset and reuse it.  It is
+    in the heap at most once at any time (pooled only after its single heap
+    entry has been popped and fired).
+    """
+
+    __slots__ = ()
+
+
 class Process(Event):
     """A running generator; fires (as an event) when the generator returns."""
 
@@ -169,10 +214,8 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
-        self._interrupts: List[Interrupt] = []
-        bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        self._interrupts: Deque[Interrupt] = deque()
+        sim._post_callback(self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -183,9 +226,7 @@ class Process(Event):
         if not self.is_alive:
             return
         self._interrupts.append(Interrupt(cause))
-        wakeup = Event(self.sim)
-        wakeup.callbacks.append(self._resume)
-        wakeup.succeed()
+        self.sim._post_callback(self._resume)
 
     def _resume(self, trigger: Event) -> None:
         if self._triggered:
@@ -198,7 +239,7 @@ class Process(Event):
         self._target = None
         try:
             if self._interrupts:
-                interrupt = self._interrupts.pop(0)
+                interrupt = self._interrupts.popleft()
                 next_event = self.generator.throw(interrupt)
             elif trigger._exception is not None:
                 next_event = self.generator.throw(trigger._exception)
@@ -220,8 +261,32 @@ class Process(Event):
             self._exception = error
             self.sim._schedule(self)
             return
+        if type(next_event) is int:
+            # Dominant pattern: ``yield <cycles>``.  Serve it from the
+            # timeout pool and schedule directly, skipping Event.__init__
+            # and the callback-list append/copy churn.
+            if next_event < 0:
+                raise SimulationError(
+                    "negative timeout delay: %r" % (next_event,)
+                )
+            sim = self.sim
+            pool = sim._timeout_pool
+            if pool:
+                proxy = pool.pop()
+                proxy._value = None
+                proxy._exception = None
+                proxy._fired = False
+            else:
+                proxy = _PooledTimeout(sim)
+                proxy._triggered = True
+            proxy.callbacks.append(self._resume)
+            self._target = proxy
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._queue, (sim.now + next_event, seq, proxy))
+            return
         if isinstance(next_event, int):
-            next_event = Timeout(self.sim, next_event)
+            # bool or an int subclass: take the general Timeout path.
+            next_event = Timeout(self.sim, int(next_event))
         if not isinstance(next_event, Event):
             raise SimulationError(
                 "process %r yielded %r (expected Event or int)"
@@ -286,6 +351,9 @@ class Simulator:
         self.now: int = 0
         self._queue: List = []
         self._seq = 0
+        self._timeout_pool: List[_PooledTimeout] = []
+        # Events processed by this simulator (one per heap pop that fired).
+        self.events_processed = 0
 
     # -- event construction helpers ------------------------------------
     def event(self) -> Event:
@@ -304,26 +372,63 @@ class Simulator:
         return AllOf(self, events)
 
     # -- scheduling -----------------------------------------------------
+    def _post_callback(self, callback: Callable[[Event], None], delay: int = 0) -> None:
+        """Schedule ``callback`` to run as an event ``delay`` cycles ahead.
+
+        Kernel-internal: serves process bootstrap and interrupt wakeups from
+        the pooled-timeout free list (the callback receives a value-less
+        triggered event, exactly like a fired ``Event`` with no payload).
+        """
+        pool = self._timeout_pool
+        if pool:
+            proxy = pool.pop()
+            proxy._value = None
+            proxy._exception = None
+            proxy._fired = False
+        else:
+            proxy = _PooledTimeout(self)
+            proxy._triggered = True
+        proxy.callbacks.append(callback)
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self.now + delay, seq, proxy))
+
     def _schedule(self, event: Event, delay: int = 0) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        # heappush is bound at module level (from-import), not looked up
+        # through the heapq module on every call.
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self.now + delay, seq, event))
 
     def peek(self) -> Optional[int]:
         """Cycle of the next pending event, or None when quiescent."""
         return self._queue[0][0] if self._queue else None
 
     def step(self) -> None:
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _seq, event = heappop(self._queue)
         if when < self.now:
             raise SimulationError("time ran backwards")
         self.now = when
         event._fire()
+        if type(event) is _PooledTimeout:
+            # Fired, popped, and unreferenced (the resumed process cleared
+            # its _target): safe to recycle.
+            self._timeout_pool.append(event)
+        self.events_processed += 1
+        global _TOTAL_EVENTS
+        _TOTAL_EVENTS += 1
 
     def run(self, until: Optional[Any] = None, limit: int = 50_000_000) -> Any:
         """Run until ``until`` (an Event or a cycle count) or quiescence.
 
         ``limit`` bounds the number of processed events as a runaway guard.
         Returns the value of ``until`` when it is an event that fired.
+
+        Deadline semantics (``until`` given as a cycle count): the deadline
+        is *exclusive*.  Events scheduled for exactly the deadline cycle do
+        **not** fire during this call; the clock stops at the deadline with
+        those events still queued, and a subsequent ``run()`` fires them
+        first (at the deadline cycle) before advancing further.  This
+        matches SimPy's ``Environment.run(until=t)`` and keeps
+        ``run(until=t)`` + ``run()`` equivalent to a single ``run()``.
         """
         deadline: Optional[int] = None
         stop_event: Optional[Event] = None
@@ -332,23 +437,39 @@ class Simulator:
         elif until is not None:
             deadline = int(until)
 
+        # Hot loop: everything bound locally, heap pop inlined (step() is
+        # kept as the single-step public API but not called from here).
+        queue = self._queue
+        pool = self._timeout_pool
+        pop = heappop
+        pooled_type = _PooledTimeout
         steps = 0
-        while self._queue:
-            if stop_event is not None and stop_event._fired:
-                return stop_event.value
-            if deadline is not None and self._queue[0][0] >= deadline:
+        try:
+            while queue:
+                if stop_event is not None and stop_event._fired:
+                    return stop_event.value
+                when = queue[0][0]
+                if deadline is not None and when >= deadline:
+                    self.now = deadline
+                    return None
+                event = pop(queue)[2]
+                self.now = when
+                event._fire()
+                if type(event) is pooled_type:
+                    pool.append(event)
+                steps += 1
+                if steps > limit:
+                    raise SimulationError("event limit exceeded (livelock?)")
+            if stop_event is not None:
+                if stop_event._fired:
+                    return stop_event.value
+                raise SimulationError(
+                    "simulation ran to quiescence before the awaited event fired"
+                )
+            if deadline is not None:
                 self.now = deadline
-                return None
-            self.step()
-            steps += 1
-            if steps > limit:
-                raise SimulationError("event limit exceeded (livelock?)")
-        if stop_event is not None:
-            if stop_event._fired:
-                return stop_event.value
-            raise SimulationError(
-                "simulation ran to quiescence before the awaited event fired"
-            )
-        if deadline is not None:
-            self.now = deadline
-        return None
+            return None
+        finally:
+            self.events_processed += steps
+            global _TOTAL_EVENTS
+            _TOTAL_EVENTS += steps

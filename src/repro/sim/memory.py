@@ -54,17 +54,17 @@ class Memory:
     def read(self, address: int, count: int = 1) -> List[int]:
         self._check(address, count)
         self.reads += count
-        return [self._words.get(address + i, 0) for i in range(count)]
+        get = self._words.get
+        return [get(i, 0) for i in range(address, address + count)]
 
     def read_word(self, address: int) -> int:
         return self.read(address, 1)[0]
 
     def write(self, address: int, values: Iterable[int]) -> None:
-        values = list(values)
+        values = [value & 0xFFFFFFFF for value in values]
         self._check(address, len(values))
         self.writes += len(values)
-        for offset, value in enumerate(values):
-            self._words[address + offset] = value & 0xFFFFFFFF
+        self._words.update(zip(range(address, address + len(values)), values))
 
     def write_word(self, address: int, value: int) -> None:
         self.write(address, [value])

@@ -183,7 +183,7 @@ class SocAPI:
             self.pe.stats.handshake_polls += 1
             if observed == value:
                 return
-            yield self.machine.sim.timeout(interval)
+            yield interval
             interval = min(interval * 2, self.poll_interval_max)
 
     def scattered_access(

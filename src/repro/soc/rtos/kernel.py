@@ -181,7 +181,7 @@ class Rtos:
         else:
             wait = max(1, next_wake - sim.now)
         self.idle_cycles += wait
-        yield sim.timeout(wait)
+        yield wait
         self._wake_sleepers(sim.now)
 
     def _drive(self, task: Task) -> Generator:

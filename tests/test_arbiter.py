@@ -147,3 +147,80 @@ class TestFactory:
         arbiter = make_arbiter(sim, "priority", priorities={"a": 0})
         assert arbiter.priority_of("a") == 0
         assert arbiter.priority_of("unknown") == arbiter.default_priority
+
+
+class TestTryClaim:
+    """try_claim: the synchronous idle-arbiter fast path of request()."""
+
+    def test_idle_claim_succeeds(self, sim):
+        arbiter = FCFSArbiter(sim)
+        assert arbiter.try_claim("m0") is True
+        assert arbiter.owner == "m0"
+        assert arbiter.grants == 1
+        arbiter.release("m0")
+        assert arbiter.owner is None
+
+    def test_busy_claim_fails_without_side_effects(self, sim):
+        arbiter = FCFSArbiter(sim)
+        assert arbiter.try_claim("m0")
+        grants_before = arbiter.grants
+        assert arbiter.try_claim("m1") is False
+        assert arbiter.owner == "m0"
+        assert arbiter.grants == grants_before
+        assert arbiter.pending_count == 0
+
+    def test_claim_defers_to_pending_requests(self, sim):
+        # A queued (not yet granted) request also blocks try_claim: the
+        # fast path must never jump the queue.
+        arbiter = FCFSArbiter(sim)
+        arbiter.try_claim("m0")
+        arbiter.request("m1")  # queued behind m0
+        assert arbiter.try_claim("m2") is False
+        arbiter.release("m0")  # grants m1 via _dispatch
+        assert arbiter.owner == "m1"
+        assert arbiter.try_claim("m2") is False
+
+    def test_round_robin_claim_rotates_like_request(self):
+        # The initial grab via try_claim must leave the ring in the same
+        # state as an immediate request() grant: identical grant order in
+        # the contention that follows.
+        def scenario(use_claim):
+            sim = Simulator()
+            arbiter = RoundRobinArbiter(sim)
+            if use_claim:
+                assert arbiter.try_claim("a")
+            else:
+                assert arbiter.request("a").triggered
+            order = []
+
+            def contender(name):
+                def body():
+                    yield sim.timeout(1)
+                    yield arbiter.request(name)
+                    order.append((name, sim.now))
+                    yield sim.timeout(2)
+                    arbiter.release(name)
+                return body
+
+            for name in ("a", "b", "c"):
+                sim.process(contender(name)())
+
+            def opener():
+                yield sim.timeout(2)
+                arbiter.release("a")
+
+            sim.process(opener())
+            sim.run()
+            return order, list(arbiter._order)
+
+        assert scenario(True) == scenario(False)
+
+    def test_claim_equivalent_to_immediate_request_grant(self, sim):
+        # Same observable arbiter state either way.
+        via_request = FCFSArbiter(sim, "via_request")
+        event = via_request.request("m0")
+        assert event.triggered
+        via_claim = FCFSArbiter(sim, "via_claim")
+        assert via_claim.try_claim("m0")
+        for field in ("owner", "grants", "busy_since", "pending_count"):
+            assert getattr(via_claim, field) == getattr(via_request, field)

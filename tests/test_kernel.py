@@ -287,3 +287,152 @@ class TestScheduler:
         assert sim.peek() is None
         sim.timeout(8)
         assert sim.peek() == 8
+
+
+class TestDeadlineSemantics:
+    """run(until=cycle) is exclusive: deadline-cycle events stay queued."""
+
+    def test_deadline_cycle_events_do_not_fire(self, sim):
+        trace = []
+        sim.timeout(5).add_callback(lambda e: trace.append(sim.now))
+        sim.run(until=5)
+        assert sim.now == 5
+        assert trace == []
+        sim.run()  # a subsequent run fires them first, at the deadline cycle
+        assert trace == [5]
+
+    def test_split_run_equals_single_run(self):
+        def trace_run(split_at):
+            sim = Simulator()
+            trace = []
+
+            def worker(tag, period):
+                while sim.now < 40:
+                    yield period
+                    trace.append((sim.now, tag))
+
+            sim.process(worker("x", 3))
+            sim.process(worker("y", 5))
+            if split_at is not None:
+                sim.run(until=split_at)
+            sim.run(until=100)
+            return trace
+
+        reference = trace_run(None)
+        # Splitting at a cycle where events are due must not reorder them.
+        assert trace_run(15) == reference
+        assert trace_run(20) == reference
+
+
+class TestFastPathEdgeCases:
+    """Edge cases of the pooled-timeout / int-yield / slotted-fire paths."""
+
+    def test_any_of_with_already_fired_failed_child(self, sim):
+        doomed = sim.event()
+        doomed.fail(RuntimeError("boom"))
+        sim.run()  # fires with no waiters attached
+        assert doomed.fired
+        caught = []
+
+        def waiter():
+            try:
+                yield sim.any_of([doomed, sim.timeout(10)])
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.process(waiter())
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_late_callback_proxy_carries_value_and_exception(self, sim):
+        ok = sim.event()
+        ok.succeed(7)
+        sim.run()
+        bad = sim.event()
+        bad.fail(ValueError("nope"))
+        sim.run()
+        seen = []
+        ok.add_callback(lambda e: seen.append(("ok", e.ok, e.value)))
+        bad.add_callback(lambda e: seen.append(("bad", e.ok)))
+        sim.run()
+        assert ("ok", True, 7) in seen
+        assert ("bad", False) in seen
+
+    def test_event_fail_propagates_through_all_of(self, sim):
+        doomed = sim.event()
+
+        def failer():
+            yield 2
+            doomed.fail(ValueError("dead"))
+
+        caught = []
+
+        def waiter():
+            try:
+                yield sim.all_of([doomed, sim.timeout(50)])
+            except ValueError as exc:
+                caught.append((sim.now, str(exc)))
+
+        sim.process(failer())
+        sim.process(waiter())
+        sim.run()
+        assert caught == [(2, "dead")]
+
+    def test_same_cycle_order_deterministic_under_fast_paths(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def int_worker(tag):
+                for _ in range(5):
+                    yield 1
+                    trace.append((sim.now, tag))
+
+            def timeout_worker(tag):
+                for _ in range(5):
+                    yield sim.timeout(1)
+                    trace.append((sim.now, tag))
+
+            def target():
+                try:
+                    yield 100
+                except Interrupt:
+                    trace.append((sim.now, "irq"))
+
+            def interrupter(victim):
+                yield 3
+                victim.interrupt()
+
+            victim = sim.process(target())
+            sim.process(int_worker("a"))
+            sim.process(timeout_worker("b"))
+            sim.process(int_worker("c"))
+            sim.process(interrupter(victim))
+            sim.run()
+            return trace
+
+        first = run_once()
+        assert first == run_once()
+        # Int-yield and Timeout waiters due the same cycle keep spawn order.
+        assert [tag for when, tag in first if when == 1] == ["a", "b", "c"]
+
+    def test_pooled_timeout_reuse_after_interrupt_is_clean(self, sim):
+        values = []
+
+        def sleeper():
+            try:
+                yield 50
+            except Interrupt as exc:
+                values.append(exc.cause)
+            got = yield sim.timeout(1, "fresh")
+            values.append(got)
+
+        def poker(victim):
+            yield 2
+            victim.interrupt("poke")
+
+        victim = sim.process(sleeper())
+        sim.process(poker(victim))
+        sim.run()
+        # The recycled wakeup proxy must not leak a stale value/exception.
+        assert values == ["poke", "fresh"]

@@ -1,0 +1,98 @@
+"""Tests for the parallel experiment runner and the BusSyn generation cache.
+
+Covers DESIGN.md section 4's runner contract: results in input order,
+parallel runs bit-identical to sequential ones, per-case telemetry, and
+the spec-keyed :class:`~repro.core.busyn.BusSyn` cache that makes repeated
+generation calls free for the experiment drivers (and must stay *off* for
+the Table V generation-time measurements).
+"""
+
+import pytest
+
+from repro.core.busyn import BusSyn
+from repro.experiments.runner import CaseTelemetry, run_cases
+from repro.options import presets
+
+
+def _square(case, offset=0):
+    return case * case + offset
+
+
+class TestRunCases:
+    def test_inline_preserves_order_and_telemetry(self):
+        results, telemetry = run_cases(_square, [3, 1, 2])
+        assert results == [9, 1, 4]
+        assert [t.case for t in telemetry] == [3, 1, 2]
+        assert all(t.wall_seconds >= 0 for t in telemetry)
+        assert all(isinstance(t, CaseTelemetry) for t in telemetry)
+
+    def test_kwargs_forwarded(self):
+        results, _telemetry = run_cases(_square, [2], kwargs={"offset": 10})
+        assert results == [14]
+
+    def test_parallel_matches_inline(self):
+        sequential, _ = run_cases(_square, list(range(6)), jobs=1)
+        parallel, telemetry = run_cases(_square, list(range(6)), jobs=2)
+        assert parallel == sequential
+        assert [t.case for t in telemetry] == list(range(6))
+
+    def test_single_case_skips_the_pool(self):
+        # len(cases) <= 1 runs inline even with jobs > 1.
+        results, _ = run_cases(_square, [5], jobs=8)
+        assert results == [25]
+
+    def test_rejects_non_module_level_callables(self):
+        with pytest.raises(ValueError):
+            run_cases(lambda case: case, [1])
+
+        class Holder:
+            @staticmethod
+            def worker(case):
+                return case
+
+        with pytest.raises(ValueError):
+            run_cases(Holder.worker, [1])
+
+    def test_telemetry_counts_kernel_events(self):
+        from repro.experiments.table4 import run_table4_case
+
+        _result, telemetry = run_cases(run_table4_case, [(15, "GGBA")])
+        assert telemetry[0].events_processed > 0
+        assert telemetry[0].events_per_second() > 0
+
+    def test_table4_parallel_rows_identical(self):
+        from repro.experiments.table4 import run_table4
+
+        sequential = run_table4(jobs=1)
+        parallel = run_table4(jobs=2)
+        assert [vars(row) for row in parallel] == [vars(row) for row in sequential]
+
+
+class TestBusSynCache:
+    def test_cache_hit_returns_same_object(self):
+        tool = BusSyn()
+        spec = presets.preset("GBAVIII", 2)
+        first = tool.generate(spec)
+        assert tool.generate(spec) is first
+        # An equal spec built independently hits the same key.
+        assert tool.generate(presets.preset("GBAVIII", 2)) is first
+
+    def test_cache_disabled_regenerates(self):
+        tool = BusSyn(cache=False)
+        spec = presets.preset("GBAVIII", 2)
+        assert tool.generate(spec) is not tool.generate(spec)
+
+    def test_distinct_specs_do_not_collide(self):
+        tool = BusSyn()
+        two = tool.generate(presets.preset("GBAVIII", 2))
+        four = tool.generate(presets.preset("GBAVIII", 4))
+        assert two is not four
+        assert BusSyn.spec_key(presets.preset("GBAVIII", 2)) != BusSyn.spec_key(
+            presets.preset("GBAVIII", 4)
+        )
+
+    def test_cached_and_fresh_runs_emit_same_verilog(self):
+        spec = presets.preset("SPLITBA", 2)
+        cached = BusSyn().generate(spec)
+        fresh = BusSyn(cache=False).generate(spec)
+        assert cached.verilog() == fresh.verilog()
