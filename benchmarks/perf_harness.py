@@ -20,6 +20,10 @@ paths landed):
   warm-up run.  Parallel rows must be bit-identical to sequential rows
   and pass ``check_table2_shape``.
 
+A fourth, untimed section (``run_report``) records the telemetry summary
+of one traced Table II case so event counts and utilization drift are
+visible next to the perf numbers.
+
 Writes ``BENCH_kernel.json`` (``--out``) with raw numbers, the frozen
 seed baseline, and vs-seed speedups.  ``--smoke`` shrinks every workload
 and skips absolute-performance gating so CI stays timing-insensitive;
@@ -35,7 +39,8 @@ import os
 import sys
 import time
 
-from repro.experiments.table2 import check_table2_shape, run_table2
+from repro.experiments.table2 import check_table2_shape, run_table2, run_table2_case
+from repro.obs.report import drain_recorded
 from repro.sim.kernel import Interrupt, Simulator
 
 # Measured on the seed tree (commit 2988a20) with these same workloads;
@@ -153,6 +158,35 @@ def bench_table2(jobs: int, rounds: int, packets: int) -> dict:
     }
 
 
+def bench_run_report(packets: int) -> dict:
+    """One representative traced case: the RunReport summary the paper-table
+    runs emit, recorded into BENCH_kernel.json so telemetry drift (event
+    counts, utilization) shows up next to the perf numbers."""
+    drain_recorded()  # discard anything a previous bench left behind
+    row = run_table2_case((7, "SPLITBA", "FPA"), packets=packets, telemetry=True)
+    reports = drain_recorded()
+    report = reports[0] if reports else {}
+    return {
+        "case": "table2:7 SPLITBA/FPA",
+        "packets": packets,
+        "throughput_mbps": row.throughput_mbps,
+        "wall_seconds": report.get("wall_seconds", 0.0),
+        "simulated_cycles": report.get("simulated_cycles", 0),
+        "events_processed": report.get("events_processed", 0),
+        "events_per_second": report.get("events_per_second", 0.0),
+        "peak_queue_depth": report.get("peak_queue_depth", 0),
+        "segments": [
+            {
+                "name": segment["name"],
+                "transactions": segment["transactions"],
+                "utilization": segment["utilization"],
+                "arb_wait_p99": segment.get("arb_wait_p99"),
+            }
+            for segment in report.get("segments", ())
+        ],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=3, help="timing repeats (best-of)")
@@ -173,10 +207,12 @@ def main(argv=None) -> int:
         int_yield = bench_int_yield(procs=8, yields=200)
         mixed = bench_mixed(groups=20)
         table2 = bench_table2(jobs=min(args.jobs, 2), rounds=1, packets=2)
+        run_report = bench_run_report(packets=2)
     else:
         int_yield = bench_int_yield()
         mixed = bench_mixed()
         table2 = bench_table2(jobs=args.jobs, rounds=args.rounds, packets=8)
+        run_report = bench_run_report(packets=8)
 
     vs_seed = {
         "int_yield_events_per_sec": int_yield["events_per_sec"]
@@ -191,6 +227,7 @@ def main(argv=None) -> int:
         "smoke": args.smoke,
         "kernel": {"int_yield": int_yield, "mixed": mixed},
         "table2": table2,
+        "run_report": run_report,
         "seed_baseline": SEED_BASELINE,
         "vs_seed": vs_seed,
     }
@@ -205,6 +242,9 @@ def main(argv=None) -> int:
              vs_seed["table2_parallel_seconds"]))
     print("identity  : rows_identical=%s shape_failures=%s"
           % (table2["rows_identical"], table2["shape_failures"]))
+    print("telemetry : %s  %d cycles, %d events, peak queue depth %d"
+          % (run_report["case"], run_report["simulated_cycles"],
+             run_report["events_processed"], run_report["peak_queue_depth"]))
 
     failures = []
     if not table2["rows_identical"]:

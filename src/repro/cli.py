@@ -55,11 +55,8 @@ def _cmd_generate(args) -> int:
     return 1 if errors else 0
 
 
-def _cmd_simulate(args) -> int:
-    from .sim.fabric import build_machine
-
-    spec = _load_spec(args)
-    machine = build_machine(spec)
+def _run_app(machine, spec, args) -> None:
+    """Run the selected --app on ``machine`` and print its headline line."""
     if args.app == "ofdm":
         from .apps.ofdm import OfdmParameters, run_ofdm
 
@@ -88,6 +85,114 @@ def _cmd_simulate(args) -> int:
         )
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit("unknown app %r" % args.app)
+
+
+def _cmd_simulate(args) -> int:
+    from .sim.fabric import build_machine
+
+    spec = _load_spec(args)
+    machine = build_machine(spec)
+    _run_app(machine, spec, args)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run one app with the observability layer on; export the transaction
+    trace (Chrome trace_event and/or JSONL) and the RunReport."""
+    import time
+
+    from .obs import Observability
+    from .obs.tracer import write_chrome_trace, write_jsonl
+    from .sim.fabric import build_machine
+
+    spec = _load_spec(args)
+    machine = build_machine(spec)
+    obs = Observability()
+    machine.attach_observability(obs)
+    start = time.perf_counter()
+    _run_app(machine, spec, args)
+    wall = time.perf_counter() - start
+    report = machine.run_report(
+        wall_seconds=wall, name="%s %s" % (spec.name, args.app)
+    )
+    out = args.out
+    if args.format in ("chrome", "both"):
+        write_chrome_trace(obs.tracer, out)
+        print("wrote Chrome trace %s (%d transactions) -- open in Perfetto"
+              % (out, len(obs.tracer.transactions)))
+    if args.format in ("jsonl", "both"):
+        jsonl_out = out if args.format == "jsonl" else out + "l"
+        write_jsonl(obs.tracer, jsonl_out)
+        print("wrote JSONL trace %s" % jsonl_out)
+    if args.report:
+        report.to_json(args.report)
+        print("wrote run report %s" % args.report)
+    for line in report.summary_lines():
+        print(line)
+    return 0
+
+
+# ``repro stats N``: scale knobs per table (full vs --quick sizing).
+_STATS_SCALES = {
+    2: ({"packets": 8}, {"packets": 2}),
+    3: ({"frame_count": 16}, {"frame_count": 4}),
+    4: ({"client_count": 40}, {"client_count": 10}),
+    5: ({}, {"pe_counts": [1, 8]}),
+}
+
+
+def _cmd_stats(args) -> int:
+    """Re-run one table with telemetry on; print per-case RunReports and the
+    deterministic cross-case aggregate (optionally saved as JSON)."""
+    import json
+
+    from .experiments import table2, table3, table4, table5
+    from .obs.report import RunReport, aggregate_run_reports
+
+    runners = {
+        2: table2.run_table2_telemetry,
+        3: table3.run_table3_telemetry,
+        4: table4.run_table4_telemetry,
+        5: table5.run_table5_telemetry,
+    }
+    full, quick = _STATS_SCALES[args.number]
+    scale = quick if args.quick else full
+    rows, telemetry = runners[args.number](jobs=args.jobs, **scale)
+    reports = [report for entry in telemetry for report in entry.run_reports]
+    print("Table %d telemetry (%d cases, jobs=%d)" % (args.number, len(rows), args.jobs))
+    for report_dict in reports:
+        report = RunReport(**{
+            key: report_dict[key]
+            for key in (
+                "name", "wall_seconds", "simulated_cycles", "events_processed",
+                "peak_queue_depth", "segments", "pes", "fifos", "bridges", "extras",
+            )
+            if key in report_dict
+        })
+        for line in report.summary_lines():
+            print(line)
+    aggregate = aggregate_run_reports(reports)
+    print(
+        "aggregate: %d runs, %d cycles, %d events, overall utilization %.1f%%, "
+        "peak queue depth %d"
+        % (
+            aggregate["runs"],
+            aggregate["simulated_cycles"],
+            aggregate["events_processed"],
+            100.0 * aggregate["overall_utilization"],
+            aggregate["peak_queue_depth"],
+        )
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(
+                {"table": args.number, "cases": reports, "aggregate": aggregate},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print("wrote %s" % args.out)
     return 0
 
 
@@ -124,6 +229,9 @@ def _cmd_profile(args) -> int:
     profiler.disable()
     print("profiled %s.%s(%r)" % (module_name, worker_name, case))
     print("result: %r" % (result,))
+    if args.out:
+        profiler.dump_stats(args.out)
+        print("wrote pstats dump %s (load with pstats.Stats(%r))" % (args.out, args.out))
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.top)
     return 0
 
@@ -163,6 +271,42 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--frames", type=int, default=16)
     simulate.set_defaults(func=_cmd_simulate)
 
+    trace = sub.add_parser(
+        "trace", help="run an app with tracing on and export the transaction trace"
+    )
+    add_spec_arguments(trace)
+    trace.add_argument("--app", choices=["ofdm", "mpeg2", "database"], default="ofdm")
+    trace.add_argument("--style", choices=["PPA", "FPA"], default="FPA")
+    trace.add_argument("--packets", type=int, default=4)
+    trace.add_argument("--frames", type=int, default=16)
+    trace.add_argument(
+        "-o", "--out", default="trace.json", help="trace output path"
+    )
+    trace.add_argument(
+        "--format",
+        choices=["chrome", "jsonl", "both"],
+        default="chrome",
+        help="chrome = trace_event JSON (Perfetto-loadable), jsonl = one record per line",
+    )
+    trace.add_argument("--report", help="also write the RunReport JSON here")
+    trace.set_defaults(func=_cmd_trace)
+
+    stats = sub.add_parser(
+        "stats", help="re-run a table with telemetry and print RunReport summaries"
+    )
+    stats.add_argument("number", type=int, choices=[2, 3, 4, 5])
+    stats.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent cases (1 = run inline)",
+    )
+    stats.add_argument(
+        "--quick", action="store_true", help="reduced workload sizes (CI-friendly)"
+    )
+    stats.add_argument("-o", "--out", help="write case reports + aggregate as JSON")
+    stats.set_defaults(func=_cmd_stats)
+
     table = sub.add_parser("table", help="reprint a table of the paper")
     table.add_argument("number", type=int, choices=[2, 3, 4, 5])
     table.add_argument(
@@ -179,6 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("number", type=int, choices=[2, 3, 4, 5])
     profile.add_argument(
         "--top", type=int, default=20, help="hotspot lines to print"
+    )
+    profile.add_argument(
+        "-o", "--out", help="dump raw cProfile stats here (pstats format)"
     )
     profile.set_defaults(func=_cmd_profile)
 

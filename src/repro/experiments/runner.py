@@ -24,9 +24,10 @@ from __future__ import annotations
 import importlib
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.report import drain_recorded
 from ..sim.kernel import total_events_processed
 
 __all__ = ["CaseTelemetry", "run_cases"]
@@ -34,11 +35,18 @@ __all__ = ["CaseTelemetry", "run_cases"]
 
 @dataclass
 class CaseTelemetry:
-    """Measurement of one case invocation (returned in input order)."""
+    """Measurement of one case invocation (returned in input order).
+
+    ``run_reports`` carries any :class:`repro.obs.report.RunReport` dicts
+    the case recorded (via :func:`repro.obs.report.record_run`) -- drained
+    per case in the executing process, so worker-side telemetry rides back
+    to the parent with the result and aggregates deterministically.
+    """
 
     case: Any
     wall_seconds: float
     events_processed: int
+    run_reports: List[Dict[str, Any]] = field(default_factory=list)
 
     def events_per_second(self) -> float:
         if self.wall_seconds <= 0:
@@ -54,11 +62,14 @@ def _invoke(payload: Tuple[str, str, Any, Dict[str, Any]]) -> Tuple[Any, CaseTel
     """Run one case in the current process, measuring time and events."""
     module_name, qualname, case, kwargs = payload
     func = _resolve(module_name, qualname)
+    drain_recorded()  # discard reports stranded by an earlier failed case
     events_before = total_events_processed()
     start = time.perf_counter()
     result = func(case, **kwargs)
     wall = time.perf_counter() - start
-    return result, CaseTelemetry(case, wall, total_events_processed() - events_before)
+    telemetry = CaseTelemetry(case, wall, total_events_processed() - events_before)
+    telemetry.run_reports = drain_recorded()
+    return result, telemetry
 
 
 def run_cases(

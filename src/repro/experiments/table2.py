@@ -19,6 +19,7 @@ Shape assertions enforced (DESIGN.md section 2):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -32,6 +33,7 @@ __all__ = [
     "TABLE2_PAPER",
     "TABLE2_CASES",
     "run_table2",
+    "run_table2_telemetry",
     "run_table2_case",
     "check_table2_shape",
 ]
@@ -82,12 +84,33 @@ class Table2Row:
 
 
 def run_table2_case(
-    case: Tuple[int, str, str], packets: int = 8, pe_count: int = 4
+    case: Tuple[int, str, str],
+    packets: int = 8,
+    pe_count: int = 4,
+    telemetry: bool = False,
 ) -> Table2Row:
-    """Simulate one Table II case (a ``TABLE2_CASES`` entry); picklable."""
+    """Simulate one Table II case (a ``TABLE2_CASES`` entry); picklable.
+
+    ``telemetry=True`` attaches the observability layer and records a
+    :class:`~repro.obs.report.RunReport` (drained by the runner into the
+    case telemetry); rows are bit-identical either way.
+    """
     number, bus_name, style = case
     machine = build_machine(presets.preset(bus_name, pe_count))
+    if telemetry:
+        from ..obs import Observability
+        from ..obs.report import record_run
+
+        machine.attach_observability(Observability())
+    start = time.perf_counter()
     result = run_ofdm(machine, style, OfdmParameters(packets=packets))
+    if telemetry:
+        record_run(
+            machine.run_report(
+                wall_seconds=time.perf_counter() - start,
+                name="table2:%d %s/%s" % (number, bus_name, style),
+            )
+        )
     return Table2Row(
         number,
         bus_name,
@@ -103,20 +126,35 @@ def run_table2(
     pe_count: int = 4,
     cases: Optional[List[Tuple[int, str, str]]] = None,
     jobs: int = 1,
+    telemetry: bool = False,
 ) -> List[Table2Row]:
     """Simulate every Table II case; returns rows in case order.
 
     ``jobs > 1`` fans the independent cases out over worker processes via
     :func:`repro.experiments.runner.run_cases`; row order and values are
-    identical to a sequential run.
+    identical to a sequential run.  Use :func:`run_table2_telemetry` to
+    also receive the per-case :class:`~repro.experiments.runner.CaseTelemetry`.
     """
-    rows, _telemetry = run_cases(
+    rows, _telemetry = run_table2_telemetry(
+        packets=packets, pe_count=pe_count, cases=cases, jobs=jobs, telemetry=telemetry
+    )
+    return rows
+
+
+def run_table2_telemetry(
+    packets: int = 8,
+    pe_count: int = 4,
+    cases: Optional[List[Tuple[int, str, str]]] = None,
+    jobs: int = 1,
+    telemetry: bool = True,
+):
+    """(rows, telemetry) for Table II; ``telemetry=True`` attaches RunReports."""
+    return run_cases(
         run_table2_case,
         list(cases or TABLE2_CASES),
         jobs=jobs,
-        kwargs={"packets": packets, "pe_count": pe_count},
+        kwargs={"packets": packets, "pe_count": pe_count, "telemetry": telemetry},
     )
-    return rows
 
 
 def check_table2_shape(rows: List[Table2Row]) -> List[str]:

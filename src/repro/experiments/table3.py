@@ -10,6 +10,7 @@ Paper rows (Mbps): BFBA 0.8594, GBAVI 0.8271, GBAVIII 1.1444, Hybrid
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
@@ -27,6 +28,7 @@ __all__ = [
     "TABLE3_PAPER",
     "TABLE3_CASES",
     "run_table3",
+    "run_table3_telemetry",
     "run_table3_case",
     "check_table3_shape",
 ]
@@ -79,13 +81,29 @@ def _reference_decode(frame_count: int):
 
 
 def run_table3_case(
-    case: Tuple[int, str], frame_count: int = 16, pe_count: int = 4
+    case: Tuple[int, str],
+    frame_count: int = 16,
+    pe_count: int = 4,
+    telemetry: bool = False,
 ) -> Table3Row:
     """Simulate one ``(case number, bus)`` Table III entry; picklable."""
     number, bus_name = case
     video, reference = _reference_decode(frame_count)
     machine = build_machine(presets.preset(bus_name, pe_count))
+    if telemetry:
+        from ..obs import Observability
+        from ..obs.report import record_run
+
+        machine.attach_observability(Observability())
+    start = time.perf_counter()
     result = run_mpeg2(machine, video)
+    if telemetry:
+        record_run(
+            machine.run_report(
+                wall_seconds=time.perf_counter() - start,
+                name="table3:%d %s" % (number, bus_name),
+            )
+        )
     correct = len(result.frames) == len(reference) and all(
         np.allclose(result.frames[key].y, reference[key].y, atol=0.51)
         and np.allclose(result.frames[key].cb, reference[key].cb, atol=0.51)
@@ -106,17 +124,39 @@ def run_table3(
     pe_count: int = 4,
     cases: Optional[List[str]] = None,
     jobs: int = 1,
+    telemetry: bool = False,
 ) -> List[Table3Row]:
     """Simulate the Table III cases, verifying decoded frames bit-exactly
     (to the 8-bit output rounding) against a serial reference decode."""
+    rows, _telemetry = run_table3_telemetry(
+        frame_count=frame_count,
+        pe_count=pe_count,
+        cases=cases,
+        jobs=jobs,
+        telemetry=telemetry,
+    )
+    return rows
+
+
+def run_table3_telemetry(
+    frame_count: int = 16,
+    pe_count: int = 4,
+    cases: Optional[List[str]] = None,
+    jobs: int = 1,
+    telemetry: bool = True,
+):
+    """(rows, telemetry) for Table III; ``telemetry=True`` attaches RunReports."""
     numbered = list(enumerate(cases or TABLE3_CASES, start=10))
-    rows, _telemetry = run_cases(
+    return run_cases(
         run_table3_case,
         numbered,
         jobs=jobs,
-        kwargs={"frame_count": frame_count, "pe_count": pe_count},
+        kwargs={
+            "frame_count": frame_count,
+            "pe_count": pe_count,
+            "telemetry": telemetry,
+        },
     )
-    return rows
 
 
 def check_table3_shape(rows: List[Table3Row]) -> List[str]:

@@ -8,6 +8,7 @@ tasks completing on both.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -20,6 +21,7 @@ __all__ = [
     "Table4Row",
     "TABLE4_PAPER",
     "run_table4",
+    "run_table4_telemetry",
     "run_table4_case",
     "check_table4_shape",
 ]
@@ -52,12 +54,28 @@ class Table4Row:
 
 
 def run_table4_case(
-    case: Tuple[int, str], client_count: int = 40, pe_count: int = 4
+    case: Tuple[int, str],
+    client_count: int = 40,
+    pe_count: int = 4,
+    telemetry: bool = False,
 ) -> Table4Row:
     """Simulate one ``(case number, bus)`` Table IV entry; picklable."""
     number, bus_name = case
     machine = build_machine(presets.preset(bus_name, pe_count))
+    if telemetry:
+        from ..obs import Observability
+        from ..obs.report import record_run
+
+        machine.attach_observability(Observability())
+    start = time.perf_counter()
     result = run_database(machine, client_count=client_count)
+    if telemetry:
+        record_run(
+            machine.run_report(
+                wall_seconds=time.perf_counter() - start,
+                name="table4:%d %s" % (number, bus_name),
+            )
+        )
     return Table4Row(
         number,
         bus_name,
@@ -73,15 +91,37 @@ def run_table4(
     pe_count: int = 4,
     cases: Optional[List[str]] = None,
     jobs: int = 1,
+    telemetry: bool = False,
 ) -> List[Table4Row]:
+    rows, _telemetry = run_table4_telemetry(
+        client_count=client_count,
+        pe_count=pe_count,
+        cases=cases,
+        jobs=jobs,
+        telemetry=telemetry,
+    )
+    return rows
+
+
+def run_table4_telemetry(
+    client_count: int = 40,
+    pe_count: int = 4,
+    cases: Optional[List[str]] = None,
+    jobs: int = 1,
+    telemetry: bool = True,
+):
+    """(rows, telemetry) for Table IV; ``telemetry=True`` attaches RunReports."""
     numbered = list(enumerate(cases or TABLE4_CASES, start=15))
-    rows, _telemetry = run_cases(
+    return run_cases(
         run_table4_case,
         numbered,
         jobs=jobs,
-        kwargs={"client_count": client_count, "pe_count": pe_count},
+        kwargs={
+            "client_count": client_count,
+            "pe_count": pe_count,
+            "telemetry": telemetry,
+        },
     )
-    return rows
 
 
 def check_table4_shape(rows: List[Table4Row]) -> List[str]:

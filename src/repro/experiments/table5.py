@@ -13,6 +13,7 @@ estimate of the generated bus logic.  Shape assertions:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -24,6 +25,7 @@ __all__ = [
     "Table5Row",
     "TABLE5_PAPER",
     "run_table5",
+    "run_table5_telemetry",
     "run_table5_case",
     "check_table5_shape",
 ]
@@ -73,10 +75,27 @@ def _measurement_tool() -> BusSyn:
     return _TOOL
 
 
-def run_table5_case(case: Tuple[str, int]) -> Table5Row:
+def run_table5_case(case: Tuple[str, int], telemetry: bool = False) -> Table5Row:
     """Generate one ``(bus, pe_count)`` Table V entry; picklable."""
     bus_name, pe_count = case
+    start = time.perf_counter()
     generated = _measurement_tool().generate(presets.preset(bus_name, pe_count))
+    if telemetry:
+        # Generation runs no simulator; the RunReport carries wall time and
+        # generator outputs in ``extras`` so `repro stats 5` aggregates too.
+        from ..obs.report import RunReport, record_run
+
+        record_run(
+            RunReport(
+                name="table5:%s/%d" % (bus_name, pe_count),
+                wall_seconds=time.perf_counter() - start,
+                extras={
+                    "generation_time_ms": generated.report.generation_time_ms,
+                    "gate_count": generated.report.gate_count,
+                    "lint_errors": len(generated.lint_errors()),
+                },
+            )
+        )
     paper = TABLE5_PAPER.get(bus_name, {}).get(pe_count)
     return Table5Row(
         bus_name,
@@ -92,15 +111,30 @@ def run_table5(
     buses: Optional[List[str]] = None,
     pe_counts: Optional[List[int]] = None,
     jobs: int = 1,
+    telemetry: bool = False,
 ) -> List[Table5Row]:
+    rows, _telemetry = run_table5_telemetry(
+        buses=buses, pe_counts=pe_counts, jobs=jobs, telemetry=telemetry
+    )
+    return rows
+
+
+def run_table5_telemetry(
+    buses: Optional[List[str]] = None,
+    pe_counts: Optional[List[int]] = None,
+    jobs: int = 1,
+    telemetry: bool = True,
+):
+    """(rows, telemetry) for Table V; ``telemetry=True`` attaches RunReports."""
     cases = [
         (bus_name, pe_count)
         for bus_name in (buses or TABLE5_BUSES)
         for pe_count in (pe_counts or TABLE5_PE_COUNTS)
         if not (bus_name == "SPLITBA" and pe_count < 2)  # N/A in the paper too
     ]
-    rows, _telemetry = run_cases(run_table5_case, cases, jobs=jobs)
-    return rows
+    return run_cases(
+        run_table5_case, cases, jobs=jobs, kwargs={"telemetry": telemetry}
+    )
 
 
 def check_table5_shape(rows: List[Table5Row]) -> List[str]:

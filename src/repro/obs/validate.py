@@ -1,0 +1,45 @@
+"""Validate a Chrome ``trace_event`` JSON file: ``python -m repro.obs.validate``.
+
+Exit status 0 when the file parses and passes
+:func:`repro.obs.tracer.validate_chrome_trace` (well-formed events,
+monotonically ordered ``ts``); 1 otherwise, printing each failure.  CI
+runs this against the trace captured from a table case before uploading
+it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+from .tracer import validate_chrome_trace
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate TRACE.json")
+        return 2
+    path = argv[0]
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        print("%s: unreadable trace: %s" % (path, error))
+        return 1
+    failures = validate_chrome_trace(document)
+    if failures:
+        for failure in failures:
+            print("%s: %s" % (path, failure))
+        return 1
+    events = document["traceEvents"]
+    timed = sum(1 for event in events if event.get("ph") != "M")
+    print("%s: OK (%d events, %d timed)" % (path, len(events), timed))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

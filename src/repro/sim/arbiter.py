@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..obs.tracer import NULL_TRACER
 from .kernel import Event, Simulator
 
 __all__ = [
@@ -46,6 +47,11 @@ class Arbiter:
         self.busy_cycles = 0
         self.wait_cycles = 0
         self._pending: List[Tuple[str, Event, int]] = []
+        # Deepest the request queue ever got (updated on the contended
+        # path only; feeds RunReport.peak_pending_requests).
+        self.peak_pending = 0
+        # Span tracer (repro.obs); NULL_TRACER keeps the grant path free.
+        self.tracer = NULL_TRACER
         # When enabled, records (cycle, master, granted?) edges for the
         # VCD export (repro.sim.vcd).
         self.trace_enabled = False
@@ -111,6 +117,8 @@ class Arbiter:
 
     def _enqueue(self, master: str, grant: Event, when: int) -> None:
         self._pending.append((master, grant, when))
+        if len(self._pending) > self.peak_pending:
+            self.peak_pending = len(self._pending)
 
     def _select(self) -> int:
         """Index into ``_pending`` of the next request to grant."""
@@ -128,6 +136,18 @@ class Arbiter:
         self.busy_since = self.sim.now
         if self.trace_enabled:
             self.trace.append((self.sim.now, master, True))
+        if self.tracer.enabled:
+            # Queued grants only -- immediate grants carry zero wait and
+            # already appear as the transaction span's arbitration phase.
+            self.tracer.instant(
+                self.sim.now,
+                self.name,
+                "grant %s" % master,
+                {
+                    "waited": self.sim.now - requested_at,
+                    "still_pending": len(self._pending),
+                },
+            )
         grant.succeed(master)
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Generator, List, Optional, Tuple
 
+from ..obs.tracer import NULL_TRACER
 from .arbiter import Arbiter, FCFSArbiter
 from .kernel import Simulator
 from .stats import BusStats
@@ -77,6 +78,9 @@ class BusSegment:
         self.beat_cycles = beat_cycles
         self.attached_interfaces = 0
         self.stats = BusStats(name)
+        # Observability hook (repro.obs.Observability); None keeps occupy()
+        # on the zero-cost path.  Set by Machine.attach_observability.
+        self.obs = None
 
     @property
     def words_per_beat(self) -> int:
@@ -122,6 +126,13 @@ class BusSegment:
             memory=extra_cycles,
         )
         self.stats.record(master, words, write, timing)
+        obs = self.obs
+        if obs is not None:
+            # Span boundaries mirror the stats: arbitration runs to the
+            # grant-latency boundary, tenure from there to release.
+            obs.bus_transaction(
+                self, master, start, arbitration_done, end, words, write, extra_cycles
+            )
         return timing
 
 
@@ -150,6 +161,7 @@ class BusBridge:
         self.hop_cycles = hop_cycles
         self.enabled = enabled
         self.crossings = 0
+        self.tracer = NULL_TRACER
 
     def other_side(self, segment: BusSegment) -> BusSegment:
         if segment is self.side_a:
@@ -168,6 +180,8 @@ class BusBridge:
         if not self.enabled:
             raise RuntimeError("bus bridge %r is disabled" % self.name)
         self.crossings += 1
+        if self.tracer.enabled:
+            self.tracer.hop(self.sim.now, self.name)
         yield self.hop_cycles
 
 

@@ -123,6 +123,51 @@ class Machine:
         # revalidated against the enable mask on every lookup.
         self._plan_cache: Dict[Tuple[str, str], Tuple[Tuple[bool, ...], _PreparedPlan]] = {}
         self.bus_clock_hz = 100_000_000  # SYSCLK cap of the MPC755 (sec. VI.B)
+        # Observability layer (repro.obs.Observability); None means every
+        # hook below stays on the zero-cost path.
+        self._obs = None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def obs(self):
+        return self._obs
+
+    def attach_observability(self, obs) -> None:
+        """Wire an :class:`repro.obs.Observability` into every model.
+
+        Segments route completed tenures through ``obs.bus_transaction``
+        (spans + arbitration-wait histograms + occupancy series), bridges
+        and FIFOs record onto its tracer, arbiters mark queued grants, and
+        the kernel tracks peak event-queue depth.  Attaching never changes
+        simulation behaviour -- a traced run is bit-identical to an
+        untraced one, just observable.
+        """
+        self._obs = obs
+        self.sim.monitor_depth = True
+        registry = obs.registry
+        for name, segment in self.segments.items():
+            segment.obs = obs
+            segment.arbiter.tracer = obs.tracer
+            if registry is not None:
+                segment.stats.attach_detail(
+                    registry.histogram("bus.%s.arb_wait_cycles" % name),
+                    registry.time_series(
+                        "bus.%s.occupancy" % name, obs.occupancy_window
+                    ),
+                )
+        for bridge in self.bridges:
+            bridge.tracer = obs.tracer
+        for block in self.fifo_blocks.values():
+            block.up.tracer = obs.tracer
+            block.down.tracer = obs.tracer
+
+    def run_report(self, wall_seconds: float = 0.0, name: Optional[str] = None):
+        """Snapshot this machine into a :class:`repro.obs.report.RunReport`."""
+        from ..obs.report import build_run_report
+
+        return build_run_report(self, wall_seconds=wall_seconds, name=name)
 
     # ------------------------------------------------------------------
     # Construction helpers (used by the builder)
@@ -362,6 +407,12 @@ class Machine:
                     stats.memory_cycles += memory_cycles
                     per_master = stats.per_master
                     per_master[master] = per_master.get(master, 0) + 1
+                    obs = self._obs
+                    if obs is not None:
+                        obs.bus_transaction(
+                            segment, master, entry, acquired, end,
+                            words, write, memory_cycles,
+                        )
             return
         held_segments: List[BusSegment] = []
         entry = sim.now
@@ -385,10 +436,13 @@ class Machine:
                 if not bridge.enabled:
                     raise RuntimeError("bus bridge %r is disabled" % bridge.name)
                 bridge.crossings += 1
+                if bridge.tracer.enabled:
+                    bridge.tracer.hop(sim.now, bridge.name)
                 hops += bridge.hop_cycles
             yield beats + hops + memory_cycles
         finally:
             end = sim.now
+            obs = self._obs
             for segment in reversed(held_segments):
                 segment.arbiter.release(master)
             for index, segment in enumerate(held_segments):
@@ -400,6 +454,11 @@ class Machine:
                     memory=memory_cycles,
                 )
                 segment.stats.record(master, words, write, timing)
+                if obs is not None:
+                    obs.bus_transaction(
+                        segment, master, entry, acquired_at[index], end,
+                        words, write, memory_cycles,
+                    )
 
     def transaction(
         self,

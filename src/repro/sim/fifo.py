@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, List, Optional
 
+from ..obs.tracer import NULL_TRACER
 from .kernel import Event, Simulator
 
 __all__ = ["FifoFullError", "FifoEmptyError", "HardwareFifo", "BiFifo"]
@@ -51,7 +52,9 @@ class HardwareFifo:
         self.on_threshold: Optional[Callable[["HardwareFifo"], None]] = None
         self.pushes = 0
         self.pops = 0
+        self.peak_fill = 0
         self.interrupts_raised = 0
+        self.tracer = NULL_TRACER
         self._space_waiters: List[Event] = []
         self._data_waiters: List[Event] = []
 
@@ -91,6 +94,11 @@ class HardwareFifo:
             )
         self._data.extend(values)
         self.pushes += len(values)
+        fill = len(self._data)
+        if fill > self.peak_fill:
+            self.peak_fill = fill
+        if self.tracer.enabled:
+            self.tracer.fifo(self.sim.now, self.name, "push", len(values), fill)
         self._check_threshold()
         self._wake(self._data_waiters)
 
@@ -102,6 +110,8 @@ class HardwareFifo:
             )
         out = [self._data.popleft() for _ in range(count)]
         self.pops += count
+        if self.tracer.enabled:
+            self.tracer.fifo(self.sim.now, self.name, "pop", count, len(self._data))
         if self.threshold and len(self._data) < self.threshold:
             self._armed = True
         self._wake(self._space_waiters)

@@ -8,16 +8,24 @@ observations (A)-(D) under Table II.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import Histogram, TimeSeries
     from .bus import TransferTiming
 
 __all__ = ["BusStats", "PeStats"]
 
 
 class BusStats:
-    """Aggregate counters for one bus segment."""
+    """Aggregate counters for one bus segment.
+
+    When an observability layer is attached to the machine
+    (:meth:`attach_detail`), the segment additionally records a
+    per-transaction arbitration-wait histogram and an occupancy-over-time
+    series in the shared metrics registry; the counters and ``as_dict()``
+    surface are unchanged either way, so experiments never notice.
+    """
 
     def __init__(self, name: str):
         self.name = name
@@ -29,6 +37,16 @@ class BusStats:
         self.arbitration_cycles = 0
         self.memory_cycles = 0
         self.per_master: Dict[str, int] = {}
+        # Detail metrics, populated only through Observability.bus_transaction
+        # (never by record(): the hot path in fabric._occupy_path bypasses
+        # record() and must stay in lockstep with the non-inlined path).
+        self._arb_hist: Optional["Histogram"] = None
+        self._occupancy: Optional["TimeSeries"] = None
+
+    def attach_detail(self, histogram: "Histogram", occupancy: "TimeSeries") -> None:
+        """Back this segment's detail with registry-owned metrics."""
+        self._arb_hist = histogram
+        self._occupancy = occupancy
 
     def record(self, master: str, words: int, write: bool, timing: "TransferTiming") -> None:
         self.transactions += 1
@@ -42,11 +60,34 @@ class BusStats:
         self.memory_cycles += timing.memory
         self.per_master[master] = self.per_master.get(master, 0) + 1
 
+    @property
+    def held_cycles(self) -> int:
+        """Cycles a master actually owned the segment (tenure only).
+
+        ``busy_cycles`` spans request to completion and therefore counts
+        overlapping arbitration *waits* from multiple queued masters more
+        than once; ownership is exclusive, so tenure can never exceed
+        elapsed time.
+        """
+        return self.busy_cycles - self.arbitration_cycles
+
     def utilization(self, elapsed_cycles: int) -> float:
-        """Fraction of elapsed cycles the segment was held by a master."""
+        """Fraction of elapsed cycles the segment was held by a master.
+
+        Computed from :attr:`held_cycles` and deliberately *not* clamped:
+        a ratio above 1.0 means double-counted tenure (a bookkeeping bug),
+        and the old ``min(1.0, ...)`` silently hid exactly that.  A debug
+        assertion flags it instead.
+        """
         if elapsed_cycles <= 0:
             return 0.0
-        return min(1.0, self.busy_cycles / elapsed_cycles)
+        ratio = self.held_cycles / elapsed_cycles
+        assert ratio <= 1.0 + 1e-9, (
+            "segment %s utilization %.4f > 1.0: %d held cycles in %d elapsed "
+            "-- tenure double-counting bug"
+            % (self.name, ratio, self.held_cycles, elapsed_cycles)
+        )
+        return ratio
 
     def mean_arbitration_wait(self) -> float:
         if self.transactions == 0:
