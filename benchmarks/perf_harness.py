@@ -1,274 +1,25 @@
-"""Perf-regression harness for the simulation kernel and experiment runner.
+"""Compatibility shim: the perf harness now lives in ``repro.bench``.
 
-Not a pytest module (no ``test_`` prefix): run it directly ::
+Prefer the CLI verb (discoverable flags, no PYTHONPATH) ::
 
-    PYTHONPATH=src python benchmarks/perf_harness.py            # full run
-    PYTHONPATH=src python benchmarks/perf_harness.py --smoke    # CI quick pass
+    python -m repro bench [--smoke] [--kernel heap|wheel] [--enforce-floor]
 
-Three measurements, compared against the seed-tree baseline (commit
-2988a20, captured with the workloads in this file before the kernel fast
-paths landed):
+This file keeps the historical entry point working ::
 
-* ``int_yield`` -- pure kernel event throughput: 64 processes each doing
-  2000 one-cycle delay yields.  Events/sec uses the nominal event count
-  (procs x yields) so the figure is comparable across kernel versions
-  that schedule bootstrap/cleanup differently.
-* ``mixed`` -- a composite workload exercising Timeout pooling, Event
-  succeed/fail, AnyOf/AllOf, and Process.interrupt wakeups.
-* ``table2`` -- wall time of the full Table II experiment, sequential and
-  through the parallel runner (``--jobs``), best-of-``--rounds`` after a
-  warm-up run.  Parallel rows must be bit-identical to sequential rows
-  and pass ``check_table2_shape``.
+    python benchmarks/perf_harness.py --smoke
 
-A fourth, untimed section (``run_report``) records the telemetry summary
-of one traced Table II case so event counts and utilization drift are
-visible next to the perf numbers.
-
-Writes ``BENCH_kernel.json`` (``--out``) with raw numbers, the frozen
-seed baseline, and vs-seed speedups.  ``--smoke`` shrinks every workload
-and skips absolute-performance gating so CI stays timing-insensitive;
-outside smoke mode the run fails (exit 1) if identity/shape checks fail
-or a vs-seed speedup regresses below the floors in ``GATES``.
+Baselines are the checked-in ``benchmarks/baselines.json``; results go to
+``BENCH_kernel.json``.  See ``docs/performance.md`` for how to read both.
 """
 
-from __future__ import annotations
-
-import argparse
-import json
 import os
 import sys
-import time
 
-from repro.experiments.table2 import check_table2_shape, run_table2, run_table2_case
-from repro.obs.report import drain_recorded
-from repro.sim.kernel import Interrupt, Simulator
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
 
-# Measured on the seed tree (commit 2988a20) with these same workloads;
-# seed processes yield ``sim.timeout(1)`` -- the int fast path is the point.
-SEED_BASELINE = {
-    "int_yield_events_per_sec": 614367.0,
-    "mixed_seconds": 0.0175,
-    "table2_sequential_seconds": 10.68,
-}
-
-# Minimum acceptable speedups vs the seed baseline (full runs only).
-GATES = {
-    "int_yield_events_per_sec": 1.20,   # kernel throughput >= +20 %
-    "table2_parallel_seconds": 3.0,     # jobs=N table2 >= 3x seed sequential
-}
-
-
-def bench_int_yield(procs: int = 64, yields: int = 2000) -> dict:
-    """Kernel event throughput: ``procs`` processes x ``yields`` delays."""
-
-    def worker(count):
-        for _ in range(count):
-            yield 1
-
-    sim = Simulator()
-    for index in range(procs):
-        sim.process(worker(yields), name="w%d" % index)
-    start = time.perf_counter()
-    sim.run()
-    seconds = time.perf_counter() - start
-    events = procs * yields
-    return {
-        "procs": procs,
-        "yields": yields,
-        "seconds": seconds,
-        "events": events,
-        "events_per_sec": events / seconds,
-    }
-
-
-def bench_mixed(groups: int = 200) -> dict:
-    """Composite workload: events, composites, interrupts, pooled timeouts."""
-
-    def producer(sim, done):
-        yield 3
-        done.succeed("payload")
-
-    def failer(sim, doomed):
-        yield 10
-        doomed.fail(RuntimeError("mixed-bench failure path"))
-
-    def consumer(sim, done, doomed):
-        value = yield sim.any_of([done, sim.timeout(50)])
-        assert value
-        try:
-            yield sim.all_of([doomed, sim.timeout(20)])
-        except RuntimeError:
-            pass
-        for _ in range(20):
-            yield 2
-
-    def sleeper(sim):
-        try:
-            yield 1000
-        except Interrupt:
-            yield 1
-
-    def interrupter(sim, victim):
-        yield 5
-        victim.interrupt("wake")
-        yield 5
-
-    sim = Simulator()
-    for index in range(groups):
-        done = sim.event()
-        doomed = sim.event()
-        sim.process(producer(sim, done), name="p%d" % index)
-        sim.process(failer(sim, doomed), name="f%d" % index)
-        sim.process(consumer(sim, done, doomed), name="c%d" % index)
-        victim = sim.process(sleeper(sim), name="s%d" % index)
-        sim.process(interrupter(sim, victim), name="i%d" % index)
-    start = time.perf_counter()
-    sim.run()
-    seconds = time.perf_counter() - start
-    return {"groups": groups, "seconds": seconds, "events": sim.events_processed}
-
-
-def bench_table2(jobs: int, rounds: int, packets: int) -> dict:
-    """Table II wall time, sequential vs parallel runner, plus identity."""
-    run_table2(packets=packets)  # warm imports and generator caches
-    sequential = []
-    parallel = []
-    rows_seq = rows_par = None
-    for _ in range(rounds):
-        start = time.perf_counter()
-        rows_seq = run_table2(packets=packets, jobs=1)
-        sequential.append(time.perf_counter() - start)
-        start = time.perf_counter()
-        rows_par = run_table2(packets=packets, jobs=jobs)
-        parallel.append(time.perf_counter() - start)
-    identical = [vars(r) for r in rows_seq] == [vars(r) for r in rows_par]
-    # The shape claims are calibrated for the full 8-packet experiment;
-    # smoke-scale runs only verify sequential/parallel identity.
-    shape_failures = check_table2_shape(rows_par) if packets >= 8 else []
-    return {
-        "jobs": jobs,
-        "rounds": rounds,
-        "packets": packets,
-        "sequential_seconds": min(sequential),
-        "parallel_seconds": min(parallel),
-        "sequential_all": sequential,
-        "parallel_all": parallel,
-        "rows_identical": identical,
-        "shape_failures": shape_failures,
-    }
-
-
-def bench_run_report(packets: int) -> dict:
-    """One representative traced case: the RunReport summary the paper-table
-    runs emit, recorded into BENCH_kernel.json so telemetry drift (event
-    counts, utilization) shows up next to the perf numbers."""
-    drain_recorded()  # discard anything a previous bench left behind
-    row = run_table2_case((7, "SPLITBA", "FPA"), packets=packets, telemetry=True)
-    reports = drain_recorded()
-    report = reports[0] if reports else {}
-    return {
-        "case": "table2:7 SPLITBA/FPA",
-        "packets": packets,
-        "throughput_mbps": row.throughput_mbps,
-        "wall_seconds": report.get("wall_seconds", 0.0),
-        "simulated_cycles": report.get("simulated_cycles", 0),
-        "events_processed": report.get("events_processed", 0),
-        "events_per_second": report.get("events_per_second", 0.0),
-        "peak_queue_depth": report.get("peak_queue_depth", 0),
-        "segments": [
-            {
-                "name": segment["name"],
-                "transactions": segment["transactions"],
-                "utilization": segment["utilization"],
-                "arb_wait_p99": segment.get("arb_wait_p99"),
-            }
-            for segment in report.get("segments", ())
-        ],
-    }
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--rounds", type=int, default=3, help="timing repeats (best-of)")
-    parser.add_argument("--jobs", type=int, default=4, help="parallel runner workers")
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny workloads, no perf gating (CI functional check)",
-    )
-    parser.add_argument(
-        "--out",
-        default=os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_kernel.json"),
-        help="output JSON path (default: repo-root BENCH_kernel.json)",
-    )
-    args = parser.parse_args(argv)
-
-    if args.smoke:
-        int_yield = bench_int_yield(procs=8, yields=200)
-        mixed = bench_mixed(groups=20)
-        table2 = bench_table2(jobs=min(args.jobs, 2), rounds=1, packets=2)
-        run_report = bench_run_report(packets=2)
-    else:
-        int_yield = bench_int_yield()
-        mixed = bench_mixed()
-        table2 = bench_table2(jobs=args.jobs, rounds=args.rounds, packets=8)
-        run_report = bench_run_report(packets=8)
-
-    vs_seed = {
-        "int_yield_events_per_sec": int_yield["events_per_sec"]
-        / SEED_BASELINE["int_yield_events_per_sec"],
-        "mixed_seconds": SEED_BASELINE["mixed_seconds"] / mixed["seconds"],
-        "table2_sequential_seconds": SEED_BASELINE["table2_sequential_seconds"]
-        / table2["sequential_seconds"],
-        "table2_parallel_seconds": SEED_BASELINE["table2_sequential_seconds"]
-        / table2["parallel_seconds"],
-    }
-    report = {
-        "smoke": args.smoke,
-        "kernel": {"int_yield": int_yield, "mixed": mixed},
-        "table2": table2,
-        "run_report": run_report,
-        "seed_baseline": SEED_BASELINE,
-        "vs_seed": vs_seed,
-    }
-
-    print("int_yield : %8.0f events/sec (%.2fx seed)"
-          % (int_yield["events_per_sec"], vs_seed["int_yield_events_per_sec"]))
-    print("mixed     : %8.4f s        (%.2fx seed)"
-          % (mixed["seconds"], vs_seed["mixed_seconds"]))
-    print("table2    : seq %.2f s (%.2fx seed)  jobs=%d %.2f s (%.2fx seed)"
-          % (table2["sequential_seconds"], vs_seed["table2_sequential_seconds"],
-             table2["jobs"], table2["parallel_seconds"],
-             vs_seed["table2_parallel_seconds"]))
-    print("identity  : rows_identical=%s shape_failures=%s"
-          % (table2["rows_identical"], table2["shape_failures"]))
-    print("telemetry : %s  %d cycles, %d events, peak queue depth %d"
-          % (run_report["case"], run_report["simulated_cycles"],
-             run_report["events_processed"], run_report["peak_queue_depth"]))
-
-    failures = []
-    if not table2["rows_identical"]:
-        failures.append("parallel rows differ from sequential rows")
-    if table2["shape_failures"]:
-        failures.append("check_table2_shape: %s" % table2["shape_failures"])
-    if not args.smoke:
-        for key, floor in GATES.items():
-            if vs_seed[key] < floor:
-                failures.append(
-                    "vs_seed[%s] = %.2fx below the %.2fx floor" % (key, vs_seed[key], floor)
-                )
-    report["failures"] = failures
-
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print("wrote %s" % args.out)
-    if failures:
-        for failure in failures:
-            print("FAIL: %s" % failure)
-        return 1
-    return 0
-
+from repro.bench.harness import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

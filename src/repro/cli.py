@@ -91,7 +91,7 @@ def _cmd_simulate(args) -> int:
     from .sim.fabric import build_machine
 
     spec = _load_spec(args)
-    machine = build_machine(spec)
+    machine = build_machine(spec, kernel=args.kernel)
     _run_app(machine, spec, args)
     return 0
 
@@ -106,7 +106,7 @@ def _cmd_trace(args) -> int:
     from .sim.fabric import build_machine
 
     spec = _load_spec(args)
-    machine = build_machine(spec)
+    machine = build_machine(spec, kernel=args.kernel)
     obs = Observability()
     machine.attach_observability(obs)
     start = time.perf_counter()
@@ -157,7 +157,7 @@ def _cmd_stats(args) -> int:
     }
     full, quick = _STATS_SCALES[args.number]
     scale = quick if args.quick else full
-    rows, telemetry = runners[args.number](jobs=args.jobs, **scale)
+    rows, telemetry = runners[args.number](jobs=args.jobs, kernel=args.kernel, **scale)
     reports = [report for entry in telemetry for report in entry.run_reports]
     print("Table %d telemetry (%d cases, jobs=%d)" % (args.number, len(rows), args.jobs))
     for report_dict in reports:
@@ -200,8 +200,27 @@ def _cmd_table(args) -> int:
     from .experiments import table2, table3, table4, table5
 
     module = {2: table2, 3: table3, 4: table4, 5: table5}[args.number]
-    module.main(jobs=args.jobs)
+    module.main(jobs=args.jobs, kernel=args.kernel)
     return 0
+
+
+def _cmd_bench(args) -> int:
+    """Delegate to the perf harness (repro.bench.harness) with CLI flags."""
+    from .bench.harness import main as bench_main
+
+    argv = [
+        "--jobs", str(args.jobs),
+        "--rounds", str(args.rounds),
+        "--out", args.out,
+        "--baselines", args.baselines,
+    ]
+    if args.smoke:
+        argv.append("--smoke")
+    if args.kernel:
+        argv.extend(["--kernel", args.kernel])
+    if args.enforce_floor:
+        argv.append("--enforce-floor")
+    return bench_main(argv)
 
 
 # One representative (worker, case, kwargs) per table for ``repro profile``.
@@ -258,6 +277,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--pes", type=int, default=4, help="processor count")
         p.add_argument("--options", help="user-option input file (Figure 18 format)")
 
+    def add_kernel_argument(p):
+        from .sim.kernel import KERNEL_BACKENDS
+
+        p.add_argument(
+            "--kernel",
+            choices=list(KERNEL_BACKENDS),
+            help="scheduler backend (default: $REPRO_SIM_KERNEL or heap); "
+            "see docs/performance.md",
+        )
+
     generate = sub.add_parser("generate", help="generate synthesizable Verilog")
     add_spec_arguments(generate)
     generate.add_argument("--out", default="./generated", help="output directory")
@@ -269,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--style", choices=["PPA", "FPA"], default="FPA")
     simulate.add_argument("--packets", type=int, default=4)
     simulate.add_argument("--frames", type=int, default=16)
+    add_kernel_argument(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     trace = sub.add_parser(
@@ -289,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="chrome = trace_event JSON (Perfetto-loadable), jsonl = one record per line",
     )
     trace.add_argument("--report", help="also write the RunReport JSON here")
+    add_kernel_argument(trace)
     trace.set_defaults(func=_cmd_trace)
 
     stats = sub.add_parser(
@@ -305,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="reduced workload sizes (CI-friendly)"
     )
     stats.add_argument("-o", "--out", help="write case reports + aggregate as JSON")
+    add_kernel_argument(stats)
     stats.set_defaults(func=_cmd_stats)
 
     table = sub.add_parser("table", help="reprint a table of the paper")
@@ -315,7 +347,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for independent cases (1 = run inline)",
     )
+    add_kernel_argument(table)
     table.set_defaults(func=_cmd_table)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf-regression harness (kernel + tables, per backend)",
+    )
+    bench.add_argument("--rounds", type=int, default=3, help="timing repeats (best-of)")
+    bench.add_argument("--jobs", type=int, default=4, help="parallel runner workers")
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads, no perf gating (CI functional check)",
+    )
+    bench.add_argument(
+        "--enforce-floor",
+        action="store_true",
+        help="fail on an events/sec regression vs benchmarks/baselines.json",
+    )
+    add_kernel_argument(bench)
+    from .bench.harness import DEFAULT_BASELINES, DEFAULT_OUT
+
+    bench.add_argument(
+        "--baselines",
+        default=DEFAULT_BASELINES,
+        help="baselines JSON path (default: benchmarks/baselines.json)",
+    )
+    bench.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help="output JSON path (default: repo-root BENCH_kernel.json)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     profile = sub.add_parser(
         "profile", help="profile one representative case of a table (cProfile)"

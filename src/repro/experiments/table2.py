@@ -88,15 +88,17 @@ def run_table2_case(
     packets: int = 8,
     pe_count: int = 4,
     telemetry: bool = False,
+    kernel: Optional[str] = None,
 ) -> Table2Row:
     """Simulate one Table II case (a ``TABLE2_CASES`` entry); picklable.
 
     ``telemetry=True`` attaches the observability layer and records a
     :class:`~repro.obs.report.RunReport` (drained by the runner into the
-    case telemetry); rows are bit-identical either way.
+    case telemetry); ``kernel`` selects the scheduler backend; rows are
+    bit-identical either way.
     """
     number, bus_name, style = case
-    machine = build_machine(presets.preset(bus_name, pe_count))
+    machine = build_machine(presets.preset(bus_name, pe_count), kernel=kernel)
     if telemetry:
         from ..obs import Observability
         from ..obs.report import record_run
@@ -127,6 +129,7 @@ def run_table2(
     cases: Optional[List[Tuple[int, str, str]]] = None,
     jobs: int = 1,
     telemetry: bool = False,
+    kernel: Optional[str] = None,
 ) -> List[Table2Row]:
     """Simulate every Table II case; returns rows in case order.
 
@@ -136,7 +139,12 @@ def run_table2(
     also receive the per-case :class:`~repro.experiments.runner.CaseTelemetry`.
     """
     rows, _telemetry = run_table2_telemetry(
-        packets=packets, pe_count=pe_count, cases=cases, jobs=jobs, telemetry=telemetry
+        packets=packets,
+        pe_count=pe_count,
+        cases=cases,
+        jobs=jobs,
+        telemetry=telemetry,
+        kernel=kernel,
     )
     return rows
 
@@ -147,13 +155,19 @@ def run_table2_telemetry(
     cases: Optional[List[Tuple[int, str, str]]] = None,
     jobs: int = 1,
     telemetry: bool = True,
+    kernel: Optional[str] = None,
 ):
     """(rows, telemetry) for Table II; ``telemetry=True`` attaches RunReports."""
     return run_cases(
         run_table2_case,
         list(cases or TABLE2_CASES),
         jobs=jobs,
-        kwargs={"packets": packets, "pe_count": pe_count, "telemetry": telemetry},
+        kwargs={
+            "packets": packets,
+            "pe_count": pe_count,
+            "telemetry": telemetry,
+            "kernel": kernel,
+        },
     )
 
 
@@ -204,8 +218,8 @@ def check_table2_shape(rows: List[Table2Row]) -> List[str]:
     return failures
 
 
-def main(jobs: int = 1) -> None:  # pragma: no cover - CLI convenience
-    rows = run_table2(jobs=jobs)
+def main(jobs: int = 1, kernel: Optional[str] = None) -> None:  # pragma: no cover - CLI convenience
+    rows = run_table2(jobs=jobs, kernel=kernel)
     print("Table II -- OFDM transmitter throughput")
     for row in rows:
         print(row.text())

@@ -85,11 +85,12 @@ def run_table3_case(
     frame_count: int = 16,
     pe_count: int = 4,
     telemetry: bool = False,
+    kernel: Optional[str] = None,
 ) -> Table3Row:
     """Simulate one ``(case number, bus)`` Table III entry; picklable."""
     number, bus_name = case
     video, reference = _reference_decode(frame_count)
-    machine = build_machine(presets.preset(bus_name, pe_count))
+    machine = build_machine(presets.preset(bus_name, pe_count), kernel=kernel)
     if telemetry:
         from ..obs import Observability
         from ..obs.report import record_run
@@ -125,6 +126,7 @@ def run_table3(
     cases: Optional[List[str]] = None,
     jobs: int = 1,
     telemetry: bool = False,
+    kernel: Optional[str] = None,
 ) -> List[Table3Row]:
     """Simulate the Table III cases, verifying decoded frames bit-exactly
     (to the 8-bit output rounding) against a serial reference decode."""
@@ -134,6 +136,7 @@ def run_table3(
         cases=cases,
         jobs=jobs,
         telemetry=telemetry,
+        kernel=kernel,
     )
     return rows
 
@@ -144,6 +147,7 @@ def run_table3_telemetry(
     cases: Optional[List[str]] = None,
     jobs: int = 1,
     telemetry: bool = True,
+    kernel: Optional[str] = None,
 ):
     """(rows, telemetry) for Table III; ``telemetry=True`` attaches RunReports."""
     numbered = list(enumerate(cases or TABLE3_CASES, start=10))
@@ -155,6 +159,7 @@ def run_table3_telemetry(
             "frame_count": frame_count,
             "pe_count": pe_count,
             "telemetry": telemetry,
+            "kernel": kernel,
         },
     )
 
@@ -186,8 +191,8 @@ def check_table3_shape(rows: List[Table3Row]) -> List[str]:
     return failures
 
 
-def main(jobs: int = 1) -> None:  # pragma: no cover
-    rows = run_table3(jobs=jobs)
+def main(jobs: int = 1, kernel: Optional[str] = None) -> None:  # pragma: no cover
+    rows = run_table3(jobs=jobs, kernel=kernel)
     print("Table III -- MPEG2 decoder throughput")
     for row in rows:
         print(row.text())

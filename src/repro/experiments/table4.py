@@ -58,10 +58,11 @@ def run_table4_case(
     client_count: int = 40,
     pe_count: int = 4,
     telemetry: bool = False,
+    kernel: Optional[str] = None,
 ) -> Table4Row:
     """Simulate one ``(case number, bus)`` Table IV entry; picklable."""
     number, bus_name = case
-    machine = build_machine(presets.preset(bus_name, pe_count))
+    machine = build_machine(presets.preset(bus_name, pe_count), kernel=kernel)
     if telemetry:
         from ..obs import Observability
         from ..obs.report import record_run
@@ -92,6 +93,7 @@ def run_table4(
     cases: Optional[List[str]] = None,
     jobs: int = 1,
     telemetry: bool = False,
+    kernel: Optional[str] = None,
 ) -> List[Table4Row]:
     rows, _telemetry = run_table4_telemetry(
         client_count=client_count,
@@ -99,6 +101,7 @@ def run_table4(
         cases=cases,
         jobs=jobs,
         telemetry=telemetry,
+        kernel=kernel,
     )
     return rows
 
@@ -109,6 +112,7 @@ def run_table4_telemetry(
     cases: Optional[List[str]] = None,
     jobs: int = 1,
     telemetry: bool = True,
+    kernel: Optional[str] = None,
 ):
     """(rows, telemetry) for Table IV; ``telemetry=True`` attaches RunReports."""
     numbered = list(enumerate(cases or TABLE4_CASES, start=15))
@@ -120,6 +124,7 @@ def run_table4_telemetry(
             "client_count": client_count,
             "pe_count": pe_count,
             "telemetry": telemetry,
+            "kernel": kernel,
         },
     )
 
@@ -141,8 +146,8 @@ def check_table4_shape(rows: List[Table4Row]) -> List[str]:
     return failures
 
 
-def main(jobs: int = 1) -> None:  # pragma: no cover
-    rows = run_table4(jobs=jobs)
+def main(jobs: int = 1, kernel: Optional[str] = None) -> None:  # pragma: no cover
+    rows = run_table4(jobs=jobs, kernel=kernel)
     print("Table IV -- database example execution time")
     for row in rows:
         print(row.text())

@@ -112,9 +112,11 @@ def run_table5(
     pe_counts: Optional[List[int]] = None,
     jobs: int = 1,
     telemetry: bool = False,
+    kernel: Optional[str] = None,
 ) -> List[Table5Row]:
     rows, _telemetry = run_table5_telemetry(
-        buses=buses, pe_counts=pe_counts, jobs=jobs, telemetry=telemetry
+        buses=buses, pe_counts=pe_counts, jobs=jobs, telemetry=telemetry,
+        kernel=kernel,
     )
     return rows
 
@@ -124,8 +126,14 @@ def run_table5_telemetry(
     pe_counts: Optional[List[int]] = None,
     jobs: int = 1,
     telemetry: bool = True,
+    kernel: Optional[str] = None,
 ):
-    """(rows, telemetry) for Table V; ``telemetry=True`` attaches RunReports."""
+    """(rows, telemetry) for Table V; ``telemetry=True`` attaches RunReports.
+
+    ``kernel`` is accepted for interface symmetry with Tables II-IV but has
+    no effect: Table V measures architecture *generation* and never builds a
+    Simulator, so its rows are scheduler-backend-independent by construction.
+    """
     cases = [
         (bus_name, pe_count)
         for bus_name in (buses or TABLE5_BUSES)
@@ -180,8 +188,8 @@ def check_table5_shape(rows: List[Table5Row]) -> List[str]:
     return failures
 
 
-def main(jobs: int = 1) -> None:  # pragma: no cover
-    rows = run_table5(jobs=jobs)
+def main(jobs: int = 1, kernel: Optional[str] = None) -> None:  # pragma: no cover
+    rows = run_table5(jobs=jobs, kernel=kernel)
     print("Table V -- generation time and gate count")
     for row in rows:
         print(row.text())

@@ -36,6 +36,21 @@ __all__ = [
 class Arbiter:
     """Base class: owns the grant state and bookkeeping, defers policy."""
 
+    __slots__ = (
+        "sim",
+        "name",
+        "owner",
+        "grants",
+        "busy_since",
+        "busy_cycles",
+        "wait_cycles",
+        "_pending",
+        "peak_pending",
+        "tracer",
+        "trace_enabled",
+        "trace",
+    )
+
     policy_name = "abstract"
 
     def __init__(self, sim: Simulator, name: str = "arbiter"):
@@ -154,6 +169,8 @@ class Arbiter:
 class FCFSArbiter(Arbiter):
     """First-come-first-serve: the FIFO policy of the paper's global arbiter."""
 
+    __slots__ = ()
+
     policy_name = "fcfs"
 
     def _select(self) -> int:
@@ -162,6 +179,8 @@ class FCFSArbiter(Arbiter):
 
 class RoundRobinArbiter(Arbiter):
     """Rotating priority among masters, starting after the last grantee."""
+
+    __slots__ = ("_order",)
 
     policy_name = "round_robin"
 
@@ -200,6 +219,8 @@ class RoundRobinArbiter(Arbiter):
 
 class PriorityArbiter(Arbiter):
     """Static priority; lower priority number wins, FCFS within a level."""
+
+    __slots__ = ("priorities", "default_priority")
 
     policy_name = "priority"
 

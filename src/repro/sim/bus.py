@@ -48,6 +48,20 @@ class TransferTiming:
 class BusSegment:
     """One arbitrated bus segment (an SB plus its arbiter and GBI logic)."""
 
+    __slots__ = (
+        "sim",
+        "name",
+        "data_width",
+        "address_width",
+        "arbiter",
+        "grant_cycles",
+        "write_grant_cycles",
+        "beat_cycles",
+        "attached_interfaces",
+        "stats",
+        "obs",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -144,6 +158,17 @@ class BusBridge:
     route while disabled.  Both attached segments are still individually
     arbitrated, so a disabled bridge really does isolate traffic.
     """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "side_a",
+        "side_b",
+        "hop_cycles",
+        "enabled",
+        "crossings",
+        "tracer",
+    )
 
     def __init__(
         self,

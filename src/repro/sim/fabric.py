@@ -626,16 +626,19 @@ def build_machine(
     trace_hsregs: bool = False,
     cycles_per_instruction: float = 0.4,
     arbiter_policy: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> Machine:
     """Build the simulation machine matching ``spec``.
 
     ``arbiter_policy`` overrides every bus's arbiter policy (for the
     arbitration-policy ablation); ``trace_hsregs`` turns on value-change
     traces in all handshake register blocks (used to reproduce the state
-    diagrams of Figures 11-13).
+    diagrams of Figures 11-13); ``kernel`` picks the scheduler backend
+    (``"heap"``/``"wheel"``, default :func:`repro.sim.kernel.default_kernel`)
+    when no ``sim`` is supplied.
     """
     spec.validate()
-    sim = sim or Simulator()
+    sim = sim or Simulator(kernel=kernel)
     machine = Machine(sim, spec)
     builder = _Builder(machine, trace_hsregs, cycles_per_instruction, arbiter_policy)
     builder.build()

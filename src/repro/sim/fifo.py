@@ -40,6 +40,23 @@ class HardwareFifo:
     edge-triggered interrupt line.
     """
 
+    __slots__ = (
+        "sim",
+        "name",
+        "depth_words",
+        "_data",
+        "threshold",
+        "_armed",
+        "on_threshold",
+        "pushes",
+        "pops",
+        "peak_fill",
+        "interrupts_raised",
+        "tracer",
+        "_space_waiters",
+        "_data_waiters",
+    )
+
     def __init__(self, sim: Simulator, name: str, depth_words: int):
         if depth_words <= 0:
             raise ValueError("FIFO %r needs positive depth" % name)
@@ -152,6 +169,8 @@ class BiFifo:
     (A->B), ``down`` the reverse; the naming follows the ``_up``/``_dn``
     port suffixes of the generated Verilog (Example 8).
     """
+
+    __slots__ = ("name", "depth_words", "up", "down")
 
     def __init__(self, sim: Simulator, name: str, depth_words: int):
         self.name = name

@@ -59,6 +59,24 @@ class DataTouch:
 class ProcessingElement:
     """One cost-model CPU attached to a bus fabric."""
 
+    __slots__ = (
+        "sim",
+        "name",
+        "machine",
+        "cycles_per_instruction",
+        "icache",
+        "dcache",
+        "program_device",
+        "program_base",
+        "code_footprint_words",
+        "stats",
+        "_cycle_carry",
+        "_fetch_cursor",
+        "finished_at",
+        "_fetch_warm",
+        "_footprint_lines",
+    )
+
     def __init__(
         self,
         sim: Simulator,

@@ -45,19 +45,26 @@ from repro.sim.fabric import build_machine
 from repro.sim.stats import BusStats
 
 
-def _traced_gbaviii_run(packets=2):
-    machine = build_machine(presets.preset("GBAVIII", 4))
+def _traced_gbaviii_run(packets=2, kernel=None):
+    machine = build_machine(presets.preset("GBAVIII", 4), kernel=kernel)
     obs = Observability()
     machine.attach_observability(obs)
     result = run_ofdm(machine, "FPA", OfdmParameters(packets=packets))
     return machine, obs, result
 
 
+# The lockstep invariants must hold on every scheduler backend -- the
+# timing wheel batches bucket pops, but spans/metrics are emitted by the
+# fabric, which only observes event *order*.
+_KERNELS = ["heap", "wheel"]
+
+
 class TestSpanStatsLockstep:
     """Satellite (c): span sums must equal the BusStats counters."""
 
-    def test_gbaviii_span_sums_match_bus_stats(self):
-        machine, obs, _result = _traced_gbaviii_run()
+    @pytest.mark.parametrize("kernel", _KERNELS)
+    def test_gbaviii_span_sums_match_bus_stats(self, kernel):
+        machine, obs, _result = _traced_gbaviii_run(kernel=kernel)
         sums = obs.tracer.span_cycle_sums()
         assert sums, "traced run recorded no transactions"
         for name, segment in machine.segments.items():
@@ -71,16 +78,18 @@ class TestSpanStatsLockstep:
             assert entry["busy"] == stats.busy_cycles
             assert entry["tenure"] == stats.held_cycles
 
-    def test_histogram_count_matches_transactions(self):
-        machine, obs, _result = _traced_gbaviii_run()
+    @pytest.mark.parametrize("kernel", _KERNELS)
+    def test_histogram_count_matches_transactions(self, kernel):
+        machine, obs, _result = _traced_gbaviii_run(kernel=kernel)
         for name, segment in machine.segments.items():
             hist = obs.registry.get("bus.%s.arb_wait_cycles" % name)
             assert hist is not None
             assert hist.count == segment.stats.transactions
 
-    def test_multi_segment_preset_spans_match(self):
+    @pytest.mark.parametrize("kernel", _KERNELS)
+    def test_multi_segment_preset_spans_match(self, kernel):
         # GBAVI routes over bridges (multi-segment path in fabric).
-        machine = build_machine(presets.preset("GBAVI", 4))
+        machine = build_machine(presets.preset("GBAVI", 4), kernel=kernel)
         obs = Observability()
         machine.attach_observability(obs)
         run_ofdm(machine, "PPA", OfdmParameters(packets=1))
