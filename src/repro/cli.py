@@ -22,6 +22,7 @@ from typing import List, Optional
 from .core.busyn import BusSyn
 from .options import presets
 from .options.inputfile import parse_option_file
+from .options.schema import OptionError
 
 __all__ = ["main"]
 
@@ -255,6 +256,31 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Run the seeded fault-injection sweep (docs/robustness.md)."""
+    import json
+
+    from .faults.chaos import CHAOS_ARCHITECTURES, format_chaos_summary, run_chaos
+
+    summary = run_chaos(
+        seed=args.seed,
+        scenario="smoke" if args.smoke else args.scenario,
+        archs=args.arch or CHAOS_ARCHITECTURES,
+        backends=tuple(args.backend) if args.backend else ("heap", "wheel"),
+        packets=args.packets,
+        pe_count=args.pes,
+        jobs=args.jobs,
+    )
+    for line in format_chaos_summary(summary):
+        print(line)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out)
+    return 0 if summary["ok"] else 1
+
+
 def _cmd_list(_args) -> int:
     from .moduledb import default_library
 
@@ -393,6 +419,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.set_defaults(func=_cmd_profile)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection sweep with recovery invariants "
+        "(docs/robustness.md)",
+    )
+    chaos.add_argument(
+        "--scenario",
+        choices=["smoke", "default", "heavy"],
+        default="default",
+        help="fault scenario to compile (counts per fault kind)",
+    )
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shortcut for --scenario smoke (one fault per kind; CI gate)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    chaos.add_argument(
+        "--arch",
+        action="append",
+        help="architecture to sweep (repeatable; default: the paper's five)",
+    )
+    chaos.add_argument(
+        "--backend",
+        action="append",
+        choices=["heap", "wheel"],
+        help="scheduler backend (repeatable; default: both, with parity check)",
+    )
+    chaos.add_argument("--packets", type=int, default=4, help="OFDM packets per run")
+    chaos.add_argument("--pes", type=int, default=4, help="processor count")
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent cases (1 = run inline)",
+    )
+    chaos.add_argument("-o", "--out", help="write the full sweep summary as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
+
     listing = sub.add_parser("list", help="list presets and library components")
     listing.set_defaults(func=_cmd_list)
     return parser
@@ -401,7 +466,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except OptionError as error:
+        print("repro: option error: %s" % error, file=sys.stderr)
+        return 2
+    except OSError as error:
+        print("repro: %s" % error, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

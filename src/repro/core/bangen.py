@@ -85,7 +85,12 @@ def ban_kind(ban: BANSpec, subsystem: BusSubsystemSpec) -> str:
         return BanKind.HYBRID
     if bus_types & {"GBAVIII", "CCBA", "SPLITBA", "GGBA"}:
         return BanKind.GBAVIII if ban.memories else BanKind.SPLITBA
-    raise OptionError("cannot classify BAN %s under buses %s" % (ban.name, bus_types))
+    raise OptionError(
+        "cannot classify BAN %s under bus mix {%s}; supported mixes are "
+        "{BFBA}, {GBAVI}, {GBAVII}, {BFBA, GBAVIII}, or any mix including "
+        "one of GBAVIII/CCBA/SPLITBA/GGBA"
+        % (ban.name, ", ".join(sorted(bus_types)) or "<empty>")
+    )
 
 
 def _memory_width(ban: BANSpec) -> int:

@@ -33,6 +33,14 @@ class NetlistError(ValueError):
     pass
 
 
+def _did_you_mean(name: str, candidates) -> str:
+    """`` (did you mean 'x'?)`` when a close match exists, else empty."""
+    import difflib
+
+    matches = difflib.get_close_matches(name, list(candidates), n=1)
+    return " (did you mean %r?)" % matches[0] if matches else ""
+
+
 @dataclass
 class _Net:
     name: str
@@ -115,14 +123,28 @@ class NetlistBuilder:
                 continue
             if logical not in self._instances:
                 raise NetlistError(
-                    "wire %s references unknown module %r" % (wire_name, logical)
+                    "wire %s references unknown module %r%s; known modules: %s"
+                    % (
+                        wire_name,
+                        logical,
+                        _did_you_mean(logical, self._order),
+                        ", ".join(sorted(self._instances)) or "<none>",
+                    )
                 )
             definition, _instance = self._instances[logical]
             port_def = definition.port(port)
             if port_def is None:
+                port_names = [p.name for p in definition.ports]
                 raise NetlistError(
-                    "wire %s: module %s (%s) has no port %r"
-                    % (wire_name, logical, definition.name, port)
+                    "wire %s: module %s (%s) has no port %r%s; its ports: %s"
+                    % (
+                        wire_name,
+                        logical,
+                        definition.name,
+                        port,
+                        _did_you_mean(port, port_names),
+                        ", ".join(sorted(port_names)) or "<none>",
+                    )
                 )
             key = (logical, port)
             if key in self._port_net:

@@ -30,7 +30,25 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..obs.report import drain_recorded
 from ..sim.kernel import total_events_processed
 
-__all__ = ["CaseTelemetry", "run_cases"]
+__all__ = ["CaseExecutionError", "CaseTelemetry", "run_cases"]
+
+
+class CaseExecutionError(RuntimeError):
+    """A case worker raised: identifies *which* case died, and on what.
+
+    Pool workers report failures as pickled exceptions with no payload
+    context; this wrapper pins the failing case and worker so a 40-case
+    sweep doesn't reduce to a bare traceback.  The original exception is
+    chained (``__cause__``) and summarized in the message.
+    """
+
+    def __init__(self, module_name: str, qualname: str, case: Any, error: BaseException):
+        super().__init__(
+            "case %r failed in %s.%s: %s: %s"
+            % (case, module_name, qualname, type(error).__name__, error)
+        )
+        self.case = case
+        self.worker = "%s.%s" % (module_name, qualname)
 
 
 @dataclass
@@ -65,7 +83,12 @@ def _invoke(payload: Tuple[str, str, Any, Dict[str, Any]]) -> Tuple[Any, CaseTel
     drain_recorded()  # discard reports stranded by an earlier failed case
     events_before = total_events_processed()
     start = time.perf_counter()
-    result = func(case, **kwargs)
+    try:
+        result = func(case, **kwargs)
+    except CaseExecutionError:
+        raise
+    except Exception as error:
+        raise CaseExecutionError(module_name, qualname, case, error) from error
     wall = time.perf_counter() - start
     telemetry = CaseTelemetry(case, wall, total_events_processed() - events_before)
     telemetry.run_reports = drain_recorded()

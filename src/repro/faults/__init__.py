@@ -1,0 +1,41 @@
+"""Deterministic fault injection and bus-level error recovery.
+
+See docs/robustness.md for the user guide.  Layering (no cycles):
+``plan`` is pure data, ``injector`` imports only the plan and is driven by
+thin hooks inside ``repro.sim.*``, ``report`` summarizes an injector, and
+``chaos`` sits on top of the fabric + experiment runner to sweep scenarios.
+"""
+
+from .injector import FaultInjector, RecoveryPolicy, install_faults
+from .plan import (
+    BusTimeoutError,
+    ChaosScenario,
+    DEFAULT_SCENARIO,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    HEAVY_SCENARIO,
+    SCENARIOS,
+    SMOKE_SCENARIO,
+    compile_plan,
+    empty_plan,
+)
+from .report import ResilienceReport
+
+__all__ = [
+    "BusTimeoutError",
+    "ChaosScenario",
+    "DEFAULT_SCENARIO",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "HEAVY_SCENARIO",
+    "RecoveryPolicy",
+    "ResilienceReport",
+    "SCENARIOS",
+    "SMOKE_SCENARIO",
+    "compile_plan",
+    "empty_plan",
+    "install_faults",
+]

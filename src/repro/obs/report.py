@@ -168,6 +168,9 @@ def build_run_report(
                 "enabled": bridge.enabled,
             }
         )
+    faults = getattr(machine, "_faults", None)
+    if faults is not None:
+        report.extras["resilience"] = faults.resilience_report().as_dict()
     return report
 
 

@@ -93,6 +93,12 @@ class Tracer:
     ) -> None:
         self.instants.append((cycle, lane, name, args))
 
+    def fault(self, cycle: int, site: str, kind: str, outcome: str) -> None:
+        """Mark a fault-injection episode on the ``faults`` lane."""
+        self.instants.append(
+            (cycle, "faults", "%s %s" % (kind, outcome), {"site": site})
+        )
+
     # -- introspection ---------------------------------------------------
     def __len__(self) -> int:
         return (
@@ -143,6 +149,9 @@ class NullTracer(Tracer):
         pass
 
     def instant(self, *args, **kwargs) -> None:
+        pass
+
+    def fault(self, *args, **kwargs) -> None:
         pass
 
 

@@ -45,17 +45,46 @@ from .schema import (
 __all__ = ["parse_option_text", "parse_option_file", "render_option_text"]
 
 
-def _tokens(text: str) -> List[List[str]]:
+def _tokens(text: str) -> List[Tuple[int, List[str]]]:
+    """Comment-stripped, tokenized lines, each with its 1-based line number."""
     lines = []
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if line:
-            lines.append(line.split())
+            lines.append((lineno, line.split()))
     return lines
 
 
+def _arg(fields: List[str], pos: int, lineno: int, what: str) -> str:
+    """The ``pos``-th token of a line, or an OptionError naming what's missing."""
+    try:
+        return fields[pos]
+    except IndexError:
+        raise OptionError(
+            "line %d: %r expects %s after %r"
+            % (lineno, fields[0], what, " ".join(fields))
+        )
+
+
+def _int_arg(fields: List[str], pos: int, lineno: int, what: str) -> int:
+    token = _arg(fields, pos, lineno, what)
+    try:
+        return int(token)
+    except ValueError:
+        raise OptionError(
+            "line %d: %r expects an integer %s, got %r"
+            % (lineno, fields[0], what, token)
+        )
+
+
 def parse_option_text(text: str, name: str = "USER") -> BusSystemSpec:
-    """Parse an option file into a validated BusSystemSpec."""
+    """Parse an option file into a validated BusSystemSpec.
+
+    Malformed input raises :class:`OptionError` carrying the 1-based line
+    number and the offending token, e.g. ``line 7: 'bans' expects an
+    integer count, got 'four'`` -- the CLI relays it on stderr and exits
+    non-zero.
+    """
     lines = _tokens(text)
     index = 0
     subsystem_count: Optional[int] = None
@@ -100,65 +129,95 @@ def parse_option_text(text: str, name: str = "USER") -> BusSystemSpec:
         declared_bans = None
 
     while index < len(lines):
-        fields = lines[index]
+        lineno, fields = lines[index]
         key = fields[0].lower()
         index += 1
         if key == "bus_system":
-            subsystem_count = int(fields[1])
+            subsystem_count = _int_arg(fields, 1, lineno, "subsystem count")
         elif key == "subsystem":
             finish_subsystem()
-            current_sub = BusSubsystemSpec(name=fields[1], bans=[], buses=[])
+            current_sub = BusSubsystemSpec(
+                name=_arg(fields, 1, lineno, "a subsystem name"), bans=[], buses=[]
+            )
             current_ban = None
             current_bus = None
         elif key == "bans":
-            declared_bans = int(fields[1])
+            declared_bans = _int_arg(fields, 1, lineno, "BAN count")
         elif key == "bus":
             if current_sub is None:
-                raise OptionError("'bus' outside a subsystem")
-            current_bus = BusSpec(bus_type=fields[1].upper())
+                raise OptionError(
+                    "line %d: 'bus' outside a subsystem (declare 'subsystem "
+                    "<name>' first)" % lineno
+                )
+            current_bus = BusSpec(bus_type=_arg(fields, 1, lineno, "a bus type").upper())
             current_sub.buses.append(current_bus)
             current_ban = None
         elif key in ("address_width", "data_width", "fifo_depth", "grant_cycles"):
             if current_bus is None:
-                raise OptionError("'%s' outside a bus block" % key)
-            setattr(current_bus, key, int(fields[1]))
+                raise OptionError(
+                    "line %d: %r outside a bus block (declare 'bus <type>' first)"
+                    % (lineno, key)
+                )
+            setattr(current_bus, key, _int_arg(fields, 1, lineno, "value"))
         elif key == "arbiter":
             if current_bus is None:
-                raise OptionError("'arbiter' outside a bus block")
-            current_bus.arbiter_policy = fields[1].lower()
+                raise OptionError(
+                    "line %d: 'arbiter' outside a bus block (declare 'bus "
+                    "<type>' first)" % lineno
+                )
+            current_bus.arbiter_policy = _arg(fields, 1, lineno, "a policy name").lower()
         elif key == "ban":
             if current_sub is None:
-                raise OptionError("'ban' outside a subsystem")
-            current_ban = BANSpec(name=fields[1], cpu_type="NONE", memories=[])
+                raise OptionError(
+                    "line %d: 'ban' outside a subsystem (declare 'subsystem "
+                    "<name>' first)" % lineno
+                )
+            current_ban = BANSpec(
+                name=_arg(fields, 1, lineno, "a BAN name"), cpu_type="NONE", memories=[]
+            )
             modifiers = [f.lower() for f in fields[2:]]
             if "global" in modifiers:
                 current_ban.is_global_resource = True
             if "ip" in modifiers:
                 ip_index = modifiers.index("ip")
-                current_ban.non_cpu_type = fields[2 + ip_index + 1].upper()
+                current_ban.non_cpu_type = _arg(
+                    fields, 2 + ip_index + 1, lineno, "an IP type after 'ip'"
+                ).upper()
                 if "attach" in modifiers:
                     attach_index = modifiers.index("attach")
-                    current_ban.ip_attach = fields[2 + attach_index + 1]
+                    current_ban.ip_attach = _arg(
+                        fields, 2 + attach_index + 1, lineno,
+                        "a BAN name after 'attach'",
+                    )
             current_sub.bans.append(current_ban)
         elif key == "cpu":
             if current_ban is None:
-                raise OptionError("'cpu' outside a ban block")
-            current_ban.cpu_type = fields[1].upper()
+                raise OptionError(
+                    "line %d: 'cpu' outside a ban block (declare 'ban <name>' "
+                    "first)" % lineno
+                )
+            current_ban.cpu_type = _arg(fields, 1, lineno, "a CPU type").upper()
         elif key == "memories":
             pass  # informational count (user option 4.3); blocks follow
         elif key == "memory":
             if current_ban is None:
-                raise OptionError("'memory' outside a ban block")
+                raise OptionError(
+                    "line %d: 'memory' outside a ban block (declare 'ban "
+                    "<name>' first)" % lineno
+                )
             memory = MemorySpec(
-                memory_type=fields[1].upper(),
-                address_width=int(fields[2]),
-                data_width=int(fields[3]),
+                memory_type=_arg(fields, 1, lineno, "a memory type").upper(),
+                address_width=_int_arg(fields, 2, lineno, "address width"),
+                data_width=_int_arg(fields, 3, lineno, "data width"),
             )
             prefix = "GLOBAL_SRAM" if current_ban.is_global_resource else "SRAM"
             memory.name = "%s_%s" % (prefix, current_ban.name)
             current_ban.memories.append(memory)
         else:
-            raise OptionError("unknown option line: %s" % " ".join(fields))
+            raise OptionError(
+                "line %d: unknown option %r (full line: %r)"
+                % (lineno, fields[0], " ".join(fields))
+            )
     finish_subsystem()
 
     if subsystem_count is not None and subsystem_count != len(subsystems):
@@ -172,13 +231,17 @@ def parse_option_text(text: str, name: str = "USER") -> BusSystemSpec:
 
 
 def parse_option_file(path: str, name: Optional[str] = None) -> BusSystemSpec:
+    """Parse an option file; errors are re-raised with the path prefixed."""
     with open(path) as handle:
         text = handle.read()
     import os
 
-    return parse_option_text(
-        text, name or os.path.splitext(os.path.basename(path))[0].upper()
-    )
+    try:
+        return parse_option_text(
+            text, name or os.path.splitext(os.path.basename(path))[0].upper()
+        )
+    except OptionError as error:
+        raise OptionError("%s: %s" % (path, error))
 
 
 def render_option_text(spec: BusSystemSpec) -> str:

@@ -49,6 +49,7 @@ class Arbiter:
         "tracer",
         "trace_enabled",
         "trace",
+        "faults",
     )
 
     policy_name = "abstract"
@@ -71,6 +72,8 @@ class Arbiter:
         # VCD export (repro.sim.vcd).
         self.trace_enabled = False
         self.trace: List[Tuple[int, str, bool]] = []
+        # Fault injector (repro.faults); None keeps _dispatch hook-free.
+        self.faults = None
 
     # -- master interface ------------------------------------------------
     def try_claim(self, master: str) -> bool:
@@ -122,6 +125,25 @@ class Arbiter:
             self.busy_since = None
         self._dispatch()
 
+    def cancel(self, master: str, grant: Event) -> None:
+        """Withdraw a request whose master stopped waiting for ``grant``.
+
+        Called when a master gives up on the bus (timeout-escalation
+        exhaustion): if the grant already landed -- the master owns the
+        bus without knowing it -- release it; otherwise drop the queued
+        entry so a later dispatch cannot grant a master that will never
+        drive the bus (which would wedge the segment for everyone).
+        """
+        if self.owner == master:
+            # The grant already landed (or its lost pulse is still in
+            # flight): the giver-upper secretly owns the bus -- free it.
+            self.release(master)
+            return
+        for index, (_master, pending_grant, _when) in enumerate(self._pending):
+            if pending_grant is grant:
+                del self._pending[index]
+                return
+
     @property
     def pending_count(self) -> int:
         return len(self._pending)
@@ -163,6 +185,10 @@ class Arbiter:
                     "still_pending": len(self._pending),
                 },
             )
+        if self.faults is not None and self.faults.intercept_grant(self, master, grant):
+            # Grant issued (owner/accounting above stand) but the pulse was
+            # lost in flight; the fault injector's watchdog redelivers it.
+            return
         grant.succeed(master)
 
 

@@ -60,6 +60,7 @@ class BusSegment:
         "attached_interfaces",
         "stats",
         "obs",
+        "faults",
     )
 
     def __init__(
@@ -95,6 +96,8 @@ class BusSegment:
         # Observability hook (repro.obs.Observability); None keeps occupy()
         # on the zero-cost path.  Set by Machine.attach_observability.
         self.obs = None
+        # Fault injector (repro.faults); None keeps occupy() hook-free.
+        self.faults = None
 
     @property
     def words_per_beat(self) -> int:
@@ -119,7 +122,12 @@ class BusSegment:
         """
         sim = self.sim
         start = sim.now
-        if not self.arbiter.try_claim(master):
+        faults = self.faults
+        if faults is not None and self.name in faults.guarded_segments:
+            # Grant pulses on this segment can be lost or stuck: acquire
+            # through the injector's timeout/escalation path.
+            yield from faults.acquire(self, master)
+        elif not self.arbiter.try_claim(master):
             yield self.arbiter.request(master)
         grant = self.write_grant_cycles if write else self.grant_cycles
         # Grant latency and data beats are one uninterrupted tenure with no
@@ -168,6 +176,7 @@ class BusBridge:
         "enabled",
         "crossings",
         "tracer",
+        "faults",
     )
 
     def __init__(
@@ -187,6 +196,8 @@ class BusBridge:
         self.enabled = enabled
         self.crossings = 0
         self.tracer = NULL_TRACER
+        # Fault injector (repro.faults); None keeps cross() hook-free.
+        self.faults = None
 
     def other_side(self, segment: BusSegment) -> BusSegment:
         if segment is self.side_a:
@@ -207,7 +218,10 @@ class BusBridge:
         self.crossings += 1
         if self.tracer.enabled:
             self.tracer.hop(self.sim.now, self.name)
-        yield self.hop_cycles
+        extra = 0
+        if self.faults is not None:
+            extra = self.faults.bridge_delay(self.name)
+        yield self.hop_cycles + extra
 
 
 def find_route(

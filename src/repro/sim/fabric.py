@@ -126,6 +126,10 @@ class Machine:
         # Observability layer (repro.obs.Observability); None means every
         # hook below stays on the zero-cost path.
         self._obs = None
+        # Fault injector (repro.faults.FaultInjector); None keeps the
+        # transaction path free of retry/recovery logic.  Set by
+        # repro.faults.install_faults.
+        self._faults = None
 
     # ------------------------------------------------------------------
     # Observability
@@ -336,7 +340,7 @@ class Machine:
 
     def _device_latency(self, device: Device, address: int, words: int, write: bool) -> int:
         if device.kind == "memory":
-            return device.target.burst_latency(address, words, write)
+            return device.target.access_latency(address, words, write)
         return 0
 
     def _occupy_path(
@@ -373,7 +377,10 @@ class Machine:
             # neighbour and SplitBA cross-subsystem traffic).
             entry = sim.now
             held = False
-            if not segment.arbiter.try_claim(master):
+            faults = self._faults
+            if faults is not None and segment.name in faults.guarded_segments:
+                yield from faults.acquire(segment, master)
+            elif not segment.arbiter.try_claim(master):
                 yield segment.arbiter.request(master)
             acquired = sim.now
             grant = segment.write_grant_cycles if write else segment.grant_cycles
@@ -421,9 +428,12 @@ class Machine:
         # transactions travelling in opposite directions cannot hold-and-
         # wait on each other's segments -- the bridge controller only joins
         # segments it can win on both sides.
+        faults = self._faults
         try:
             for segment in plan.segments:
-                if not segment.arbiter.try_claim(master):
+                if faults is not None and segment.name in faults.guarded_segments:
+                    yield from faults.acquire(segment, master)
+                elif not segment.arbiter.try_claim(master):
                     yield segment.arbiter.request(master)
                 acquired_at.append(sim.now)
                 grant = segment.write_grant_cycles if write else segment.grant_cycles
@@ -439,6 +449,8 @@ class Machine:
                 if bridge.tracer.enabled:
                     bridge.tracer.hop(sim.now, bridge.name)
                 hops += bridge.hop_cycles
+                if bridge.faults is not None:
+                    hops += bridge.faults.bridge_delay(bridge.name)
             yield beats + hops + memory_cycles
         finally:
             end = sim.now
@@ -469,12 +481,72 @@ class Machine:
         write: bool,
         data: Optional[List[int]] = None,
     ) -> Generator:
-        """One bus transaction; moves real data; returns read values."""
+        """One bus transaction; moves real data; returns read values.
+
+        With a fault injector installed, transfers whose path crosses an
+        injected bus bit-flip are detected (parity/ECC check at the
+        interface) and retried with exponential backoff.  Writes replay
+        from the MBI's ECC-protected store buffer until the slave accepts a
+        clean burst (flip windows are finite, so this terminates): memory
+        state is never silently corrupted, which keeps polling protocols
+        live.  Reads are bounded by the policy's ``max_retries``; a flip
+        outlasting every retry becomes a *residual* fault and the corrupted
+        read data really propagates to the master -- unless the read targets
+        protected control state (handshake registers, the shared-variable
+        area), whose narrow words carry redundant coding in the generated
+        RTL and are corrected at the interface.  Control-state protection is
+        what keeps a persistent flip from desynchronizing the DONE_OP/
+        DONE_RV protocol into a livelock.
+        """
         device = self.devices[device_name]
         plan = self._plan_for(pe, device)
-        latency = self._device_latency(device, address, words, write)
-        yield from self._occupy_path(pe, plan, words, write, latency)
-        return self._touch_device(device, address, words, write, data)
+        faults = self._faults
+        if faults is None:
+            latency = self._device_latency(device, address, words, write)
+            yield from self._occupy_path(pe, plan, words, write, latency)
+            return self._touch_device(device, address, words, write, data)
+        episode = None
+        corrupt = None
+        attempt = 0
+        while True:
+            latency = self._device_latency(device, address, words, write)
+            yield from self._occupy_path(pe, plan, words, write, latency)
+            fired = faults.check_flip(plan.segments)
+            if not fired:
+                if episode is not None:
+                    faults.resolve_flip_episode(episode, "recovered")
+                break
+            if episode is None:
+                episode = faults.open_flip_episode(fired)
+            else:
+                faults.note_flip_repeat(len(fired))
+            if not write and attempt >= faults.policy.max_retries:
+                corrupt = fired[0]
+                break
+            yield faults.policy.backoff(min(attempt, faults.policy.max_retries))
+            faults.retries += 1
+            attempt += 1
+        result = self._touch_device(device, address, words, write, data)
+        if corrupt is not None:
+            if result and self._flip_hits_payload(device, address, words):
+                faults.resolve_flip_episode(episode, "residual")
+                result = faults.corrupt(result, corrupt)
+            else:
+                # Corrected by the control word's redundant coding.
+                faults.resolve_flip_episode(episode, "recovered")
+        return result
+
+    def _flip_hits_payload(self, device: Device, address: int, words: int) -> bool:
+        """Whether a residual flip on this read corrupts unprotected data.
+
+        Handshake registers and the shared-variable control area carry
+        redundant coding (cheap for one-word state); wide payload bursts
+        rely on detect-and-retry only.
+        """
+        if device.kind != "memory":
+            return False
+        shared = self.shared_vars.get(device.name)
+        return shared is None or address + words <= shared.base_address
 
     def _touch_device(
         self,
@@ -595,6 +667,12 @@ class Machine:
             chunk = values[cursor : cursor + fifo.space]
             yield from segment.occupy(pe.name, len(chunk), write=True)
             fifo.push(chunk)
+            faults = self._faults
+            if faults is not None and faults.has_fifo_event(fifo):
+                # Dropped words are retransmitted (extra bus tenure) and
+                # duplicates discarded by the sequence check before the
+                # receiver can observe them.
+                yield from faults.fifo_link_recovery(pe, segment, fifo)
             pe.stats.words_written += len(chunk)
             cursor += len(chunk)
 

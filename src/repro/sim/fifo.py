@@ -53,6 +53,7 @@ class HardwareFifo:
         "peak_fill",
         "interrupts_raised",
         "tracer",
+        "faults",
         "_space_waiters",
         "_data_waiters",
     )
@@ -72,6 +73,8 @@ class HardwareFifo:
         self.peak_fill = 0
         self.interrupts_raised = 0
         self.tracer = NULL_TRACER
+        # Fault injector (repro.faults); None keeps push() hook-free.
+        self.faults = None
         self._space_waiters: List[Event] = []
         self._data_waiters: List[Event] = []
 
@@ -104,6 +107,13 @@ class HardwareFifo:
     # -- data path -----------------------------------------------------------
     def push(self, values) -> None:
         values = [value & 0xFFFFFFFF for value in values]
+        if self.faults is not None:
+            # May truncate (dropped tail goes on the injector's retransmit
+            # ledger) or mark a duplicate for a sequence-check discard; the
+            # recovery side runs in Machine.fifo_push.
+            values = self.faults.filter_push(self, values)
+            if not values:
+                return
         if len(values) > self.space:
             raise FifoFullError(
                 "%s: push of %d words with only %d free"

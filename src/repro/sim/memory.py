@@ -37,11 +37,25 @@ class Memory:
         self._words: Dict[int, int] = {}
         self.reads = 0
         self.writes = 0
+        # Fault injector (repro.faults); None keeps access_latency trivial.
+        self.faults = None
 
     # -- latency ---------------------------------------------------------
     def burst_latency(self, address: int, words: int, write: bool) -> int:
         """Cycles to set up a burst of ``words`` starting at ``address``."""
         raise NotImplementedError
+
+    def access_latency(self, address: int, words: int, write: bool) -> int:
+        """Burst latency plus any injected wait-state jitter.
+
+        The jitter is purely extra cycles charged while the bus is held --
+        it is detected (and accounted) by the fault injector, never a data
+        hazard, modelling a slow refresh/contended bank.
+        """
+        cycles = self.burst_latency(address, words, write)
+        if self.faults is not None:
+            cycles += self.faults.memory_jitter(self.name)
+        return cycles
 
     # -- data ------------------------------------------------------------
     def _check(self, address: int, count: int = 1) -> None:

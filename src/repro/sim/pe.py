@@ -75,6 +75,7 @@ class ProcessingElement:
         "finished_at",
         "_fetch_warm",
         "_footprint_lines",
+        "faults",
     )
 
     def __init__(
@@ -109,6 +110,8 @@ class ProcessingElement:
             self._footprint_lines: Optional[int] = code_footprint_words // line_words
         else:
             self._footprint_lines = None  # unaligned footprint: no fast path
+        # Fault injector (repro.faults); None keeps compute() hook-free.
+        self.faults = None
 
     # ------------------------------------------------------------------
     # Program execution
@@ -135,6 +138,11 @@ class ProcessingElement:
         """Charge a compute phase: cycles + I-fetch traffic + data streams."""
         if instructions < 0:
             raise ValueError("negative instruction count")
+        faults = self.faults
+        if faults is not None and faults.crash_due(self.name):
+            # Crash + cold restart: caches invalidated, warm-fetch state
+            # reset, restart latency charged before the phase begins.
+            yield from faults.crash_restart(self)
         raw = instructions * self.cycles_per_instruction + self._cycle_carry
         cycles = int(raw)
         self._cycle_carry = raw - cycles
