@@ -37,7 +37,9 @@ def _cmd_generate(args) -> int:
     spec = _load_spec(args)
     generated = BusSyn().generate(spec)
     report = generated.report
-    errors = generated.lint_errors()
+    messages = generated.lint()
+    errors = [m for m in messages if m.severity == "error"]
+    warnings = [m for m in messages if m.severity == "warning"]
     os.makedirs(args.out, exist_ok=True)
     files = generated.files()
     for file_name, text in files.items():
@@ -48,12 +50,23 @@ def _cmd_generate(args) -> int:
     with open(os.path.join(args.out, "report.txt"), "w") as handle:
         handle.write(report.row() + "\n")
         handle.write("lint errors: %d\n" % len(errors))
+        handle.write("lint warnings: %d\n" % len(warnings))
+        for message in errors + warnings:
+            handle.write("  %s\n" % message)
         for name, gates in sorted(report.gate_breakdown.items()):
             handle.write("  %-30s %8d gates\n" % (name, gates))
     print(report.row())
-    print("lint: %s" % ("clean" if not errors else "%d errors" % len(errors)))
+    if errors:
+        lint_line = "%d errors, %d warnings" % (len(errors), len(warnings))
+    elif warnings:
+        lint_line = "clean, %d warnings" % len(warnings)
+    else:
+        lint_line = "clean"
+    print("lint: %s" % lint_line)
     print("wrote %d Verilog files to %s" % (len(files) + 1, args.out))
-    return 1 if errors else 0
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
 
 
 def _run_app(machine, spec, args) -> None:
@@ -281,6 +294,32 @@ def _cmd_chaos(args) -> int:
     return 0 if summary["ok"] else 1
 
 
+def _cmd_verify(args) -> int:
+    """Run the cross-layer verification sweep (docs/verification.md)."""
+    import json
+
+    from .verify import SMOKE_ARCHITECTURES, format_verify_summary, run_verify
+
+    archs = args.arch
+    if not archs:
+        archs = SMOKE_ARCHITECTURES if args.smoke else None
+    summary = run_verify(
+        archs=archs,
+        backends=tuple(args.backend) if args.backend else ("heap", "wheel"),
+        packets=args.packets,
+        pe_count=args.pes,
+        jobs=args.jobs,
+    )
+    for line in format_verify_summary(summary):
+        print(line)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out)
+    return 0 if summary["ok"] else 1
+
+
 def _cmd_list(_args) -> int:
     from .moduledb import default_library
 
@@ -316,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
     generate = sub.add_parser("generate", help="generate synthesizable Verilog")
     add_spec_arguments(generate)
     generate.add_argument("--out", default="./generated", help="output directory")
+    generate.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat lint warnings as errors (non-zero exit)",
+    )
     generate.set_defaults(func=_cmd_generate)
 
     simulate = sub.add_parser("simulate", help="run an application on the bus system")
@@ -457,6 +501,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("-o", "--out", help="write the full sweep summary as JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    verify = sub.add_parser(
+        "verify",
+        help="netlist<->machine equivalence + protocol assertion sweep "
+        "(docs/verification.md)",
+    )
+    verify.add_argument(
+        "--smoke",
+        action="store_true",
+        help="verify only the CI smoke subset (BFBA + SPLITBA)",
+    )
+    verify.add_argument(
+        "--arch",
+        action="append",
+        help="architecture to verify (repeatable; default: all supported "
+        "presets; CCBA is excluded by design, see docs/verification.md)",
+    )
+    verify.add_argument(
+        "--backend",
+        action="append",
+        choices=["heap", "wheel"],
+        help="scheduler backend (repeatable; default: both, with parity check)",
+    )
+    verify.add_argument("--packets", type=int, default=2, help="OFDM packets per run")
+    verify.add_argument("--pes", type=int, default=4, help="processor count")
+    verify.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent cases (1 = run inline)",
+    )
+    verify.add_argument("-o", "--out", help="write the full sweep summary as JSON")
+    verify.set_defaults(func=_cmd_verify)
 
     listing = sub.add_parser("list", help="list presets and library components")
     listing.set_defaults(func=_cmd_list)

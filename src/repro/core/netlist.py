@@ -284,7 +284,10 @@ def _merge_direction(first: str, second: str, name: str) -> str:
         raise NetlistError(
             "port %r promoted as both input and output; add a wire spec" % name
         )
-    return "inout"
+    raise NetlistError(
+        "port %r promoted with unsupported direction pair (%s, %s)"
+        % (name, first, second)
+    )
 
 
 def _slice_expression(net_name: str, net_width: int, bits: Tuple[int, int]) -> str:

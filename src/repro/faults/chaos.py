@@ -71,11 +71,18 @@ def run_chaos_case(
     arch, style, backend, mode = case
     machine = build_machine(presets.preset(arch, pe_count), kernel=backend)
     injector = None
+    monitor = None
     if mode != "baseline":
         if mode == "faulted":
             plan = compile_plan(machine, SCENARIOS[scenario], seed)
         else:
             plan = empty_plan()
+            # The empty-plan case doubles as the protocol-assertion case:
+            # monitors are free-when-off and observe-only, so this mode must
+            # stay bit-identical to baseline *and* violation-free.  (The
+            # faulted mode deliberately breaks protocol -- e.g. withdraws
+            # grants -- so monitors only arm when no faults are planned.)
+            monitor = machine.attach_monitors(fail_fast=False)
         injector = install_faults(machine, plan, RecoveryPolicy())
     result = run_ofdm(machine, style, OfdmParameters(packets=packets))
     # Run-to-quiescence swallows process failures (a dead PE is just a
@@ -86,6 +93,11 @@ def run_chaos_case(
         for name, pe in sorted(machine.pes.items())
         if pe.finished_at is None
     ]
+    if monitor is not None:
+        unfinished += [
+            "%s: protocol %s" % (arch, finding)
+            for finding in monitor.finalize()
+        ]
     out: Dict[str, Any] = {
         "arch": arch,
         "style": style,

@@ -33,7 +33,10 @@ DEFAULT_BLACKBOXES: Set[str] = set()
 
 _SLICE_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_$]*)\s*\[\s*(\d+)\s*(?::\s*(\d+)\s*)?\]$")
 _IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
-_LITERAL_RE = re.compile(r"^(\d+)?'([bdho])[0-9a-fA-FxzXZ_]+$|^\d+$")
+# Sized/based literals: Verilog base letters are case-insensitive and may
+# carry a signed marker (8'HFF, 4'sb1010); rejecting those made
+# _expression_width return None and silently skip the width check.
+_LITERAL_RE = re.compile(r"^(\d+)?'[sS]?([bdhoBDHO])[0-9a-fA-FxzXZ_]+$|^\d+$")
 
 
 @dataclass
@@ -101,11 +104,11 @@ def _split_concat(text: str) -> List[str]:
 
 def _referenced_signals(expression: str) -> List[str]:
     """Identifiers appearing in a connection expression."""
-    cleaned = re.sub(r"\d+'[bdho][0-9a-fA-FxzXZ_]+", " ", expression)
+    cleaned = re.sub(r"\d+'[sS]?[bdhoBDHO][0-9a-fA-FxzXZ_]+", " ", expression)
     return [
         match
         for match in re.findall(r"[A-Za-z_][A-Za-z0-9_$]*", cleaned)
-        if match not in ("b", "d", "h", "o")
+        if match not in ("b", "d", "h", "o", "B", "D", "H", "O")
     ]
 
 

@@ -50,6 +50,7 @@ class Arbiter:
         "trace_enabled",
         "trace",
         "faults",
+        "monitor",
     )
 
     policy_name = "abstract"
@@ -74,6 +75,9 @@ class Arbiter:
         self.trace: List[Tuple[int, str, bool]] = []
         # Fault injector (repro.faults); None keeps _dispatch hook-free.
         self.faults = None
+        # Protocol assertion monitor (repro.verify.monitors); None keeps
+        # every grant-path hook on the zero-cost branch.
+        self.monitor = None
 
     # -- master interface ------------------------------------------------
     def try_claim(self, master: str) -> bool:
@@ -90,6 +94,8 @@ class Arbiter:
             self.busy_since = self.sim.now
             if self.trace_enabled:
                 self.trace.append((self.sim.now, master, True))
+            if self.monitor is not None:
+                self.monitor.on_grant(self, master, queued=False)
             return True
         return False
 
@@ -106,9 +112,13 @@ class Arbiter:
             self.busy_since = self.sim.now
             if self.trace_enabled:
                 self.trace.append((self.sim.now, master, True))
+            if self.monitor is not None:
+                self.monitor.on_grant(self, master, queued=False)
             grant.succeed(master)
             return grant
         self._enqueue(master, grant, self.sim.now)
+        if self.monitor is not None:
+            self.monitor.on_request(self, master)
         self._dispatch()
         return grant
 
@@ -119,6 +129,8 @@ class Arbiter:
             )
         if self.trace_enabled:
             self.trace.append((self.sim.now, master, False))
+        if self.monitor is not None:
+            self.monitor.on_release(self, master)
         self.owner = None
         if self.busy_since is not None:
             self.busy_cycles += self.sim.now - self.busy_since
@@ -142,6 +154,8 @@ class Arbiter:
         for index, (_master, pending_grant, _when) in enumerate(self._pending):
             if pending_grant is grant:
                 del self._pending[index]
+                if self.monitor is not None:
+                    self.monitor.on_cancel(self, master)
                 return
 
     @property
@@ -173,6 +187,8 @@ class Arbiter:
         self.busy_since = self.sim.now
         if self.trace_enabled:
             self.trace.append((self.sim.now, master, True))
+        if self.monitor is not None:
+            self.monitor.on_grant(self, master, queued=True)
         if self.tracer.enabled:
             # Queued grants only -- immediate grants carry zero wait and
             # already appear as the transaction span's arbitration phase.

@@ -61,6 +61,7 @@ class BusSegment:
         "stats",
         "obs",
         "faults",
+        "monitor",
     )
 
     def __init__(
@@ -98,6 +99,9 @@ class BusSegment:
         self.obs = None
         # Fault injector (repro.faults); None keeps occupy() hook-free.
         self.faults = None
+        # Protocol assertion monitor (repro.verify.monitors); None keeps
+        # occupy() hook-free.  Set by repro.verify.attach_monitors.
+        self.monitor = None
 
     @property
     def words_per_beat(self) -> int:
@@ -129,6 +133,9 @@ class BusSegment:
             yield from faults.acquire(self, master)
         elif not self.arbiter.try_claim(master):
             yield self.arbiter.request(master)
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.on_transfer_open(self, master)
         grant = self.write_grant_cycles if write else self.grant_cycles
         # Grant latency and data beats are one uninterrupted tenure with no
         # observable state change in between: charge them as a single kernel
@@ -139,6 +146,8 @@ class BusSegment:
             yield grant + beats + extra_cycles
         finally:
             self.arbiter.release(master)
+            if monitor is not None:
+                monitor.on_transfer_close(self, master)
         end = sim.now
         timing = TransferTiming(
             start=start,
@@ -177,6 +186,7 @@ class BusBridge:
         "crossings",
         "tracer",
         "faults",
+        "monitor",
     )
 
     def __init__(
@@ -198,6 +208,9 @@ class BusBridge:
         self.tracer = NULL_TRACER
         # Fault injector (repro.faults); None keeps cross() hook-free.
         self.faults = None
+        # Protocol assertion monitor (repro.verify.monitors); None keeps
+        # cross() hook-free.
+        self.monitor = None
 
     def other_side(self, segment: BusSegment) -> BusSegment:
         if segment is self.side_a:
@@ -218,6 +231,8 @@ class BusBridge:
         self.crossings += 1
         if self.tracer.enabled:
             self.tracer.hop(self.sim.now, self.name)
+        if self.monitor is not None:
+            self.monitor.on_bridge_cross(self, None)
         extra = 0
         if self.faults is not None:
             extra = self.faults.bridge_delay(self.name)

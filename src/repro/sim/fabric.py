@@ -130,6 +130,9 @@ class Machine:
         # transaction path free of retry/recovery logic.  Set by
         # repro.faults.install_faults.
         self._faults = None
+        # Protocol assertion monitor (repro.verify.monitors); None keeps
+        # _occupy_path hook-free.  Set by repro.verify.attach_monitors.
+        self._monitor = None
 
     # ------------------------------------------------------------------
     # Observability
@@ -166,6 +169,19 @@ class Machine:
         for block in self.fifo_blocks.values():
             block.up.tracer = obs.tracer
             block.down.tracer = obs.tracer
+
+    def attach_monitors(self, fail_fast: bool = True):
+        """Attach runtime protocol assertion monitors to every bus model.
+
+        Convenience wrapper around :func:`repro.verify.attach_monitors`;
+        returns the :class:`repro.verify.ProtocolMonitor`.  Monitors are
+        observational only -- a monitored run is bit-identical to an
+        unmonitored one (the free-when-off contract shared with ``obs``
+        and ``faults``).
+        """
+        from ..verify.monitors import attach_monitors
+
+        return attach_monitors(self, fail_fast=fail_fast)
 
     def run_report(self, wall_seconds: float = 0.0, name: Optional[str] = None):
         """Snapshot this machine into a :class:`repro.obs.report.RunReport`."""
@@ -383,6 +399,9 @@ class Machine:
             elif not segment.arbiter.try_claim(master):
                 yield segment.arbiter.request(master)
             acquired = sim.now
+            monitor = segment.monitor
+            if monitor is not None:
+                monitor.on_transfer_open(segment, master)
             grant = segment.write_grant_cycles if write else segment.grant_cycles
             words_per_beat = segment.words_per_beat
             beats = (
@@ -400,6 +419,8 @@ class Machine:
                 if held:
                     end = sim.now
                     segment.arbiter.release(master)
+                    if monitor is not None:
+                        monitor.on_transfer_close(segment, master)
                     # Inlined BusStats.record (hot path: one call per bus
                     # tenure) without materializing a TransferTiming.
                     stats = segment.stats
@@ -439,6 +460,8 @@ class Machine:
                 grant = segment.write_grant_cycles if write else segment.grant_cycles
                 yield grant * items
                 held_segments.append(segment)
+                if segment.monitor is not None:
+                    segment.monitor.on_transfer_open(segment, master)
             words_per_beat = plan.words_per_beat
             beats = (max(words, 1) + words_per_beat - 1) // words_per_beat * plan.beat_cycles
             hops = 0
@@ -448,6 +471,10 @@ class Machine:
                 bridge.crossings += 1
                 if bridge.tracer.enabled:
                     bridge.tracer.hop(sim.now, bridge.name)
+                if bridge.monitor is not None:
+                    # Forwarding conservation: the crossing master must hold
+                    # the grant on both attached segments while data moves.
+                    bridge.monitor.on_bridge_cross(bridge, master)
                 hops += bridge.hop_cycles
                 if bridge.faults is not None:
                     hops += bridge.faults.bridge_delay(bridge.name)
@@ -457,6 +484,8 @@ class Machine:
             obs = self._obs
             for segment in reversed(held_segments):
                 segment.arbiter.release(master)
+                if segment.monitor is not None:
+                    segment.monitor.on_transfer_close(segment, master)
             for index, segment in enumerate(held_segments):
                 timing = TransferTiming(
                     start=entry,

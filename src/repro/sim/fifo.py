@@ -54,6 +54,7 @@ class HardwareFifo:
         "interrupts_raised",
         "tracer",
         "faults",
+        "monitor",
         "_space_waiters",
         "_data_waiters",
     )
@@ -75,6 +76,9 @@ class HardwareFifo:
         self.tracer = NULL_TRACER
         # Fault injector (repro.faults); None keeps push() hook-free.
         self.faults = None
+        # Protocol assertion monitor (repro.verify.monitors); None keeps
+        # push()/pop() hook-free.
+        self.monitor = None
         self._space_waiters: List[Event] = []
         self._data_waiters: List[Event] = []
 
@@ -126,6 +130,8 @@ class HardwareFifo:
             self.peak_fill = fill
         if self.tracer.enabled:
             self.tracer.fifo(self.sim.now, self.name, "push", len(values), fill)
+        if self.monitor is not None:
+            self.monitor.on_fifo_push(self, len(values))
         self._check_threshold()
         self._wake(self._data_waiters)
 
@@ -139,6 +145,8 @@ class HardwareFifo:
         self.pops += count
         if self.tracer.enabled:
             self.tracer.fifo(self.sim.now, self.name, "pop", count, len(self._data))
+        if self.monitor is not None:
+            self.monitor.on_fifo_pop(self, count)
         if self.threshold and len(self._data) < self.threshold:
             self._armed = True
         self._wake(self._space_waiters)

@@ -59,6 +59,12 @@ class VcdWriter:
             raise ValueError("negative VCD time")
         self._changes.append((time, identifier, value, width))
 
+    @staticmethod
+    def _format(identifier: str, value: int, width: int) -> str:
+        if width == 1:
+            return "%d%s" % (value & 1, identifier)
+        return "b%s %s" % (bin(value)[2:], identifier)
+
     def dumps(self) -> str:
         lines = [
             "$date repro $end",
@@ -71,17 +77,45 @@ class VcdWriter:
                 lines.append("$var wire %d %s %s $end" % (width, identifier, name))
             lines.append("$upscope $end")
         lines.append("$enddefinitions $end")
+        # Conflicting writes to one identifier at the same timestamp collapse
+        # to a single change -- the last write wins, matching the register
+        # semantics the trace models (two lines for one signal at one time
+        # would be ambiguous to viewers).
+        latest: Dict[Tuple[int, str], Tuple[int, int]] = {}
+        for time, identifier, value, width in self._changes:
+            latest[(time, identifier)] = (value, width)
+        # Time-zero initial values go in a $dumpvars block (required by many
+        # viewers to establish a starting value for every declared signal;
+        # signals with no recorded value at t=0 dump as 'x').
+        initial: Dict[str, Tuple[int, int]] = {}
+        for (time, identifier), value_width in list(latest.items()):
+            if time == 0:
+                initial[identifier] = value_width
+                del latest[(time, identifier)]
+        lines.append("#0")
+        lines.append("$dumpvars")
+        for scope in sorted(self._scopes):
+            for name, width, identifier in self._scopes[scope]:
+                if identifier in initial:
+                    lines.append(self._format(identifier, *initial[identifier]))
+                elif width == 1:
+                    lines.append("x%s" % identifier)
+                else:
+                    lines.append("bx %s" % identifier)
+        lines.append("$end")
+        # Later changes, grouped by time; within a timestamp, changes keep
+        # the order of each identifier's final write.
+        order: Dict[Tuple[int, str], int] = {}
+        for index, (time, identifier, _value, _width) in enumerate(self._changes):
+            order[(time, identifier)] = index
         current_time: Optional[int] = None
-        for time, identifier, value, width in sorted(
-            self._changes, key=lambda change: change[0]
+        for (time, identifier), (value, width) in sorted(
+            latest.items(), key=lambda item: (item[0][0], order[item[0]])
         ):
             if time != current_time:
                 lines.append("#%d" % time)
                 current_time = time
-            if width == 1:
-                lines.append("%d%s" % (value & 1, identifier))
-            else:
-                lines.append("b%s %s" % (bin(value)[2:], identifier))
+            lines.append(self._format(identifier, value, width))
         return "\n".join(lines) + "\n"
 
 

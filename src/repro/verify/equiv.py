@@ -1,0 +1,105 @@
+"""Structural equivalence between the two :class:`FabricGraph` sides.
+
+Comparison is by canonical segment key (the sorted master set), then
+field by field inside each common segment, then over the bridge /
+FIFO-link / handshake-link multisets.  Fields one side cannot determine
+(``None``) are skipped -- e.g. the machine has no arbiter parameters for
+an uncontended local bus, and GBAVII's bridged-only global segment has no
+countable masters on either side.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .findings import Finding
+from .graph import FabricGraph
+
+__all__ = ["compare_graphs"]
+
+
+def _mismatch(where: str, text: str) -> Finding:
+    return Finding("error", "equivalence", where, text)
+
+
+def compare_graphs(netlist: FabricGraph, machine: FabricGraph) -> List[Finding]:
+    """All findings keeping the two elaborations from being equivalent."""
+    findings: List[Finding] = []
+    findings.extend(netlist.findings)
+    findings.extend(machine.findings)
+
+    if netlist.pes != machine.pes:
+        findings.append(
+            _mismatch(
+                "<pes>",
+                "PE sets differ: netlist %s vs machine %s"
+                % (sorted(netlist.pes), sorted(machine.pes)),
+            )
+        )
+
+    net_keys = set(netlist.segments)
+    mach_keys = set(machine.segments)
+    for key in sorted(net_keys - mach_keys):
+        findings.append(
+            _mismatch(key, "segment exists only in the netlist (%s)"
+                      % netlist.segments[key].origin)
+        )
+    for key in sorted(mach_keys - net_keys):
+        findings.append(
+            _mismatch(key, "segment exists only in the machine (%s)"
+                      % machine.segments[key].origin)
+        )
+
+    for key in sorted(net_keys & mach_keys):
+        net_seg = netlist.segments[key]
+        mach_seg = machine.segments[key]
+        where = "%s [netlist %s / machine %s]" % (key, net_seg.origin, mach_seg.origin)
+        pairs = [
+            ("data width", net_seg.data_width, mach_seg.data_width),
+            ("memory words", net_seg.memories, mach_seg.memories),
+            ("bus-addressable handshake blocks", net_seg.hs_count, mach_seg.hs_count),
+            ("arbiter policy", net_seg.arbiter_policy, mach_seg.arbiter_policy),
+            ("arbiter n_masters", net_seg.n_masters, mach_seg.n_masters),
+            ("arbiter grant cycles", net_seg.grant_cycles, mach_seg.grant_cycles),
+        ]
+        for label, net_value, mach_value in pairs:
+            if net_value is None or mach_value is None:
+                continue  # undeterminable on one side: not comparable
+            if net_value != mach_value:
+                findings.append(
+                    _mismatch(
+                        where,
+                        "%s differs: netlist %r vs machine %r"
+                        % (label, net_value, mach_value),
+                    )
+                )
+
+    for label, net_counter, mach_counter in (
+        ("bridge", netlist.bridges, machine.bridges),
+        ("FIFO link", netlist.fifo_links, machine.fifo_links),
+        ("handshake link", netlist.hs_links, machine.hs_links),
+    ):
+        for pair in sorted(set(net_counter) | set(mach_counter)):
+            net_count = net_counter.get(pair, 0)
+            mach_count = mach_counter.get(pair, 0)
+            if net_count != mach_count:
+                findings.append(
+                    _mismatch(
+                        "%s %s" % (label, "<->".join(pair)),
+                        "%s count differs: netlist %d vs machine %d"
+                        % (label, net_count, mach_count),
+                    )
+                )
+
+    for pair in sorted(set(netlist.fifo_depth_of) & set(machine.fifo_depth_of)):
+        net_depth = netlist.fifo_depth_of[pair]
+        mach_depth = machine.fifo_depth_of[pair]
+        if net_depth != mach_depth:
+            findings.append(
+                _mismatch(
+                    "FIFO link %s" % "<->".join(pair),
+                    "depth differs: netlist %d vs machine %d words"
+                    % (net_depth, mach_depth),
+                )
+            )
+    return findings

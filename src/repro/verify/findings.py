@@ -1,0 +1,42 @@
+"""Typed findings shared by the equivalence checker and the monitors.
+
+Mirrors :class:`repro.hdl.lint.LintMessage` so tooling that consumes lint
+output (reports, CI artifacts) can render verification findings the same
+way; adds a ``category`` for machine filtering and an optional offending
+``cycle`` for runtime violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Finding"]
+
+
+@dataclass
+class Finding:
+    severity: str  # 'error' | 'warning'
+    category: str  # e.g. 'structure', 'grant-onehot', 'fifo', 'retire'
+    where: str  # segment/module/arbiter the finding anchors to
+    text: str
+    cycle: Optional[int] = None
+
+    def __str__(self) -> str:
+        stamp = " @cycle %d" % self.cycle if self.cycle is not None else ""
+        return "[%s] %s (%s)%s: %s" % (
+            self.severity,
+            self.where,
+            self.category,
+            stamp,
+            self.text,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "severity": self.severity,
+            "category": self.category,
+            "where": self.where,
+            "text": self.text,
+            "cycle": self.cycle,
+        }

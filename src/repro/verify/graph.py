@@ -1,0 +1,639 @@
+"""Connectivity graphs for netlist<->fabric equivalence checking.
+
+The generated Verilog (:mod:`repro.core`) and the simulation machine
+(:mod:`repro.sim.fabric`) are two elaborations of the same
+:class:`~repro.options.schema.BusSystemSpec`; this module abstracts each
+into a :class:`FabricGraph` -- bus segments with their masters, memories
+and arbiters, the bridges joining segments, and the point-to-point
+FIFO/handshake links of the BFBA family -- so the two can be compared
+key-for-key by :mod:`repro.verify.equiv`.
+
+Canonical segment identity is the *master set*: a segment is named
+``seg(<sorted master PE names>)`` on both sides, which survives the naming
+differences between the RTL (nets like ``w_sa_1``/``sub_addr``) and the
+machine (``CPU_BUS_A``/``GLOBAL_BUS_SUB1``).  GBAVII's global segment has
+no direct masters (PEs reach it over bridges) and keys as ``seg()``.
+
+Netlist extraction walks the real module hierarchy pin by pin -- the CPU's
+address/data buses into the CBI, the CBI/MBI bundles onto a segment's
+wires, the MBI's SRAM pins into the memory, the arbiter's REQ/GNT pair
+through the ABI onto the shared bus -- so a single dropped or misrouted
+wire in the generated Verilog surfaces as a typed :class:`Finding`, not as
+a silently different graph.
+
+Known modelled divergence: CCBA's machine flattens every memory onto one
+PLB segment while the netlist keeps per-BAN structure; CCBA is therefore
+outside this checker's supported set (see docs/verification.md).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..hdl.ast import Design, Instance, Module
+from .findings import Finding
+
+__all__ = ["SegmentNode", "FabricGraph", "graph_from_machine", "graph_from_design"]
+
+
+_ARBITER_RE = re.compile(r"^arbiter_([a-z_]+)_n(\d+)$")
+_ABI_RE = re.compile(r"^abi_n(\d+)_g(\d+)$")
+_SRAM_RE = re.compile(r"^sram_aw(\d+)$")
+_BIFIFO_RE = re.compile(r"^bififo_d(\d+)$")
+
+# Chain (point-to-point) link pins of the BFBA family: the ``_up`` pin of
+# one BAN and the ``_dn`` pin of its successor share a subsystem wire.
+_FIFO_CHAIN = ("fifo_cs_up", "fifo_cs_dn")
+_HS_CHAIN = ("done_op_cs_up", "done_op_cs_dn")
+
+
+@dataclass
+class SegmentNode:
+    """One arbitrated bus segment, abstracted from either elaboration."""
+
+    origin: str  # machine segment name / netlist net name (for messages)
+    masters: set = field(default_factory=set)  # PE names
+    memories: List[int] = field(default_factory=list)  # word counts
+    hs_count: int = 0  # bus-addressable handshake blocks
+    data_width: Optional[int] = None
+    arbiter_policy: Optional[str] = None
+    n_masters: Optional[int] = None
+    grant_cycles: Optional[int] = None
+
+    @property
+    def key(self) -> str:
+        return "seg(%s)" % ",".join(sorted(self.masters))
+
+    def describe(self) -> str:
+        return "%s [%s]" % (self.key, self.origin)
+
+
+@dataclass
+class FabricGraph:
+    origin: str  # 'netlist' | 'machine'
+    segments: Dict[str, SegmentNode] = field(default_factory=dict)
+    bridges: Counter = field(default_factory=Counter)  # (key_a, key_b) sorted
+    fifo_links: Counter = field(default_factory=Counter)  # (pe, pe) sorted
+    hs_links: Counter = field(default_factory=Counter)  # (pe, pe) sorted
+    fifo_depth_of: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    pes: set = field(default_factory=set)
+    findings: List[Finding] = field(default_factory=list)
+
+    def _finding(self, where: str, text: str, severity: str = "error") -> None:
+        self.findings.append(Finding(severity, "structure", where, text))
+
+    def add_segment(self, node: SegmentNode) -> str:
+        key = node.key
+        if key in self.segments:
+            self._finding(
+                key,
+                "segments %s and %s share the master set %s"
+                % (self.segments[key].origin, node.origin, key),
+            )
+            key = "%s#%d" % (key, len(self.segments))
+        self.segments[key] = node
+        return key
+
+
+# ----------------------------------------------------------------------
+# Machine side
+# ----------------------------------------------------------------------
+
+
+_POLICY_OF_CLASS = {
+    "FCFSArbiter": "fcfs",
+    "RoundRobinArbiter": "round_robin",
+    "PriorityArbiter": "priority",
+}
+
+
+def graph_from_machine(machine) -> FabricGraph:
+    """Abstract a freshly built :class:`~repro.sim.fabric.Machine`.
+
+    Use a machine that has not run yet: lazily created devices (the extra
+    ``HS_REGS_X_FROM_Y`` register pairs) would otherwise skew link counts.
+    """
+    graph = FabricGraph("machine")
+    graph.pes = set(machine.pes)
+
+    nodes: Dict[str, SegmentNode] = {}
+    for name, segment in machine.segments.items():
+        masters = {
+            pe
+            for pe, direct in machine.direct_segments.items()
+            if segment in direct
+        }
+        nodes[name] = SegmentNode(
+            origin=name,
+            masters=masters,
+            data_width=segment.data_width,
+            arbiter_policy=_POLICY_OF_CLASS.get(type(segment.arbiter).__name__),
+            n_masters=len(masters) if masters else None,
+            grant_cycles=segment.grant_cycles,
+        )
+
+    for device in machine.devices.values():
+        if device.kind == "memory" and device.segment is not None:
+            nodes[device.segment.name].memories.append(device.target.size_words)
+        elif device.kind == "hsregs":
+            if device.point_to_point:
+                pair = tuple(sorted(device.parties))
+                graph.hs_links[pair] += 1
+            elif device.segment is not None:
+                nodes[device.segment.name].hs_count += 1
+        elif device.kind == "fifo":
+            pair = tuple(sorted(device.parties))
+            graph.fifo_links[pair] += 1
+            graph.fifo_depth_of[pair] = device.target.depth_words
+
+    key_of: Dict[str, str] = {}
+    for name, node in nodes.items():
+        node.memories.sort()
+        key_of[name] = graph.add_segment(node)
+    for bridge in machine.bridges:
+        pair = tuple(sorted((key_of[bridge.side_a.name], key_of[bridge.side_b.name])))
+        graph.bridges[pair] += 1
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Netlist side
+# ----------------------------------------------------------------------
+
+
+def _conn_base(instance: Instance, port: str) -> Optional[str]:
+    conn = instance.connection(port)
+    if conn is None:
+        return None
+    base = conn.base_signal
+    return base or None
+
+
+@dataclass
+class _BanInfo:
+    """Per-BAN-module extraction, shared by every instance of the module."""
+
+    kind: str  # 'pe' | 'global' | 'ip'
+    cpu: Optional[str] = None
+    mem_words: Optional[int] = None
+    seg_width: Optional[int] = None
+    hs_bus: int = 0
+    has_hs_chain: bool = False
+    fifo_depth: Optional[int] = None
+    masters_global: bool = False
+    exports_seg: bool = False
+    # global-BAN fields
+    policy: Optional[str] = None
+    n_masters: Optional[int] = None
+    grant_cycles: Optional[int] = None
+    findings: List[Finding] = field(default_factory=list)
+
+
+def _pin_check(
+    info: _BanInfo,
+    module_name: str,
+    label: str,
+    left: Optional[str],
+    right: Optional[str],
+) -> bool:
+    """One wire-level connectivity assertion; False (and a finding) on break."""
+    if left is not None and left == right:
+        return True
+    info.findings.append(
+        Finding(
+            "error",
+            "structure",
+            module_name,
+            "%s: pins land on different nets (%r vs %r)" % (label, left, right),
+        )
+    )
+    return False
+
+
+def _signal_width(module: Module, name: Optional[str]) -> Optional[int]:
+    if name is None:
+        return None
+    return module.signal_width(name)
+
+
+def _extract_ban(module: Module) -> _BanInfo:
+    by_name = {inst.name: inst for inst in module.instances}
+    by_kind: Dict[str, List[Instance]] = {}
+    for inst in module.instances:
+        for kind, pattern in (
+            ("arb", _ARBITER_RE),
+            ("abi", _ABI_RE),
+            ("mem", _SRAM_RE),
+            ("fifo", _BIFIFO_RE),
+        ):
+            if pattern.match(inst.module):
+                by_kind.setdefault(kind, []).append(inst)
+        if inst.module.startswith("mbi_"):
+            by_kind.setdefault("mbi", []).append(inst)
+        elif inst.module.startswith("cbi_"):
+            by_kind.setdefault("cbi", []).append(inst)
+        elif inst.module.startswith("sb_gbaviii_n"):
+            by_kind.setdefault("sbg", []).append(inst)
+        elif inst.module.startswith("sb_"):
+            by_kind.setdefault("sb", []).append(inst)
+        elif inst.module.startswith("hs_regs"):
+            by_kind.setdefault("hs", []).append(inst)
+        elif inst.module.startswith("bb_"):
+            by_kind.setdefault("bb", []).append(inst)
+        elif inst.module.startswith("gbi_"):
+            by_kind.setdefault("gbi", []).append(inst)
+
+    def one(kind: str) -> Optional[Instance]:
+        items = by_kind.get(kind)
+        return items[0] if items else None
+
+    if one("arb") is not None:
+        return _extract_global_ban(module, by_kind)
+    if "u_cpu" not in by_name:
+        return _BanInfo("ip")  # hardware-IP BAN: no bus structure inside
+    return _extract_pe_ban(module, by_name["u_cpu"], by_kind)
+
+
+def _extract_pe_ban(
+    module: Module, cpu: Instance, by_kind: Dict[str, List[Instance]]
+) -> _BanInfo:
+    info = _BanInfo("pe", cpu=cpu.module.upper())
+    name = module.name
+
+    cbi = by_kind.get("cbi", [None])[0]
+    if cbi is None:
+        info.findings.append(
+            Finding("error", "structure", name, "PE BAN has no CPU bus interface (CBI)")
+        )
+        return info
+    # CPU <-> CBI: the processor's address and data buses must land on the
+    # same wires on both modules.
+    for pin in ("cpu_a", "cpu_d"):
+        _pin_check(
+            info, name, "CPU.%s <-> CBI.%s" % (pin, pin),
+            _conn_base(cpu, pin), _conn_base(cbi, pin),
+        )
+
+    # Segment bundles: each SB pins down one {addr, dh, dl} wire bundle.
+    sb_bundles = []
+    for sb in by_kind.get("sb", []):
+        sb_bundles.append(
+            {
+                "inst": sb,
+                "addr": _conn_base(sb, "addr_local"),
+                "dh": _conn_base(sb, "dh"),
+                "dl": _conn_base(sb, "dl"),
+            }
+        )
+
+    def attach(inst: Instance, label: str):
+        """Locate ``inst``'s {addr,dh,dl} bundle on an SB; pin-check dh/dl."""
+        addr = _conn_base(inst, "addr_local")
+        for bundle in sb_bundles:
+            if bundle["addr"] == addr and addr is not None:
+                _pin_check(
+                    info, name, "%s.dh on segment %s" % (label, addr),
+                    _conn_base(inst, "dh"), bundle["dh"],
+                )
+                _pin_check(
+                    info, name, "%s.dl on segment %s" % (label, addr),
+                    _conn_base(inst, "dl"), bundle["dl"],
+                )
+                return bundle
+        info.findings.append(
+            Finding(
+                "error", "structure", name,
+                "%s address bundle %r reaches no bus segment" % (label, addr),
+            )
+        )
+        return None
+
+    cbi_bundle = attach(cbi, "CBI")
+    if cbi_bundle is not None:
+        dh = _signal_width(module, cbi_bundle["dh"]) or 0
+        dl = _signal_width(module, cbi_bundle["dl"]) or 0
+        info.seg_width = (dh + dl) or None
+
+    mbi = by_kind.get("mbi", [None])[0]
+    mem = by_kind.get("mem", [None])[0]
+    if mbi is not None and mem is not None:
+        mbi_bundle = attach(mbi, "MBI0")
+        if mbi_bundle is not None and cbi_bundle is not None and mbi_bundle is not cbi_bundle:
+            # Two SBs (GBAVI's sbc/sbm pair) must be fused by the BAN's
+            # internal bus bridge, else CPU and memory sit on disjoint buses.
+            fused = any(
+                {_conn_base(bb, "a_addr"), _conn_base(bb, "b_addr")}
+                == {cbi_bundle["addr"], mbi_bundle["addr"]}
+                for bb in by_kind.get("bb", [])
+            )
+            if not fused:
+                info.findings.append(
+                    Finding(
+                        "error", "structure", name,
+                        "CBI (%s) and MBI0 (%s) sit on disjoint segments with "
+                        "no internal bridge" % (cbi_bundle["addr"], mbi_bundle["addr"]),
+                    )
+                )
+                mbi_bundle = None
+        if mbi_bundle is not None:
+            # MBI0 <-> MEM0 over the SRAM pin bundle.
+            _pin_check(
+                info, name, "MBI0.sram_addr <-> MEM0.sram_addr",
+                _conn_base(mbi, "sram_addr"), _conn_base(mem, "sram_addr"),
+            )
+            _pin_check(
+                info, name, "MBI0.sram_dq <-> MEM0.sram_dq",
+                _conn_base(mbi, "sram_dq"), _conn_base(mem, "sram_dq"),
+            )
+            aw = int(_SRAM_RE.match(mem.module).group(1))
+            dq = mem.connection("sram_dq")
+            dq_width = _signal_width(module, dq.base_signal) if dq else None
+            info.mem_words = (1 << aw) * ((dq_width or 32) // 32)
+
+    for hs in by_kind.get("hs", []):
+        hs_def_has_chain = module.port("done_op_cs_dn") is not None and (
+            _conn_base(hs, "done_op_cs_dn") == "done_op_cs_dn"
+        )
+        if hs_def_has_chain:
+            info.has_hs_chain = True
+        else:
+            info.hs_bus += 1
+
+    fifo = by_kind.get("fifo", [None])[0]
+    if fifo is not None:
+        info.fifo_depth = int(_BIFIFO_RE.match(fifo.module).group(1))
+        _pin_check(
+            info, name, "FIFO.fifo_cs_dn on BAN chain port",
+            _conn_base(fifo, "fifo_cs_dn"), "fifo_cs_dn",
+        )
+
+    for gbi in by_kind.get("gbi", []):
+        if gbi.connection("g_req_b") is not None:
+            # GBI_GBAVIII / GBI_SHARED: this BAN masters a shared bus.
+            info.masters_global = True
+            _pin_check(
+                info, name, "GBI.g_addr on BAN shared-bus port",
+                _conn_base(gbi, "g_addr"), "g_addr",
+            )
+            if cbi_bundle is not None:
+                _pin_check(
+                    info, name, "GBI.addr_local on CBI segment",
+                    _conn_base(gbi, "addr_local"), cbi_bundle["addr"],
+                )
+        if gbi.connection("seg_addr") is not None:
+            # GBI_GBAVI: the BAN's segment is exported for external bridging.
+            info.exports_seg = True
+            _pin_check(
+                info, name, "GBI.seg_addr on BAN segment port",
+                _conn_base(gbi, "seg_addr"), "seg_addr",
+            )
+    return info
+
+
+def _extract_global_ban(module: Module, by_kind: Dict[str, List[Instance]]) -> _BanInfo:
+    info = _BanInfo("global")
+    name = module.name
+    arb = by_kind["arb"][0]
+    match = _ARBITER_RE.match(arb.module)
+    info.policy = match.group(1)
+    info.n_masters = int(match.group(2))
+
+    abi = by_kind.get("abi", [None])[0]
+    if abi is None:
+        info.findings.append(
+            Finding("error", "structure", name, "global BAN has no ABI")
+        )
+    else:
+        info.grant_cycles = int(_ABI_RE.match(abi.module).group(2))
+        # Arbiter <-> ABI request/grant pair.
+        _pin_check(
+            info, name, "ARB.req_b <-> ABI0.arb_req_b",
+            _conn_base(arb, "req_b"), _conn_base(abi, "arb_req_b"),
+        )
+        _pin_check(
+            info, name, "ARB.gnt_b <-> ABI0.arb_gnt_b",
+            _conn_base(arb, "gnt_b"), _conn_base(abi, "arb_gnt_b"),
+        )
+
+    sbg = by_kind.get("sbg", [None])[0]
+    if sbg is None:
+        info.findings.append(
+            Finding("error", "structure", name, "global BAN has no shared-bus SB")
+        )
+        return info
+    if abi is not None:
+        # ABI <-> SB: the bus-side REQ/GNT lines ride the shared segment.
+        _pin_check(
+            info, name, "ABI0.bus_req_b <-> SBG.req_b",
+            _conn_base(abi, "bus_req_b"), _conn_base(sbg, "req_b"),
+        )
+        _pin_check(
+            info, name, "ABI0.bus_gnt_b <-> SBG.gnt_b",
+            _conn_base(abi, "bus_gnt_b"), _conn_base(sbg, "gnt_b"),
+        )
+
+    dh = _signal_width(module, _conn_base(sbg, "dh")) or 0
+    dl = _signal_width(module, _conn_base(sbg, "dl")) or 0
+    info.seg_width = (dh + dl) or None
+
+    mbi = by_kind.get("mbi", [None])[0]
+    mem = by_kind.get("mem", [None])[0]
+    if mbi is not None and mem is not None:
+        on_bus = _pin_check(
+            info, name, "MBI0.addr_local on shared segment",
+            _conn_base(mbi, "addr_local"), _conn_base(sbg, "addr_local"),
+        )
+        _pin_check(
+            info, name, "MBI0.dh on shared segment",
+            _conn_base(mbi, "dh"), _conn_base(sbg, "dh"),
+        )
+        _pin_check(
+            info, name, "MBI0.dl on shared segment",
+            _conn_base(mbi, "dl"), _conn_base(sbg, "dl"),
+        )
+        _pin_check(
+            info, name, "MBI0.sram_addr <-> MEM0.sram_addr",
+            _conn_base(mbi, "sram_addr"), _conn_base(mem, "sram_addr"),
+        )
+        _pin_check(
+            info, name, "MBI0.sram_dq <-> MEM0.sram_dq",
+            _conn_base(mbi, "sram_dq"), _conn_base(mem, "sram_dq"),
+        )
+        if on_bus:
+            aw = int(_SRAM_RE.match(mem.module).group(1))
+            dq = mem.connection("sram_dq")
+            dq_width = _signal_width(module, dq.base_signal) if dq else None
+            info.mem_words = (1 << aw) * ((dq_width or 32) // 32)
+    return info
+
+
+def graph_from_design(design: Design) -> FabricGraph:
+    """Abstract an elaborated :class:`~repro.hdl.ast.Design` (whole system)."""
+    graph = FabricGraph("netlist")
+    if design.top is None:
+        graph._finding("<design>", "design has no top module")
+        return graph
+    top = design.module(design.top)
+    info_cache: Dict[str, _BanInfo] = {}
+
+    def ban_info(module_name: str) -> _BanInfo:
+        if module_name not in info_cache:
+            info = _extract_ban(design.module(module_name))
+            info_cache[module_name] = info
+            graph.findings.extend(info.findings)
+        return info_cache[module_name]
+
+    nodes: List[SegmentNode] = []
+    bridge_pairs: List[Tuple[SegmentNode, SegmentNode]] = []
+    # (subsystem instance name, EXT port) -> shared node, for system bridges.
+    exported_shared: Dict[Tuple[str, str], SegmentNode] = {}
+
+    for sub_inst in top.instances:
+        if not sub_inst.module.startswith("subsys_"):
+            continue
+        sub_mod = design.module(sub_inst.module)
+        # net -> segment node reachable for bridging on that net.
+        net_node: Dict[str, SegmentNode] = {}
+        shared_nodes: Dict[str, SegmentNode] = {}
+        # chain wires: net -> {'up'|'dn': (pe, fifo_depth)}
+        fifo_chain: Dict[str, Dict[str, Tuple[str, Optional[int]]]] = {}
+        hs_chain: Dict[str, Dict[str, str]] = {}
+        local_bridges: List[Tuple[Optional[str], Optional[str], str]] = []
+
+        def shared(net: Optional[str], origin: str) -> SegmentNode:
+            key = net or "<unconnected>"
+            if key not in shared_nodes:
+                node = SegmentNode(origin="%s.%s" % (sub_inst.name, origin))
+                shared_nodes[key] = node
+                nodes.append(node)
+                if net is not None:
+                    net_node[net] = node
+                    if sub_mod.port(net) is not None:
+                        exported_shared[(sub_inst.name, net)] = node
+            return shared_nodes[key]
+
+        for inst in sub_mod.instances:
+            if inst.name.startswith("u_ban_"):
+                letter = inst.name[len("u_ban_"):].upper()
+                info = ban_info(inst.module)
+                if info.kind == "global":
+                    net = _conn_base(inst, "g_addr")
+                    node = shared(net, net or inst.name)
+                    if info.mem_words is not None:
+                        node.memories.append(info.mem_words)
+                    node.arbiter_policy = info.policy
+                    node.n_masters = info.n_masters
+                    node.grant_cycles = info.grant_cycles
+                    node.data_width = info.seg_width
+                    continue
+                if info.kind != "pe" or info.cpu is None:
+                    continue
+                pe = "%s_%s" % (info.cpu, letter)
+                graph.pes.add(pe)
+                if info.masters_global:
+                    net = _conn_base(inst, "g_addr")
+                    shared(net, net or inst.name).masters.add(pe)
+                if info.mem_words is not None:
+                    node = SegmentNode(
+                        origin="%s.%s" % (sub_inst.name, inst.name),
+                        masters={pe},
+                        memories=[info.mem_words],
+                        hs_count=info.hs_bus,
+                        data_width=info.seg_width,
+                    )
+                    nodes.append(node)
+                    if info.exports_seg:
+                        seg_net = _conn_base(inst, "seg_addr")
+                        if seg_net is not None:
+                            net_node[seg_net] = node
+                if info.fifo_depth is not None:
+                    up = _conn_base(inst, _FIFO_CHAIN[0])
+                    dn = _conn_base(inst, _FIFO_CHAIN[1])
+                    if up is not None and sub_mod.port(up) is None:
+                        fifo_chain.setdefault(up, {})["up"] = (pe, None)
+                    if dn is not None and sub_mod.port(dn) is None:
+                        fifo_chain.setdefault(dn, {})["dn"] = (pe, info.fifo_depth)
+                if info.has_hs_chain:
+                    up = _conn_base(inst, _HS_CHAIN[0])
+                    dn = _conn_base(inst, _HS_CHAIN[1])
+                    if up is not None and sub_mod.port(up) is None:
+                        hs_chain.setdefault(up, {})["up"] = pe
+                    if dn is not None and sub_mod.port(dn) is None:
+                        hs_chain.setdefault(dn, {})["dn"] = pe
+            elif inst.module.startswith("bb_"):
+                local_bridges.append(
+                    (_conn_base(inst, "a_addr"), _conn_base(inst, "b_addr"), inst.name)
+                )
+
+        for net_a, net_b, bb_name in local_bridges:
+            node_a = net_node.get(net_a) if net_a else None
+            node_b = net_node.get(net_b) if net_b else None
+            if node_a is None or node_b is None:
+                graph._finding(
+                    "%s.%s" % (sub_inst.name, bb_name),
+                    "bridge side on net %r reaches no bus segment"
+                    % (net_a if node_a is None else net_b),
+                )
+                continue
+            bridge_pairs.append((node_a, node_b))
+
+        for net, ends in sorted(fifo_chain.items()):
+            if "up" in ends and "dn" in ends:
+                pair = tuple(sorted((ends["up"][0], ends["dn"][0])))
+                graph.fifo_links[pair] += 1
+                depth = ends["dn"][1]
+                if depth is not None:
+                    graph.fifo_depth_of[pair] = depth
+            else:
+                graph._finding(
+                    "%s.%s" % (sub_inst.name, net),
+                    "FIFO chain wire has only one endpoint (%s)"
+                    % ", ".join(sorted(ends)),
+                )
+        for net, ends in sorted(hs_chain.items()):
+            if "up" in ends and "dn" in ends:
+                pair = tuple(sorted((ends["up"], ends["dn"])))
+                graph.hs_links[pair] += 1
+            else:
+                graph._finding(
+                    "%s.%s" % (sub_inst.name, net),
+                    "handshake chain wire has only one endpoint (%s)"
+                    % ", ".join(sorted(ends)),
+                )
+
+    # System-level bridges between subsystem shared buses (SplitBA).
+    for inst in top.instances:
+        if inst.module.startswith("subsys_") or not inst.name.startswith("u_bb_sys"):
+            continue
+        sides: List[Optional[SegmentNode]] = []
+        for pin in ("a_addr", "b_addr"):
+            net = _conn_base(inst, pin)
+            side = None
+            if net is not None:
+                for sub_inst in top.instances:
+                    if not sub_inst.module.startswith("subsys_"):
+                        continue
+                    conn = sub_inst.connection("sub_addr")
+                    if conn is not None and conn.base_signal == net:
+                        side = exported_shared.get((sub_inst.name, "sub_addr"))
+                        break
+            sides.append(side)
+        if sides[0] is None or sides[1] is None:
+            graph._finding(
+                inst.name,
+                "system bridge side reaches no subsystem shared bus",
+            )
+            continue
+        bridge_pairs.append((sides[0], sides[1]))
+
+    key_of: Dict[int, str] = {}
+    for node in nodes:
+        node.memories.sort()
+        key_of[id(node)] = graph.add_segment(node)
+    for node_a, node_b in bridge_pairs:
+        pair = tuple(sorted((key_of[id(node_a)], key_of[id(node_b)])))
+        graph.bridges[pair] += 1
+    return graph

@@ -1,0 +1,339 @@
+"""Runtime protocol assertion monitors for the simulated bus fabric.
+
+The high-value bus-protocol invariants are small and checkable (the AMBA
+formal-specification literature distills essentially the same list):
+
+* **grant one-hot** -- at most one master owns a segment's arbiter at any
+  cycle; a second grant while the bus is held is a double grant;
+* **REQ held until GNT** -- a queued grant must consume a previously
+  asserted request; a request still pending at end of run was starved;
+* **FIFO conservation and bounds** -- fill = pushes - pops at all times,
+  never below zero (underflow) or above the depth (overflow);
+* **bridge forwarding conservation** -- every bridge crossing happens with
+  the bridge enabled, with the crossing master holding the grant on both
+  attached segments, and every crossing is accounted by a monitored
+  transfer;
+* **transaction retirement** -- every transfer opened on a segment is
+  closed (bus released) by end of run; withdrawals via the fault layer's
+  ``Arbiter.cancel`` are accounted, not lost.
+
+Monitors attach through the same NULL-object contract as the tracer and
+the fault injector: every model carries a ``monitor`` slot defaulting to
+``None``, so an unmonitored run never pays for the hooks and stays
+bit-identical to seed.  Monitors only *observe* -- they never yield, never
+touch simulation state -- so a monitored run is also bit-identical.
+
+With ``fail_fast=True`` (the default) a violation raises
+:class:`ProtocolViolationError` carrying the offending cycle; with
+``fail_fast=False`` violations accumulate as :class:`Finding` objects and
+:meth:`ProtocolMonitor.finalize` returns them together with end-of-run
+checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .findings import Finding
+
+__all__ = ["ProtocolViolationError", "ProtocolMonitor", "attach_monitors"]
+
+
+class ProtocolViolationError(AssertionError):
+    """A bus-protocol invariant failed during simulation."""
+
+    def __init__(self, finding: Finding):
+        super().__init__(str(finding))
+        self.finding = finding
+
+
+class ProtocolMonitor:
+    """Free-when-off assertion checker attached to arbiters/segments/FIFOs.
+
+    The monitor keeps its *own* shadow of the arbitration state (owner per
+    arbiter, pending request counts, FIFO fill), so a model whose internal
+    bookkeeping is corrupted -- e.g. an arbiter that overwrites ``owner``
+    on a double grant -- is still caught: the shadow state disagrees with
+    the sequence of hook events.
+    """
+
+    def __init__(self, fail_fast: bool = True):
+        self.fail_fast = fail_fast
+        self.findings: List[Finding] = []
+        # Shadow arbitration state, keyed by model object identity.
+        self._owner: Dict[object, Optional[str]] = {}
+        self._pending: Dict[object, Dict[str, int]] = {}
+        self._fifo_fill: Dict[object, int] = {}
+        # (segment name, master) -> currently open transfer count.
+        self._open: Dict[Tuple[str, str], int] = {}
+        self._bridge_base: Dict[object, int] = {}
+        self._bridge_seen: Dict[object, int] = {}
+        self.grants_observed = 0
+        self.requests_observed = 0
+        self.cancels_observed = 0
+        self.transfers_opened = 0
+        self.transfers_closed = 0
+
+    # -- attachment ------------------------------------------------------
+    def watch_arbiter(self, arbiter) -> None:
+        arbiter.monitor = self
+        self._owner[arbiter] = arbiter.owner
+        self._pending.setdefault(arbiter, {})
+
+    def watch_segment(self, segment) -> None:
+        segment.monitor = self
+        self.watch_arbiter(segment.arbiter)
+
+    def watch_fifo(self, fifo) -> None:
+        fifo.monitor = self
+        self._fifo_fill[fifo] = fifo.count
+
+    def watch_bridge(self, bridge) -> None:
+        bridge.monitor = self
+        self._bridge_base[bridge] = bridge.crossings
+        self._bridge_seen[bridge] = 0
+
+    # -- violation plumbing ----------------------------------------------
+    def _violation(self, category: str, where: str, text: str, cycle: int) -> None:
+        finding = Finding("error", category, where, text, cycle=cycle)
+        self.findings.append(finding)
+        if self.fail_fast:
+            raise ProtocolViolationError(finding)
+
+    # -- arbiter hooks ---------------------------------------------------
+    def on_request(self, arbiter, master: str) -> None:
+        self.requests_observed += 1
+        pending = self._pending.setdefault(arbiter, {})
+        pending[master] = pending.get(master, 0) + 1
+
+    def on_grant(self, arbiter, master: str, queued: bool) -> None:
+        cycle = arbiter.sim.now
+        owner = self._owner.get(arbiter)
+        if owner is not None:
+            self._violation(
+                "grant-onehot",
+                arbiter.name,
+                "granted %r while %r holds the bus (double grant)"
+                % (master, owner),
+                cycle,
+            )
+        self._owner[arbiter] = master
+        self.grants_observed += 1
+        pending = self._pending.setdefault(arbiter, {})
+        held = pending.get(master, 0)
+        if queued:
+            # A dispatched grant must answer a REQ that was asserted and
+            # held; granting a master with no outstanding request means a
+            # request was dropped or fabricated somewhere.
+            if held <= 0:
+                self._violation(
+                    "req-gnt",
+                    arbiter.name,
+                    "queued grant to %r without a held REQ" % master,
+                    cycle,
+                )
+            else:
+                pending[master] = held - 1
+        elif held > 0:
+            # Immediate grant with a stale request still queued counts as
+            # answering it (REQ and GNT in the same cycle).
+            pending[master] = held - 1
+
+    def on_release(self, arbiter, master: str) -> None:
+        cycle = arbiter.sim.now
+        owner = self._owner.get(arbiter)
+        if owner != master:
+            self._violation(
+                "grant-onehot",
+                arbiter.name,
+                "released by %r but the monitor observed owner %r"
+                % (master, owner),
+                cycle,
+            )
+        self._owner[arbiter] = None
+
+    def on_cancel(self, arbiter, master: str) -> None:
+        cycle = arbiter.sim.now
+        self.cancels_observed += 1
+        pending = self._pending.setdefault(arbiter, {})
+        held = pending.get(master, 0)
+        if held <= 0:
+            self._violation(
+                "req-gnt",
+                arbiter.name,
+                "cancelled a REQ from %r that was never asserted" % master,
+                cycle,
+            )
+        else:
+            # Withdrawn by the fault layer's timeout escalation: the
+            # request is *accounted*, not silently lost.
+            pending[master] = held - 1
+
+    # -- FIFO hooks ------------------------------------------------------
+    def on_fifo_push(self, fifo, count: int) -> None:
+        cycle = fifo.sim.now
+        fill = self._fifo_fill.get(fifo)
+        if fill is None:  # attached mid-run: seed from pre-push state
+            fill = fifo.count - count
+        fill += count
+        self._fifo_fill[fifo] = fill
+        if fill > fifo.depth_words:
+            self._violation(
+                "fifo",
+                fifo.name,
+                "overflow: fill %d exceeds depth %d" % (fill, fifo.depth_words),
+                cycle,
+            )
+        elif fill != fifo.count:
+            self._violation(
+                "fifo",
+                fifo.name,
+                "conservation broken: monitor fill %d != hardware count %d"
+                % (fill, fifo.count),
+                cycle,
+            )
+
+    def on_fifo_pop(self, fifo, count: int) -> None:
+        cycle = fifo.sim.now
+        fill = self._fifo_fill.get(fifo)
+        if fill is None:
+            fill = fifo.count + count
+        fill -= count
+        self._fifo_fill[fifo] = fill
+        if fill < 0:
+            self._violation(
+                "fifo",
+                fifo.name,
+                "underflow: fill went to %d" % fill,
+                cycle,
+            )
+        elif fill != fifo.count:
+            self._violation(
+                "fifo",
+                fifo.name,
+                "conservation broken: monitor fill %d != hardware count %d"
+                % (fill, fifo.count),
+                cycle,
+            )
+
+    # -- segment / bridge hooks ------------------------------------------
+    def on_transfer_open(self, segment, master: str) -> None:
+        cycle = segment.sim.now
+        if self._owner.get(segment.arbiter) != master:
+            self._violation(
+                "retire",
+                segment.name,
+                "transfer by %r opened without holding the grant" % master,
+                cycle,
+            )
+        key = (segment.name, master)
+        self._open[key] = self._open.get(key, 0) + 1
+        self.transfers_opened += 1
+
+    def on_transfer_close(self, segment, master: str) -> None:
+        cycle = segment.sim.now
+        key = (segment.name, master)
+        held = self._open.get(key, 0)
+        if held <= 0:
+            self._violation(
+                "retire",
+                segment.name,
+                "transfer by %r closed but was never opened" % master,
+                cycle,
+            )
+        else:
+            self._open[key] = held - 1
+        self.transfers_closed += 1
+
+    def on_bridge_cross(self, bridge, master: Optional[str]) -> None:
+        cycle = bridge.sim.now
+        self._bridge_seen[bridge] = self._bridge_seen.get(bridge, 0) + 1
+        if bridge not in self._bridge_base:
+            self._bridge_base[bridge] = bridge.crossings - 1
+        if not bridge.enabled:
+            self._violation(
+                "bridge",
+                bridge.name,
+                "crossing while the bridge is disabled",
+                cycle,
+            )
+        if master is None:
+            return
+        for side in (bridge.side_a, bridge.side_b):
+            if self._owner.get(side.arbiter) != master:
+                self._violation(
+                    "bridge",
+                    bridge.name,
+                    "crossing master %r does not hold segment %s"
+                    % (master, side.name),
+                    cycle,
+                )
+
+    # -- end-of-run checks -----------------------------------------------
+    def finalize(self, cycle: Optional[int] = None) -> List[Finding]:
+        """End-of-run accounting; returns *all* findings (runtime + final)."""
+        for (segment_name, master), count in sorted(self._open.items()):
+            if count > 0:
+                self.findings.append(
+                    Finding(
+                        "error",
+                        "retire",
+                        segment_name,
+                        "%d transfer(s) by %r issued but never retired"
+                        % (count, master),
+                        cycle=cycle,
+                    )
+                )
+        for arbiter, owner in self._owner.items():
+            if owner is not None:
+                self.findings.append(
+                    Finding(
+                        "error",
+                        "grant-onehot",
+                        arbiter.name,
+                        "still owned by %r at end of run" % owner,
+                        cycle=cycle,
+                    )
+                )
+        for arbiter, pending in self._pending.items():
+            for master, count in sorted(pending.items()):
+                if count > 0:
+                    self.findings.append(
+                        Finding(
+                            "error",
+                            "req-gnt",
+                            arbiter.name,
+                            "%d REQ(s) from %r still held at end of run "
+                            "(never granted, never withdrawn)" % (count, master),
+                            cycle=cycle,
+                        )
+                    )
+        for bridge, seen in self._bridge_seen.items():
+            actual = bridge.crossings - self._bridge_base.get(bridge, 0)
+            if actual != seen:
+                self.findings.append(
+                    Finding(
+                        "error",
+                        "bridge",
+                        bridge.name,
+                        "forwarding conservation broken: hardware counted %d "
+                        "crossing(s), monitor observed %d" % (actual, seen),
+                        cycle=cycle,
+                    )
+                )
+        return self.findings
+
+
+def attach_monitors(machine, fail_fast: bool = True) -> ProtocolMonitor:
+    """Attach one :class:`ProtocolMonitor` to every model of ``machine``."""
+    monitor = ProtocolMonitor(fail_fast=fail_fast)
+    for segment in machine.segments.values():
+        monitor.watch_segment(segment)
+    for bridge in machine.bridges:
+        monitor.watch_bridge(bridge)
+    for device in machine.devices.values():
+        if device.kind == "fifo":
+            monitor.watch_fifo(device.target.up)
+            monitor.watch_fifo(device.target.down)
+    machine._monitor = monitor
+    return monitor

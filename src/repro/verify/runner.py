@@ -1,0 +1,204 @@
+"""The ``repro verify`` sweep: structural equivalence + monitored runs.
+
+For every architecture under test this runs, per scheduler backend:
+
+1. **structural** -- generate the Verilog bus system, abstract both the
+   netlist and the simulation machine into :class:`FabricGraph`\\ s, and
+   compare them (:func:`repro.verify.equiv.compare_graphs`);
+2. **runtime** -- run the OFDM workload twice, once bare and once with
+   :class:`~repro.verify.monitors.ProtocolMonitor` attached to every
+   arbiter/segment/FIFO/bridge, and require (a) zero protocol findings
+   and (b) cycle-identical results, proving the monitors observe without
+   perturbing (the free-when-off contract);
+
+then asserts backend parity on cycle counts.  Cases fan out over the
+parallel experiment runner, so ``repro verify --jobs N`` sweeps
+architectures concurrently with deterministic results.
+
+CCBA is deliberately excluded: its machine abstraction flattens every
+BAN's memory onto one processor local bus while the generated netlist
+keeps the per-BAN structure, a modelled divergence documented in
+docs/verification.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..apps.ofdm import OfdmParameters, run_ofdm
+from ..core.busyn import BusSyn
+from ..faults.chaos import CHAOS_STYLES
+from ..options import presets
+from ..sim.fabric import build_machine
+from .equiv import compare_graphs
+from .graph import graph_from_design, graph_from_machine
+
+__all__ = [
+    "VERIFY_ARCHITECTURES",
+    "SMOKE_ARCHITECTURES",
+    "run_verify_case",
+    "run_verify",
+    "format_verify_summary",
+]
+
+# Every preset whose machine and netlist elaborate the same structure.
+VERIFY_ARCHITECTURES = [
+    "BFBA",
+    "GBAVI",
+    "GBAVII",
+    "GBAVIII",
+    "HYBRID",
+    "SPLITBA",
+    "GGBA",
+]
+
+# CI's quick pass: one distributed-memory and one shared-memory family
+# member, still covering chains/bridges (BFBA) and shared-bus arbitration
+# (SPLITBA's two subsystems plus a system bridge).
+SMOKE_ARCHITECTURES = ["BFBA", "SPLITBA"]
+
+
+def run_verify_case(
+    case: Tuple[str, str],
+    packets: int = 2,
+    pe_count: int = 4,
+) -> Dict[str, Any]:
+    """Run one ``(arch, backend)`` verification case; picklable."""
+    arch, backend = case
+    style = CHAOS_STYLES.get(arch, "PPA")
+    spec = presets.preset(arch, pe_count)
+
+    generated = BusSyn().generate(spec)
+    structural = [
+        str(finding)
+        for finding in compare_graphs(
+            graph_from_design(generated.design()),
+            graph_from_machine(build_machine(spec, kernel=backend)),
+        )
+    ]
+
+    baseline = run_ofdm(
+        build_machine(spec, kernel=backend), style, OfdmParameters(packets=packets)
+    )
+    monitored_machine = build_machine(spec, kernel=backend)
+    monitor = monitored_machine.attach_monitors(fail_fast=False)
+    monitored = run_ofdm(monitored_machine, style, OfdmParameters(packets=packets))
+    runtime = [str(finding) for finding in monitor.finalize()]
+    if monitored.cycles != baseline.cycles:
+        runtime.append(
+            "%s/%s: monitors perturbed the run (%d cycles != baseline %d)"
+            % (arch, backend, monitored.cycles, baseline.cycles)
+        )
+
+    return {
+        "arch": arch,
+        "style": style,
+        "backend": backend,
+        "cycles": baseline.cycles,
+        "monitored_cycles": monitored.cycles,
+        "throughput_mbps": baseline.throughput_mbps,
+        "grants": monitor.grants_observed,
+        "transfers": monitor.transfers_opened,
+        "structural_findings": structural,
+        "runtime_findings": runtime,
+    }
+
+
+def run_verify(
+    archs: Optional[Sequence[str]] = None,
+    backends: Sequence[str] = ("heap", "wheel"),
+    packets: int = 2,
+    pe_count: int = 4,
+    jobs: int = 1,
+) -> Dict[str, Any]:
+    """Sweep the verification matrix; returns a JSON-able summary."""
+    from ..experiments.runner import run_cases
+
+    archs = list(archs or VERIFY_ARCHITECTURES)
+    for arch in archs:
+        if arch not in presets.PRESETS:
+            raise ValueError(
+                "unknown architecture %r (expected one of %s)"
+                % (arch, ", ".join(sorted(presets.PRESETS)))
+            )
+    cases = [(arch, backend) for arch in archs for backend in backends]
+    results, _telemetry = run_cases(
+        run_verify_case,
+        cases,
+        jobs=jobs,
+        kwargs={"packets": packets, "pe_count": pe_count},
+    )
+    by_key = {(row["arch"], row["backend"]): row for row in results}
+    failures: List[str] = []
+    for arch in archs:
+        for backend in backends:
+            row = by_key[(arch, backend)]
+            failures.extend(
+                "%s/%s structural: %s" % (arch, backend, text)
+                for text in row["structural_findings"]
+            )
+            failures.extend(
+                "%s/%s runtime: %s" % (arch, backend, text)
+                for text in row["runtime_findings"]
+            )
+        reference = by_key[(arch, backends[0])]
+        for backend in backends[1:]:
+            other = by_key[(arch, backend)]
+            if other["cycles"] != reference["cycles"]:
+                failures.append(
+                    "%s: cycles diverge across backends (%s=%d, %s=%d)"
+                    % (
+                        arch,
+                        backends[0],
+                        reference["cycles"],
+                        backend,
+                        other["cycles"],
+                    )
+                )
+    return {
+        "packets": packets,
+        "pe_count": pe_count,
+        "backends": list(backends),
+        "architectures": archs,
+        "cases": results,
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def format_verify_summary(summary: Dict[str, Any]) -> List[str]:
+    """Human-readable digest of a :func:`run_verify` summary."""
+    lines = [
+        "verify sweep: packets=%d pes=%d backends=%s"
+        % (summary["packets"], summary["pe_count"], "/".join(summary["backends"]))
+    ]
+    for row in summary["cases"]:
+        status = (
+            "ok"
+            if not (row["structural_findings"] or row["runtime_findings"])
+            else "FAIL"
+        )
+        lines.append(
+            "  %-8s %-4s %-5s  %8d cycles  %6d grants  %6d transfers  "
+            "structural %d  runtime %d  %s"
+            % (
+                row["arch"],
+                row["style"],
+                row["backend"],
+                row["cycles"],
+                row["grants"],
+                row["transfers"],
+                len(row["structural_findings"]),
+                len(row["runtime_findings"]),
+                status,
+            )
+        )
+    if summary["failures"]:
+        lines.append("verification FAILURES:")
+        lines.extend("  - %s" % failure for failure in summary["failures"])
+    else:
+        lines.append(
+            "netlist and machine are structurally equivalent; all protocol "
+            "monitors green and bit-identical to baseline"
+        )
+    return lines

@@ -165,3 +165,102 @@ class TestVcd:
             line for line in after_t0.splitlines() if line[:1] in ("0", "1") and len(line) > 1
         ]
         assert len(scalar_changes) >= 6
+
+
+class TestVcdDumpvars:
+    """Satellite: $dumpvars initial block + same-timestamp dedupe."""
+
+    def test_header_then_dumpvars_block(self):
+        writer = VcdWriter()
+        a = writer.add_signal("top", "a")
+        b = writer.add_signal("top", "bus", width=4)
+        writer.change(0, a, 1)
+        writer.change(7, a, 0)
+        text = writer.dumps()
+        lines = text.splitlines()
+        end_defs = lines.index("$enddefinitions $end")
+        # Spec layout: definitions, then the time-zero $dumpvars block
+        # establishing an initial value for *every* declared signal.
+        assert lines[end_defs + 1] == "#0"
+        assert lines[end_defs + 2] == "$dumpvars"
+        block = lines[end_defs + 3 : lines.index("$end", end_defs)]
+        assert "1%s" % a in block  # recorded time-zero value
+        assert "bx %s" % b in block  # undumped signal starts as x
+        assert lines.index("$end", end_defs) < lines.index("#7")
+
+    def test_undumped_scalar_starts_x(self):
+        writer = VcdWriter()
+        a = writer.add_signal("top", "a")
+        text = writer.dumps()
+        assert "x%s" % a in text.split("$dumpvars", 1)[1].split("$end", 1)[0]
+
+    def test_same_timestamp_last_write_wins(self):
+        writer = VcdWriter()
+        a = writer.add_signal("top", "a")
+        writer.change(5, a, 0)
+        writer.change(5, a, 1)
+        text = writer.dumps()
+        at_5 = text.split("#5", 1)[1]
+        changes = [line for line in at_5.splitlines() if line.endswith(a)]
+        # One change only, carrying the final value -- two lines for one
+        # signal at one timestamp would be ambiguous to viewers.
+        assert changes == ["1%s" % a]
+
+    def test_same_timestamp_dedupe_multibit(self):
+        writer = VcdWriter()
+        bus = writer.add_signal("top", "bus", width=4)
+        writer.change(3, bus, 0b0001, width=4)
+        writer.change(3, bus, 0b1010, width=4)
+        text = writer.dumps()
+        assert "b1010 %s" % bus in text
+        assert "b1 %s" % bus not in text
+
+    def test_distinct_timestamps_all_kept(self):
+        writer = VcdWriter()
+        a = writer.add_signal("top", "a")
+        writer.change(1, a, 1)
+        writer.change(2, a, 0)
+        writer.change(3, a, 1)
+        text = writer.dumps()
+        for stamp in ("#1", "#2", "#3"):
+            assert stamp in text
+
+
+class TestGenerateLintReporting:
+    """Satellite: warnings surfaced in generate output + --strict gate."""
+
+    @staticmethod
+    def _force_warning(monkeypatch):
+        from repro.core.busyn import GeneratedBusSystem
+        from repro.hdl.lint import LintMessage
+
+        monkeypatch.setattr(
+            GeneratedBusSystem,
+            "lint",
+            lambda self: [LintMessage("warning", "module m", "port left dangling")],
+        )
+
+    def test_warning_count_printed_and_reported(self, tmp_path, capsys, monkeypatch):
+        self._force_warning(monkeypatch)
+        out = str(tmp_path / "gen")
+        code = main(["generate", "--preset", "GBAVI", "--pes", "2", "--out", out])
+        assert code == 0  # warnings alone do not fail a non-strict run
+        assert "clean, 1 warnings" in capsys.readouterr().out
+        report = open(os.path.join(out, "report.txt")).read()
+        assert "lint warnings: 1" in report
+        assert "port left dangling" in report
+
+    def test_strict_turns_warnings_into_failure(self, tmp_path, capsys, monkeypatch):
+        self._force_warning(monkeypatch)
+        out = str(tmp_path / "gen")
+        code = main(
+            ["generate", "--preset", "GBAVI", "--pes", "2", "--out", out, "--strict"]
+        )
+        assert code == 1
+
+    def test_strict_passes_on_clean_design(self, tmp_path):
+        out = str(tmp_path / "gen")
+        code = main(
+            ["generate", "--preset", "GBAVIII", "--pes", "2", "--out", out, "--strict"]
+        )
+        assert code == 0

@@ -100,6 +100,21 @@ class TestNetlistBuilder:
         with pytest.raises(NetlistError):
             builder.connect("w", 8, [("A", "in", 7, 0), ("EXT", "half", 3, 0)])
 
+    def test_merge_direction_known_pairs(self):
+        from repro.core.netlist import _merge_direction
+
+        assert _merge_direction("input", "input", "p") == "input"
+        assert _merge_direction("inout", "output", "p") == "inout"
+        with pytest.raises(NetlistError, match="add a wire spec"):
+            _merge_direction("input", "output", "p")
+
+    def test_merge_direction_rejects_unknown_pair(self):
+        # Used to silently coerce any unrecognized pair to "inout".
+        from repro.core.netlist import _merge_direction
+
+        with pytest.raises(NetlistError, match="unsupported direction pair"):
+            _merge_direction("input", "buffer", "p")
+
     def test_unknown_module_in_wire(self):
         builder = NetlistBuilder("top")
         with pytest.raises(NetlistError):

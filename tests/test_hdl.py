@@ -225,6 +225,38 @@ class TestLint:
         errors = [m for m in lint_design(parse_design(source)) if m.severity == "error"]
         assert any("undeclared" in e.text for e in errors)
 
+    def test_uppercase_literal_base_width_checked(self):
+        # 4'HF is 4 bits against the 8-bit d port; the old _LITERAL_RE only
+        # knew lowercase bases, so the width check was silently skipped.
+        source = SAMPLE.replace(".d(a)", ".d(4'HF)")
+        errors = [m for m in lint_design(parse_design(source)) if m.severity == "error"]
+        assert any("width mismatch" in e.text for e in errors)
+
+    def test_signed_literal_base_width_checked(self):
+        source = SAMPLE.replace(".d(a)", ".d(4'sb1010)")
+        errors = [m for m in lint_design(parse_design(source)) if m.severity == "error"]
+        assert any("width mismatch" in e.text for e in errors)
+
+    def test_uppercase_literal_matching_width_is_clean(self):
+        source = SAMPLE.replace(".d(a)", ".d(8'HFF)")
+        assert [m for m in lint_design(parse_design(source)) if m.severity == "error"] == []
+
+    def test_uppercase_base_letter_not_misread_as_signal(self):
+        # The base letter of 8'HFF must not be reported as an undeclared
+        # signal named "H" (nor the digits as identifiers).
+        source = SAMPLE.replace(".d(a)", ".d(8'HFF)")
+        errors = [m for m in lint_design(parse_design(source)) if m.severity == "error"]
+        assert not any("undeclared" in e.text for e in errors)
+
+    def test_concat_width_with_uppercase_literal(self):
+        # {a[3:0], 4'HF} is 8 bits: concatenation widths are verified now
+        # that sized uppercase literals report their declared width.
+        clean = SAMPLE.replace(".d(a)", ".d({a[3:0], 4'HF})")
+        assert [m for m in lint_design(parse_design(clean)) if m.severity == "error"] == []
+        broken = SAMPLE.replace(".d(a)", ".d({a[3:0], 8'HFF})")
+        errors = [m for m in lint_design(parse_design(broken)) if m.severity == "error"]
+        assert any("width mismatch" in e.text for e in errors)
+
     def test_dangling_port_is_warning(self):
         source = SAMPLE.replace(".d(a),", "")
         messages = lint_design(parse_design(source))
