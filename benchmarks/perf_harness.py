@@ -2,11 +2,13 @@
 
 Prefer the CLI verb (discoverable flags, no PYTHONPATH) ::
 
-    python -m repro bench [--smoke] [--kernel heap|wheel] [--enforce-floor]
+    python -m repro bench [--smoke] [--kernel heap|wheel|compiled] [--enforce-floor]
 
-This file keeps the historical entry point working ::
+This file keeps the historical entry point working, forwarding every
+flag (``--kernel``, ``--jobs``, ``--rounds``, ``--smoke``,
+``--enforce-floor``, ``--baselines``, ``--out``) unchanged ::
 
-    python benchmarks/perf_harness.py --smoke
+    python benchmarks/perf_harness.py --smoke --kernel compiled
 
 Baselines are the checked-in ``benchmarks/baselines.json``; results go to
 ``BENCH_kernel.json``.  See ``docs/performance.md`` for how to read both.
@@ -14,6 +16,7 @@ Baselines are the checked-in ``benchmarks/baselines.json``; results go to
 
 import os
 import sys
+import warnings
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
@@ -21,5 +24,16 @@ sys.path.insert(
 
 from repro.bench.harness import main  # noqa: E402
 
+
+def _forward(argv=None):
+    warnings.warn(
+        "benchmarks/perf_harness.py is a compatibility shim; "
+        "use `python -m repro bench` (same flags) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return main(sys.argv[1:] if argv is None else argv)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(_forward())

@@ -2,7 +2,7 @@
 
 Run it through the CLI (no ``PYTHONPATH`` gymnastics) ::
 
-    python -m repro bench                      # full run, both backends
+    python -m repro bench                      # full run, all backends
     python -m repro bench --smoke              # CI quick pass
     python -m repro bench --kernel wheel       # time one backend only
     python -m repro bench --smoke --enforce-floor   # CI regression gate
@@ -11,18 +11,20 @@ or via the ``benchmarks/perf_harness.py`` shim.  Sections written to
 ``BENCH_kernel.json`` (``--out``):
 
 * ``kernel.<backend>.int_yield`` -- pure event throughput per scheduler
-  backend (heap vs timing wheel): 64 processes each doing 2000 one-cycle
-  delay yields.  Events/sec uses the nominal event count (procs x yields)
-  so the figure is comparable across kernel versions.
+  backend (heap vs timing wheel vs compiled): 64 processes each doing
+  2000 one-cycle delay yields.  Events/sec uses the nominal event count
+  (procs x yields) so the figure is comparable across kernel versions.
 * ``kernel.<backend>.mixed`` -- composite workload exercising Timeout
   pooling, Event succeed/fail, AnyOf/AllOf, and interrupt wakeups.
-* ``ab`` -- wheel-vs-heap ratios when both backends were timed.  The
-  full-run gate requires the wheel to reach at least
-  ``gates.wheel_vs_heap_int_yield`` (1.5x) heap throughput.
+* ``ab`` -- challenger-vs-heap ratios when both sides were timed.  The
+  full-run gates require the wheel to reach at least
+  ``gates.wheel_vs_heap_int_yield`` (1.5x) heap throughput and the
+  compiled backend ``gates.compiled_vs_heap_int_yield`` (5.0x).
 * ``table2.<backend>`` -- Table II wall time, sequential vs parallel
   runner, best-of-``--rounds`` after a warm-up; parallel rows must be
   bit-identical to sequential rows and pass ``check_table2_shape``.
-* ``backend_parity`` -- Tables II-V executed on *both* backends;
+* ``backend_parity`` -- Tables II-V executed serially on *every* backend
+  (heap, wheel, compiled -- even under ``--kernel``/``--smoke``);
   ``rows_identical`` must be true for every table (Table V rows are
   compared without the wall-clock ``generation_time_ms`` field).
 * ``run_report`` -- one traced Table II case's telemetry summary, so
@@ -39,8 +41,8 @@ gate floors, the wheel-vs-heap floor, and the per-backend CI floor
 references.  Outside ``--smoke`` the run fails (exit 1) on any parity or
 identity failure, on a *heap* vs-seed speedup below its floor (the
 floors were calibrated for the seed's default scheduler; the wheel's
-vs-seed numbers are informational), or on a wheel A/B ratio below the
-floor.  ``--enforce-floor`` additionally times the
+vs-seed numbers are informational), or on a wheel/compiled A/B ratio
+below its floor.  ``--enforce-floor`` additionally times the
 full-size ``int_yield`` workload (cheap, ~0.2 s) and fails on a
 ``gates.ci_regression_tolerance`` (20 %) events/sec regression against
 the per-backend ``ci_floor`` references -- the CI guard.
@@ -250,8 +252,14 @@ def _table5_key(row) -> dict:
     return fields
 
 
-def bench_backend_parity(table2_packets: int) -> dict:
-    """Tables II-V on both scheduler backends; rows must be bit-identical."""
+def bench_backend_parity(table2_packets: int, jobs: int = 1) -> dict:
+    """Tables II-V on every scheduler backend; rows must be bit-identical.
+
+    Backends run serially (one full table sweep per backend) so each
+    backend's rows come from an identical machine state; ``jobs`` is
+    threaded through to the table runners the same way ``repro table``
+    does it, so the parity sweep can use the parallel case runners.
+    """
     parity: Dict[str, dict] = {}
 
     def compare(name: str, rows_by_kernel: Dict[str, list], normalize=vars) -> None:
@@ -259,31 +267,32 @@ def bench_backend_parity(table2_packets: int) -> dict:
             kernel: [normalize(row) for row in rows]
             for kernel, rows in rows_by_kernel.items()
         }
-        identical = normalized["heap"] == normalized["wheel"]
+        reference = normalized[KERNEL_BACKENDS[0]]
+        identical = all(rows == reference for rows in normalized.values())
         parity[name] = {
             "backends": sorted(rows_by_kernel),
-            "rows": len(normalized["heap"]),
+            "rows": len(reference),
             "rows_identical": identical,
         }
 
     compare(
         "table2",
         {
-            kernel: run_table2(packets=table2_packets, kernel=kernel)
+            kernel: run_table2(packets=table2_packets, jobs=jobs, kernel=kernel)
             for kernel in KERNEL_BACKENDS
         },
     )
     compare(
         "table3",
         {
-            kernel: run_table3(kernel=kernel, **PARITY_SCALES["table3"])
+            kernel: run_table3(kernel=kernel, jobs=jobs, **PARITY_SCALES["table3"])
             for kernel in KERNEL_BACKENDS
         },
     )
     compare(
         "table4",
         {
-            kernel: run_table4(kernel=kernel, **PARITY_SCALES["table4"])
+            kernel: run_table4(kernel=kernel, jobs=jobs, **PARITY_SCALES["table4"])
             for kernel in KERNEL_BACKENDS
         },
     )
@@ -292,7 +301,7 @@ def bench_backend_parity(table2_packets: int) -> dict:
     compare(
         "table5",
         {
-            kernel: run_table5(**PARITY_SCALES["table5"])
+            kernel: run_table5(jobs=jobs, **PARITY_SCALES["table5"])
             for kernel in KERNEL_BACKENDS
         },
         normalize=_table5_key,
@@ -361,17 +370,20 @@ def run_harness(
         }
 
     ab: Dict[str, float] = {}
-    if "heap" in kernel_section and "wheel" in kernel_section:
-        ab["int_yield_events_per_sec_wheel_vs_heap"] = (
-            kernel_section["wheel"]["int_yield"]["events_per_sec"]
-            / kernel_section["heap"]["int_yield"]["events_per_sec"]
-        )
-        ab["mixed_speedup_wheel_vs_heap"] = (
-            kernel_section["heap"]["mixed"]["seconds"]
-            / kernel_section["wheel"]["mixed"]["seconds"]
-        )
+    if "heap" in kernel_section:
+        for challenger in ("wheel", "compiled"):
+            if challenger not in kernel_section:
+                continue
+            ab["int_yield_events_per_sec_%s_vs_heap" % challenger] = (
+                kernel_section[challenger]["int_yield"]["events_per_sec"]
+                / kernel_section["heap"]["int_yield"]["events_per_sec"]
+            )
+            ab["mixed_speedup_%s_vs_heap" % challenger] = (
+                kernel_section["heap"]["mixed"]["seconds"]
+                / kernel_section[challenger]["mixed"]["seconds"]
+            )
 
-    parity = bench_backend_parity(scales["parity_packets"])
+    parity = bench_backend_parity(scales["parity_packets"], jobs=1 if smoke else jobs)
     run_report = bench_run_report(kernels[0], scales["report_packets"])
 
     failures: List[str] = []
@@ -386,7 +398,10 @@ def run_harness(
             )
     for name, entry in parity.items():
         if not entry["rows_identical"]:
-            failures.append("backend parity: %s rows differ heap vs wheel" % name)
+            failures.append(
+                "backend parity: %s rows differ across %s"
+                % (name, "/".join(entry["backends"]))
+            )
     if not smoke:
         # vs_seed floors gate the *heap* backend only: they were calibrated
         # against the seed tree's default scheduler, which heap descends
@@ -403,13 +418,16 @@ def run_harness(
                         "heap: vs_seed[%s] = %.2fx below the %.2fx floor"
                         % (key, vs_seed["heap"][key], floor)
                     )
-        if "int_yield_events_per_sec_wheel_vs_heap" in ab:
-            ratio = ab["int_yield_events_per_sec_wheel_vs_heap"]
-            floor = gates["wheel_vs_heap_int_yield"]
+        for challenger in ("wheel", "compiled"):
+            key = "int_yield_events_per_sec_%s_vs_heap" % challenger
+            if key not in ab:
+                continue
+            ratio = ab[key]
+            floor = gates["%s_vs_heap_int_yield" % challenger]
             if ratio < floor:
                 failures.append(
-                    "wheel int_yield only %.2fx heap, below the %.2fx floor"
-                    % (ratio, floor)
+                    "%s int_yield only %.2fx heap, below the %.2fx floor"
+                    % (challenger, ratio, floor)
                 )
 
     ci_floor = None
@@ -484,14 +502,17 @@ def _print_summary(report: dict) -> None:
                 speedups["table2_parallel_seconds"],
             )
         )
-    if report["ab"]:
-        print(
-            "ab        : wheel int_yield %.2fx heap, mixed %.2fx heap"
-            % (
-                report["ab"]["int_yield_events_per_sec_wheel_vs_heap"],
-                report["ab"]["mixed_speedup_wheel_vs_heap"],
+    for challenger in ("wheel", "compiled"):
+        key = "int_yield_events_per_sec_%s_vs_heap" % challenger
+        if key in report["ab"]:
+            print(
+                "ab        : %-8s int_yield %.2fx heap, mixed %.2fx heap"
+                % (
+                    challenger,
+                    report["ab"][key],
+                    report["ab"]["mixed_speedup_%s_vs_heap" % challenger],
+                )
             )
-        )
     parity = ", ".join(
         "%s=%s" % (name, entry["rows_identical"])
         for name, entry in sorted(report["backend_parity"].items())
@@ -519,7 +540,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--kernel",
         choices=list(KERNEL_BACKENDS),
-        help="time one scheduler backend only (default: both; parity always runs both)",
+        help="time one scheduler backend only (default: all; parity always runs all)",
     )
     parser.add_argument(
         "--smoke",

@@ -269,6 +269,48 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_compile(args) -> int:
+    """Dump the compiled backend's generated sources for inspection.
+
+    Writes one ``kernel_<variant>.py`` per run-loop variant plus
+    ``fabric_<arch>.py``, the per-(master, device) transaction functions
+    the specializer installs for the selected architecture (exactly what
+    ``exec`` compiles at ``MachineBuilder.build()`` time).
+    """
+    from .sim.compiled import KERNEL_VARIANTS, generated_kernel_sources
+    from .sim.compiled.specializer import specialized_fabric_source
+    from .sim.fabric import MachineBuilder
+
+    spec = _load_spec(args)
+    machine = MachineBuilder(spec).with_kernel("compiled").build()
+    os.makedirs(args.out, exist_ok=True)
+    for variant, source in sorted(generated_kernel_sources().items()):
+        path = os.path.join(args.out, "kernel_%s.py" % variant)
+        with open(path, "w") as handle:
+            handle.write(source)
+    # Re-render rather than reading machine._specialized_source so the dump
+    # also works for architectures with no eligible pairs (header only).
+    fabric_source, entries = specialized_fabric_source(machine)
+    fabric_path = os.path.join(
+        args.out, "fabric_%s.py" % spec.name.lower().replace("-", "_")
+    )
+    with open(fabric_path, "w") as handle:
+        handle.write(fabric_source)
+    print(
+        "wrote %d kernel variant(s) (%s) and %s"
+        % (len(KERNEL_VARIANTS), ", ".join(KERNEL_VARIANTS), fabric_path)
+    )
+    print(
+        "%s: %d specialized (master, device) pair(s)%s"
+        % (
+            spec.name,
+            len(entries),
+            "" if machine._specialized else " (dispatch not installed)",
+        )
+    )
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     """Run the seeded fault-injection sweep (docs/robustness.md)."""
     import json
@@ -463,6 +505,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.set_defaults(func=_cmd_profile)
 
+    compile_parser = sub.add_parser(
+        "compile",
+        help="dump the compiled backend's generated kernel + fabric sources",
+    )
+    add_spec_arguments(compile_parser)
+    compile_parser.add_argument(
+        "-o",
+        "--out",
+        default="./compiled",
+        help="output directory for the generated .py sources",
+    )
+    compile_parser.set_defaults(func=_cmd_compile)
+
     chaos = sub.add_parser(
         "chaos",
         help="seeded fault-injection sweep with recovery invariants "
@@ -485,11 +540,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="architecture to sweep (repeatable; default: the paper's five)",
     )
+    from .sim.kernel import KERNEL_BACKENDS
+
     chaos.add_argument(
         "--backend",
         action="append",
-        choices=["heap", "wheel"],
-        help="scheduler backend (repeatable; default: both, with parity check)",
+        choices=list(KERNEL_BACKENDS),
+        help="scheduler backend (repeatable; default: heap+wheel, with "
+        "parity check; compiled despecializes under faults, so adding it "
+        "re-proves the generic-path fallback)",
     )
     chaos.add_argument("--packets", type=int, default=4, help="OFDM packets per run")
     chaos.add_argument("--pes", type=int, default=4, help="processor count")
@@ -521,8 +580,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--backend",
         action="append",
-        choices=["heap", "wheel"],
-        help="scheduler backend (repeatable; default: both, with parity check)",
+        choices=list(KERNEL_BACKENDS),
+        help="scheduler backend (repeatable; default: heap+wheel, with "
+        "parity check; monitors despecialize the compiled backend, so "
+        "adding it re-proves the generic-path fallback)",
     )
     verify.add_argument("--packets", type=int, default=2, help="OFDM packets per run")
     verify.add_argument("--pes", type=int, default=4, help="processor count")

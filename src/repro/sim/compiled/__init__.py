@@ -1,0 +1,23 @@
+"""Gen-3 compiled scheduler backend (``--kernel compiled``).
+
+Two layers of specialization over the gen-2 timing wheel:
+
+* :mod:`repro.sim.compiled.kernel` -- run-loop variants generated with
+  ``compile()``/``exec`` and *direct entries* for in-horizon ``yield <int>``
+  (no proxy event, no callback list, no allocation on the hot path);
+* :mod:`repro.sim.compiled.specializer` -- per-architecture fabric
+  specialization: arbiter policy and route plans baked into generated
+  per-(master, device) transaction functions, installed when every
+  observability/fault/monitor hook is off and removed the moment one is
+  attached (free-when-off becomes *absent*-when-off).
+
+``repro compile -o DIR`` dumps every generated source for inspection.
+"""
+
+from .kernel import CompiledSimulator, generated_kernel_sources, KERNEL_VARIANTS
+
+__all__ = [
+    "CompiledSimulator",
+    "generated_kernel_sources",
+    "KERNEL_VARIANTS",
+]

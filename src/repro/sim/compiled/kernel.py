@@ -1,0 +1,587 @@
+"""Gen-3 scheduler backend: a run loop generated with ``compile()``/``exec``.
+
+:class:`CompiledSimulator` keeps the timing-wheel data structures of
+:class:`~repro.sim.kernel.WheelSimulator` but replaces the interpreted drain
+loop with *generated* run-loop variants, and replaces the pooled-timeout
+proxy machinery with **direct entries** for the dominant ``yield <int>``
+traffic:
+
+* a process waiting an in-horizon delay sits in its wheel bucket as a
+  1-tuple ``(process,)`` (see ``Process._resume``'s ``_use_direct`` branch);
+  the drain loop resumes it straight through the bound ``generator.send``
+  -- no proxy ``Event``, no callback list, no allocation;
+* the 1-tuple doubles as the staleness token: any generic wakeup
+  (interrupt, event, finish) rewrites ``process._target``, so a drained
+  entry whose identity no longer matches is skipped -- counting as one
+  processed event, exactly like a stale pooled proxy on the wheel backend;
+* consecutive delay-1 reschedules (bus beats, the dominant cadence) are
+  batched into a pending list flushed into the next bucket with one
+  ``list.extend`` -- the flush happens before any slow-path call that could
+  itself append to that bucket, so same-cycle ordering is untouched;
+* ``yield 1`` is recognized with one pointer compare against the interned
+  int ``1`` (a miss falls through to the general in-horizon branch, so
+  correctness never depends on interning).
+
+Everything else -- overflow heap, bootstrap/interrupt wakeups, ``Timeout``
+and composite events -- goes through the same pooled-proxy paths as the
+wheel backend, so firing order, final clock and ``events_processed`` are
+bit-identical across all three backends (``tests/test_scheduler_parity.py``
+runs the three-way differential).
+
+Run-loop **variants** are specialized over (stop-event present, deadline
+present, monitored): a run with hooks off executes a loop with *no* hook
+call sites compiled into it.  The rendered sources are plain Python kept
+in-process for inspection -- ``repro compile -o DIR`` writes them to disk
+(:func:`generated_kernel_sources`).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Dict, Optional
+
+from ..kernel import (
+    WHEEL_SIZE,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+    WheelSimulator,
+    _LOW_MASKS,
+    _PooledTimeout,
+    _WHEEL_BITS,
+    _WHEEL_CLEARS,
+    _WHEEL_MASK,
+)
+from .. import kernel as _kernel_mod
+
+__all__ = ["CompiledSimulator", "generated_kernel_sources", "KERNEL_VARIANTS"]
+
+# Variant axes: exactly one of stop/deadline can be active per run() call
+# (``until`` is either an Event or a cycle count), and monitored runs take
+# one generic variant with hook sites compiled in.
+KERNEL_VARIANTS = ("plain", "deadline", "stop", "monitored")
+
+
+def _render_fast(name: str, has_stop: bool, has_deadline: bool) -> str:
+    """Render one unmonitored run-loop variant as Python source.
+
+    Lines prefixed ``?S`` / ``?D`` are kept only when the variant handles a
+    stop event / a deadline; the prefix is stripped.  The emitted function
+    has no conditional hook sites at all -- stop/deadline checks exist only
+    in the variants that need them (free-when-off, enforced structurally).
+    """
+    template = """\
+def {name}(sim, stop_event, deadline, limit):
+    buckets = sim._buckets
+    overflow = sim._overflow
+    pool = sim._timeout_pool
+    pop = heappop
+    pooled_type = _PooledTimeout
+    entry_type = tuple
+    mask = _WHEEL_MASK
+    size = WHEEL_SIZE
+    one = 1
+    bits = _WHEEL_BITS
+    clears = _WHEEL_CLEARS
+    low_masks = _LOW_MASKS
+    llen = len
+    steps = 0
+    pending1 = []
+    p1_append = pending1.append
+    try:
+        while True:
+?S          if stop_event._fired:
+?S              return stop_event.value
+            now = sim.now
+            if buckets[now & mask]:
+                when = now
+            else:
+                occupied = sim._occupied
+                if occupied and buckets[(now + 1) & mask]:
+                    when = now + 1
+                elif occupied:
+                    index = now & mask
+                    ahead = occupied >> index
+                    if ahead:
+                        when = now + (ahead & -ahead).bit_length() - 1
+                    else:
+                        low = occupied & low_masks[index]
+                        when = (
+                            now + size - index + (low & -low).bit_length() - 1
+                        )
+                else:
+                    when = None
+            if overflow:
+                over_when = overflow[0][0]
+                if when is None or over_when < when:
+                    when = over_when
+            elif when is None:
+                break
+?D          if when >= deadline:
+?D              sim.now = deadline
+?D              return None
+            sim.now = when
+            while overflow and overflow[0][0] == when:
+?S              if stop_event._fired:
+?S                  return stop_event.value
+                event = pop(overflow)[2]
+                event._fire()
+                if type(event) is pooled_type:
+                    pool.append(event)
+                steps += 1
+                if steps > limit:
+                    raise SimulationError("event limit exceeded (livelock?)")
+            index = when & mask
+            bucket = buckets[index]
+            if not bucket:
+                continue
+            next_index = (when + 1) & mask
+            next_bucket = buckets[next_index]
+            next_bit = bits[next_index]
+            fired = 0
+            appended = 0
+            add_bits = 0
+            limit_left = limit - steps
+            try:
+                # Iterating the live list: a CPython list iterator picks up
+                # entries appended during iteration, so zero-delay events
+                # scheduled by a callback still fire this same cycle --
+                # without a len() call or subscript per event.  ``steps`` is
+                # folded in once per bucket (finally); the per-event limit
+                # guard compares ``fired`` against the hoisted remainder.
+                for entry in bucket:
+?S                  if stop_event._fired:
+?S                      return stop_event.value
+                    fired += 1
+                    if type(entry) is entry_type:
+                        process = entry[0]
+                        if process._target is not entry or process._interrupts:
+                            # Stale entry, queued interrupt, or finished
+                            # process: the generic resume sorts them out
+                            # with heap-identical semantics.
+                            if pending1:
+                                next_bucket.extend(pending1)
+                                add_bits |= next_bit
+                                appended += llen(pending1)
+                                del pending1[:]
+                            process._resume(entry)
+                        else:
+                            try:
+                                nxt = process._send(None)
+                            except StopIteration as stop:
+                                process._target = None
+                                process._triggered = True
+                                process._value = stop.value
+                                if pending1:
+                                    next_bucket.extend(pending1)
+                                    add_bits |= next_bit
+                                    appended += llen(pending1)
+                                    del pending1[:]
+                                sim._schedule(process)
+                            except Interrupt:
+                                raise SimulationError(
+                                    "process %r did not handle an Interrupt"
+                                    % process.name
+                                )
+                            except BaseException as error:
+                                process._target = None
+                                process._triggered = True
+                                process._exception = error
+                                if pending1:
+                                    next_bucket.extend(pending1)
+                                    add_bits |= next_bit
+                                    appended += llen(pending1)
+                                    del pending1[:]
+                                sim._schedule(process)
+                            else:
+                                if nxt is one:
+                                    p1_append(entry)
+                                elif type(nxt) is int and 0 <= nxt < size:
+                                    j = (when + nxt) & mask
+                                    buckets[j].append(entry)
+                                    add_bits |= bits[j]
+                                    appended += 1
+                                else:
+                                    if pending1:
+                                        next_bucket.extend(pending1)
+                                        add_bits |= next_bit
+                                        appended += llen(pending1)
+                                        del pending1[:]
+                                    _resume_slow(sim, process, nxt)
+                    else:
+                        if pending1:
+                            next_bucket.extend(pending1)
+                            add_bits |= next_bit
+                            appended += llen(pending1)
+                            del pending1[:]
+                        if type(entry) is pooled_type:
+                            entry._fired = True
+                            callbacks = entry.callbacks
+                            callback = callbacks[0]
+                            callbacks.clear()
+                            callback(entry)
+                            pool.append(entry)
+                        else:
+                            entry._fire()
+                    if fired > limit_left:
+                        raise SimulationError("event limit exceeded (livelock?)")
+            finally:
+                steps += fired
+                if pending1:
+                    next_bucket.extend(pending1)
+                    add_bits |= next_bit
+                    appended += llen(pending1)
+                    del pending1[:]
+                if fired:
+                    sim._wheel_count += appended - fired
+                    del bucket[:fired]
+                occupied = sim._occupied | add_bits
+                if not bucket:
+                    occupied &= clears[index]
+                sim._occupied = occupied
+?S      if stop_event._fired:
+?S          return stop_event.value
+?S      raise SimulationError(
+?S          "simulation ran to quiescence before the awaited event fired"
+?S      )
+?D      sim.now = deadline
+        return None
+    finally:
+        sim.events_processed += steps
+        _kernel._TOTAL_EVENTS = _kernel._TOTAL_EVENTS + steps
+"""
+    lines = []
+    for line in template.format(name=name).splitlines():
+        if line.startswith("?S"):
+            if not has_stop:
+                continue
+            line = "  " + line[2:]
+        elif line.startswith("?D"):
+            if not has_deadline:
+                continue
+            line = "  " + line[2:]
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def _render_monitored(name: str) -> str:
+    """Render the monitored variant: peak-pending-depth tracking per fire.
+
+    Depth is read before each fire as ``wheel_count - fired + overflow``
+    (overflow fires read ``wheel_count + overflow``), matching the wheel
+    backend's monitored loop exactly, so the reported peak queue depth is
+    identical across backends.  Bookkeeping is per-event (no delay-1
+    batching) so the live ``_wheel_count`` stays truthful mid-drain.
+    """
+    return '''\
+def {name}(sim, stop_event, deadline, limit):
+    buckets = sim._buckets
+    overflow = sim._overflow
+    pool = sim._timeout_pool
+    pop = heappop
+    pooled_type = _PooledTimeout
+    entry_type = tuple
+    mask = _WHEEL_MASK
+    size = WHEEL_SIZE
+    bits = _WHEEL_BITS
+    clears = _WHEEL_CLEARS
+    low_masks = _LOW_MASKS
+    peak = sim.peak_queue_depth
+    steps = 0
+    try:
+        while True:
+            if stop_event is not None and stop_event._fired:
+                return stop_event.value
+            now = sim.now
+            if buckets[now & mask]:
+                when = now
+            else:
+                occupied = sim._occupied
+                if occupied and buckets[(now + 1) & mask]:
+                    when = now + 1
+                elif occupied:
+                    index = now & mask
+                    ahead = occupied >> index
+                    if ahead:
+                        when = now + (ahead & -ahead).bit_length() - 1
+                    else:
+                        low = occupied & low_masks[index]
+                        when = (
+                            now + size - index + (low & -low).bit_length() - 1
+                        )
+                else:
+                    when = None
+            if overflow:
+                over_when = overflow[0][0]
+                if when is None or over_when < when:
+                    when = over_when
+            elif when is None:
+                break
+            if deadline is not None and when >= deadline:
+                sim.now = deadline
+                return None
+            sim.now = when
+            while overflow and overflow[0][0] == when:
+                if stop_event is not None and stop_event._fired:
+                    return stop_event.value
+                depth = sim._wheel_count + len(overflow)
+                if depth > peak:
+                    peak = depth
+                event = pop(overflow)[2]
+                event._fire()
+                if type(event) is pooled_type:
+                    pool.append(event)
+                steps += 1
+                if steps > limit:
+                    raise SimulationError("event limit exceeded (livelock?)")
+            index = when & mask
+            bucket = buckets[index]
+            if not bucket:
+                continue
+            fired = 0
+            try:
+                while fired < len(bucket):
+                    if stop_event is not None and stop_event._fired:
+                        return stop_event.value
+                    depth = sim._wheel_count - fired + len(overflow)
+                    if depth > peak:
+                        peak = depth
+                    entry = bucket[fired]
+                    fired += 1
+                    steps += 1
+                    if type(entry) is entry_type:
+                        process = entry[0]
+                        if process._target is not entry or process._interrupts:
+                            process._resume(entry)
+                        else:
+                            try:
+                                nxt = process._send(None)
+                            except StopIteration as stop:
+                                process._target = None
+                                process._triggered = True
+                                process._value = stop.value
+                                sim._schedule(process)
+                            except Interrupt:
+                                raise SimulationError(
+                                    "process %r did not handle an Interrupt"
+                                    % process.name
+                                )
+                            except BaseException as error:
+                                process._target = None
+                                process._triggered = True
+                                process._exception = error
+                                sim._schedule(process)
+                            else:
+                                if type(nxt) is int and 0 <= nxt < size:
+                                    j = (when + nxt) & mask
+                                    buckets[j].append(entry)
+                                    sim._occupied |= bits[j]
+                                    sim._wheel_count += 1
+                                else:
+                                    _resume_slow(sim, process, nxt)
+                    else:
+                        event = entry
+                        event._fire()
+                        if type(event) is pooled_type:
+                            pool.append(event)
+                    if steps > limit:
+                        raise SimulationError("event limit exceeded (livelock?)")
+            finally:
+                if fired:
+                    sim._wheel_count -= fired
+                    del bucket[:fired]
+                if not bucket:
+                    sim._occupied &= clears[index]
+        if stop_event is not None:
+            if stop_event._fired:
+                return stop_event.value
+            raise SimulationError(
+                "simulation ran to quiescence before the awaited event fired"
+            )
+        if deadline is not None:
+            sim.now = deadline
+        return None
+    finally:
+        if peak > sim.peak_queue_depth:
+            sim.peak_queue_depth = peak
+        sim.events_processed += steps
+        _kernel._TOTAL_EVENTS = _kernel._TOTAL_EVENTS + steps
+'''.format(name=name)
+
+
+def _resume_slow(sim: "CompiledSimulator", process, nxt) -> None:
+    """Off-fast-path yields from a directly-resumed process.
+
+    Replicates the tail of ``Process._resume`` for yields the drain loop
+    does not inline: overflow-horizon ints (pooled proxy on the overflow
+    heap, exactly like the wheel backend), bool/int subclasses (general
+    ``Timeout``), events, and the error cases.
+    """
+    process._target = None
+    if type(nxt) is int:
+        if nxt < 0:
+            raise SimulationError("negative timeout delay: %r" % (nxt,))
+        pool = sim._timeout_pool
+        if pool:
+            proxy = pool.pop()
+            proxy._value = None
+            proxy._exception = None
+            proxy._fired = False
+        else:
+            proxy = _PooledTimeout(sim)
+            proxy._triggered = True
+        proxy.callbacks.append(process._resume)
+        process._target = proxy
+        sim._overflow_seq = seq = sim._overflow_seq + 1
+        heappush(sim._overflow, (sim.now + nxt, seq, proxy))
+        return
+    if isinstance(nxt, int):
+        nxt = Timeout(sim, int(nxt))
+    if not isinstance(nxt, Event):
+        raise SimulationError(
+            "process %r yielded %r (expected Event or int)"
+            % (process.name, nxt)
+        )
+    process._target = nxt
+    nxt.add_callback(process._resume)
+
+
+def _variant_source(variant: str) -> str:
+    name = "_compiled_run_%s" % variant
+    if variant == "plain":
+        return _render_fast(name, has_stop=False, has_deadline=False)
+    if variant == "deadline":
+        return _render_fast(name, has_stop=False, has_deadline=True)
+    if variant == "stop":
+        return _render_fast(name, has_stop=True, has_deadline=False)
+    if variant == "monitored":
+        return _render_monitored(name)
+    raise KeyError("unknown kernel variant %r" % variant)
+
+
+def generated_kernel_sources() -> Dict[str, str]:
+    """Rendered source of every run-loop variant (``repro compile -o``)."""
+    return {variant: _variant_source(variant) for variant in KERNEL_VARIANTS}
+
+
+# Compiled variants, built on first use.  The exec namespace carries the
+# kernel internals the generated code binds locally.
+_VARIANTS: Dict[str, Any] = {}
+
+
+def _compile_variant(variant: str):
+    function = _VARIANTS.get(variant)
+    if function is None:
+        source = _variant_source(variant)
+        namespace = {
+            "heappop": heappop,
+            "_PooledTimeout": _PooledTimeout,
+            "_WHEEL_MASK": _WHEEL_MASK,
+            "WHEEL_SIZE": WHEEL_SIZE,
+            "_WHEEL_BITS": _WHEEL_BITS,
+            "_WHEEL_CLEARS": _WHEEL_CLEARS,
+            "_LOW_MASKS": _LOW_MASKS,
+            "SimulationError": SimulationError,
+            "Interrupt": Interrupt,
+            "_resume_slow": _resume_slow,
+            "_kernel": _kernel_mod,
+        }
+        code = compile(source, "<repro.sim.compiled:%s>" % variant, "exec")
+        exec(code, namespace)
+        function = namespace["_compiled_run_%s" % variant]
+        _VARIANTS[variant] = function
+    return function
+
+
+class CompiledSimulator(WheelSimulator):
+    """Timing-wheel backend with a generated run loop and direct entries.
+
+    Same data structures, deadline/stop-event/limit contract and event
+    accounting as :class:`~repro.sim.kernel.WheelSimulator`; see the module
+    docstring for what is generated and why firing order is preserved.
+    """
+
+    __slots__ = ()
+
+    kernel_name = "compiled"
+    _use_wheel = True
+    _use_direct = True
+
+    # -- event loop -----------------------------------------------------
+    def run(self, until: Optional[Any] = None, limit: int = 50_000_000) -> Any:
+        deadline: Optional[int] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = int(until)
+        if self.monitor_depth:
+            return _compile_variant("monitored")(self, stop_event, deadline, limit)
+        if stop_event is not None:
+            return _compile_variant("stop")(self, stop_event, None, limit)
+        if deadline is not None:
+            return _compile_variant("deadline")(self, None, deadline, limit)
+        return _compile_variant("plain")(self, None, None, limit)
+
+    # -- stepping -------------------------------------------------------
+    def step(self) -> None:
+        """Single-step with direct-entry awareness (run()-identical order)."""
+        when = self._next_cycle()
+        if when is None:
+            raise IndexError("step from an empty event schedule")
+        if self.monitor_depth:
+            depth = self._wheel_count + len(self._overflow)
+            if depth > self.peak_queue_depth:
+                self.peak_queue_depth = depth
+        overflow = self._overflow
+        if overflow and overflow[0][0] == when:
+            entry = heappop(overflow)[2]
+        else:
+            index = when & _WHEEL_MASK
+            bucket = self._buckets[index]
+            entry = bucket.pop(0)
+            self._wheel_count -= 1
+            if not bucket:
+                self._occupied &= _WHEEL_CLEARS[index]
+        self.now = when
+        if type(entry) is tuple:
+            self._fire_direct(entry)
+        else:
+            entry._fire()
+            if type(entry) is _PooledTimeout:
+                self._timeout_pool.append(entry)
+        self.events_processed += 1
+        _kernel_mod._TOTAL_EVENTS += 1
+
+    def _fire_direct(self, entry) -> None:
+        """Fire one direct entry outside the generated loop (step())."""
+        process = entry[0]
+        if process._target is not entry or process._interrupts:
+            process._resume(entry)
+            return
+        try:
+            nxt = process._send(None)
+        except StopIteration as stop:
+            process._target = None
+            process._triggered = True
+            process._value = stop.value
+            self._schedule(process)
+        except Interrupt:
+            raise SimulationError(
+                "process %r did not handle an Interrupt" % process.name
+            )
+        except BaseException as error:
+            process._target = None
+            process._triggered = True
+            process._exception = error
+            self._schedule(process)
+        else:
+            if type(nxt) is int and 0 <= nxt < WHEEL_SIZE:
+                index = (self.now + nxt) & _WHEEL_MASK
+                self._buckets[index].append(entry)
+                self._occupied |= _WHEEL_BITS[index]
+                self._wheel_count += 1
+                process._target = entry
+            else:
+                _resume_slow(self, process, nxt)

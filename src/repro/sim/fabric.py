@@ -43,7 +43,14 @@ from .kernel import Simulator
 from .memory import Memory, Sram, make_memory
 from .pe import MISS_GROUP, ProcessingElement
 
-__all__ = ["Device", "Machine", "build_machine", "CODE_FOOTPRINT_WORDS", "VAR_AREA_WORDS"]
+__all__ = [
+    "Device",
+    "Machine",
+    "MachineBuilder",
+    "build_machine",
+    "CODE_FOOTPRINT_WORDS",
+    "VAR_AREA_WORDS",
+]
 
 # Default per-PE code footprint reserved in its program memory (words).
 CODE_FOOTPRINT_WORDS = 2048
@@ -133,6 +140,11 @@ class Machine:
         # Protocol assertion monitor (repro.verify.monitors); None keeps
         # _occupy_path hook-free.  Set by repro.verify.attach_monitors.
         self._monitor = None
+        # Compiled-backend fabric specialization (repro.sim.compiled): when
+        # set, ``transaction``/``miss_traffic`` are shadowed by generated
+        # per-(master, device) dispatch installed as instance attributes.
+        self._specialized = False
+        self._specialized_source: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Observability
@@ -151,6 +163,7 @@ class Machine:
         simulation behaviour -- a traced run is bit-identical to an
         untraced one, just observable.
         """
+        self._despecialize()
         self._obs = obs
         self.sim.monitor_depth = True
         registry = obs.registry
@@ -182,6 +195,20 @@ class Machine:
         from ..verify.monitors import attach_monitors
 
         return attach_monitors(self, fail_fast=fail_fast)
+
+    def _despecialize(self) -> None:
+        """Remove compiled-backend specialized dispatch, if installed.
+
+        Every hook attach point (observability, protocol monitors, fault
+        injection) calls this first: a hooked machine must run the generic
+        instrumented ``transaction``/``miss_traffic`` paths.  The generated
+        dispatch lives in instance attributes, so dropping them restores
+        the class methods; a later re-specialization rebuilds from scratch.
+        """
+        self.__dict__.pop("transaction", None)
+        self.__dict__.pop("miss_traffic", None)
+        self._specialized = False
+        self._specialized_source = None
 
     def run_report(self, wall_seconds: float = 0.0, name: Optional[str] = None):
         """Snapshot this machine into a :class:`repro.obs.report.RunReport`."""
@@ -727,6 +754,119 @@ class Machine:
 # ----------------------------------------------------------------------
 
 
+class MachineBuilder:
+    """Single composition point for building a runnable :class:`Machine`.
+
+    Every way of configuring a machine -- scheduler backend, tracing,
+    arbiter-policy override, observability, protocol monitors, fault
+    injection -- goes through one fluent builder, so the cross-layer
+    ordering rules live in exactly one place:
+
+    * hooks are attached *after* elaboration (they wire into built
+      segments/bridges/FIFOs);
+    * compiled-backend fabric specialization runs *last* and only when no
+      hook was requested (a hooked machine keeps the generic instrumented
+      paths; see :mod:`repro.sim.compiled.specializer`).
+
+    Example::
+
+        machine = (
+            MachineBuilder(spec)
+            .with_kernel("compiled")
+            .with_observability(obs)
+            .build()
+        )
+
+    :func:`build_machine` remains as a thin keyword-argument wrapper.
+    """
+
+    def __init__(self, spec: BusSystemSpec):
+        self.spec = spec
+        self._sim: Optional[Simulator] = None
+        self._kernel: Optional[str] = None
+        self._trace_hsregs = False
+        self._cpi = 0.4
+        self._arbiter_policy: Optional[str] = None
+        self._obs = None
+        self._monitors = False
+        self._monitor_fail_fast = True
+        self._fault_plan = None
+        self._fault_policy = None
+        self._specialize = True
+
+    # -- simulator selection ------------------------------------------------
+    def with_sim(self, sim: Simulator) -> "MachineBuilder":
+        """Use an existing simulator (mutually exclusive with with_kernel)."""
+        self._sim = sim
+        return self
+
+    def with_kernel(self, kernel: Optional[str]) -> "MachineBuilder":
+        """Pick the scheduler backend (``heap``/``wheel``/``compiled``)."""
+        self._kernel = kernel
+        return self
+
+    # -- elaboration options ------------------------------------------------
+    def with_trace_hsregs(self, enabled: bool = True) -> "MachineBuilder":
+        """Value-change traces in all handshake register blocks (Figs 11-13)."""
+        self._trace_hsregs = enabled
+        return self
+
+    def with_cycles_per_instruction(self, cpi: float) -> "MachineBuilder":
+        self._cpi = cpi
+        return self
+
+    def with_arbiter_policy(self, policy: Optional[str]) -> "MachineBuilder":
+        """Override every bus's arbiter policy (arbitration ablation)."""
+        self._arbiter_policy = policy
+        return self
+
+    # -- post-elaboration hooks ---------------------------------------------
+    def with_observability(self, obs) -> "MachineBuilder":
+        """Attach a :class:`repro.obs.Observability` after elaboration."""
+        self._obs = obs
+        return self
+
+    def with_monitors(self, fail_fast: bool = True) -> "MachineBuilder":
+        """Attach runtime protocol assertion monitors after elaboration."""
+        self._monitors = True
+        self._monitor_fail_fast = fail_fast
+        return self
+
+    def with_faults(self, plan, policy=None) -> "MachineBuilder":
+        """Install a fault plan (:func:`repro.faults.install_faults`)."""
+        self._fault_plan = plan
+        self._fault_policy = policy
+        return self
+
+    def without_specialization(self) -> "MachineBuilder":
+        """Keep the generic fabric paths even on the compiled backend."""
+        self._specialize = False
+        return self
+
+    # -- build ----------------------------------------------------------------
+    def build(self) -> Machine:
+        spec = self.spec
+        spec.validate()
+        sim = self._sim if self._sim is not None else Simulator(kernel=self._kernel)
+        machine = Machine(sim, spec)
+        _Builder(machine, self._trace_hsregs, self._cpi, self._arbiter_policy).build()
+        if self._obs is not None:
+            machine.attach_observability(self._obs)
+        if self._monitors:
+            machine.attach_monitors(fail_fast=self._monitor_fail_fast)
+        if self._fault_plan is not None:
+            from ..faults.injector import install_faults
+
+            install_faults(machine, self._fault_plan, self._fault_policy)
+        if self._specialize and sim.kernel_name == "compiled":
+            from .compiled.specializer import specialize_machine
+
+            # No-op when any hook was attached above: specialization
+            # requires the hook-free fast paths.
+            specialize_machine(machine)
+        return machine
+
+
 def build_machine(
     spec: BusSystemSpec,
     sim: Optional[Simulator] = None,
@@ -737,19 +877,25 @@ def build_machine(
 ) -> Machine:
     """Build the simulation machine matching ``spec``.
 
+    Thin keyword wrapper over :class:`MachineBuilder` (the composition
+    point for kernels, tracers, monitors and fault injectors).
     ``arbiter_policy`` overrides every bus's arbiter policy (for the
     arbitration-policy ablation); ``trace_hsregs`` turns on value-change
     traces in all handshake register blocks (used to reproduce the state
     diagrams of Figures 11-13); ``kernel`` picks the scheduler backend
-    (``"heap"``/``"wheel"``, default :func:`repro.sim.kernel.default_kernel`)
-    when no ``sim`` is supplied.
+    (``"heap"``/``"wheel"``/``"compiled"``, default
+    :func:`repro.sim.kernel.default_kernel`) when no ``sim`` is supplied.
     """
-    spec.validate()
-    sim = sim or Simulator(kernel=kernel)
-    machine = Machine(sim, spec)
-    builder = _Builder(machine, trace_hsregs, cycles_per_instruction, arbiter_policy)
-    builder.build()
-    return machine
+    builder = MachineBuilder(spec)
+    if sim is not None:
+        builder.with_sim(sim)
+    return (
+        builder.with_kernel(kernel)
+        .with_trace_hsregs(trace_hsregs)
+        .with_cycles_per_instruction(cycles_per_instruction)
+        .with_arbiter_policy(arbiter_policy)
+        .build()
+    )
 
 
 class _Builder:

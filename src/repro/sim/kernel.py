@@ -30,7 +30,7 @@ so reuse is invisible to simulation semantics (same firing cycle, same
 tie-break order).  ``run`` additionally inlines the pending-event pop and
 binds the scheduler operations locally.
 
-Scheduler backends.  Two interchangeable event-queue implementations:
+Scheduler backends.  Three interchangeable event-queue implementations:
 
 * ``heap`` (:class:`Simulator`) -- a binary heap of ``(cycle, seq, event)``
   tuples; the reference backend.
@@ -39,10 +39,16 @@ Scheduler backends.  Two interchangeable event-queue implementations:
   traffic, an occupancy bitmask so idle stretches fast-forward straight to
   the next populated bucket, and an overflow heap for events more than
   ``WHEEL_SIZE`` cycles ahead.
+* ``compiled`` (:class:`repro.sim.compiled.CompiledSimulator`) -- the wheel
+  structures driven by a run loop generated with ``compile()``/``exec``;
+  an in-horizon ``yield <int>`` is served by a *direct entry* -- a 1-tuple
+  ``(process,)`` resumed straight through ``generator.send`` in the drain
+  loop, with no proxy event, callback list, or allocation on the hot path
+  (see ``_use_direct`` in :meth:`Process._resume`).
 
 ``Simulator(kernel=...)`` selects a backend explicitly; with no argument
 the :data:`KERNEL_ENV` environment variable decides (default ``heap``).
-Both backends fire same-cycle events in exactly the same order (see
+All backends fire same-cycle events in exactly the same order (see
 :class:`WheelSimulator` for the argument), so simulations are bit-identical
 across backends -- ``tests/test_scheduler_parity.py`` enforces this with
 differential random workloads.
@@ -74,7 +80,7 @@ __all__ = [
 ]
 
 # Scheduler backend selection -----------------------------------------------
-KERNEL_BACKENDS = ("heap", "wheel")
+KERNEL_BACKENDS = ("heap", "wheel", "compiled")
 KERNEL_ENV = "REPRO_SIM_KERNEL"
 
 # Timing-wheel geometry: one bucket per cycle, power of two so the bucket
@@ -265,7 +271,7 @@ class _PooledTimeout(Event):
 class Process(Event):
     """A running generator; fires (as an event) when the generator returns."""
 
-    __slots__ = ("generator", "name", "_target", "_interrupts")
+    __slots__ = ("generator", "name", "_send", "_target", "_interrupts")
 
     def __init__(
         self,
@@ -277,8 +283,14 @@ class Process(Event):
             raise SimulationError("process body must be a generator")
         super().__init__(sim)
         self.generator = generator
+        # Bound once: the compiled backend's drain loop resumes processes
+        # through this slot without re-binding generator.send per event.
+        self._send = generator.send
         self.name = name or getattr(generator, "__name__", "process")
-        self._target: Optional[Event] = None
+        # While waiting: the Event being waited on, or (compiled backend)
+        # the direct-entry 1-tuple sitting in a wheel bucket.  Identity
+        # against the firing trigger is the staleness check.
+        self._target: Optional[Any] = None
         self._interrupts: Deque[Interrupt] = deque()
         sim._post_callback(self._resume)
 
@@ -335,6 +347,20 @@ class Process(Event):
                     "negative timeout delay: %r" % (next_event,)
                 )
             sim = self.sim
+            if sim._use_direct and next_event < WHEEL_SIZE:
+                # Compiled backend, in-horizon delay: schedule a *direct
+                # entry* -- a 1-tuple the compiled drain loop resumes via
+                # generator.send with no proxy event in between.  The tuple
+                # itself is the staleness token: an interrupt wakeup clears
+                # _target, and the drained entry is then skipped (counting
+                # as one event, exactly like a stale pooled proxy).
+                entry = (self,)
+                self._target = entry
+                index = (sim.now + next_event) & _WHEEL_MASK
+                sim._buckets[index].append(entry)
+                sim._occupied |= _WHEEL_BITS[index]
+                sim._wheel_count += 1
+                return
             pool = sim._timeout_pool
             if pool:
                 proxy = pool.pop()
@@ -439,16 +465,25 @@ class Simulator:
         "peak_queue_depth",
     )
 
-    # Backend identity; WheelSimulator overrides both.  _use_wheel is the
-    # flag Process._resume branches on in its int-yield fast path.
+    # Backend identity; subclasses override.  _use_wheel and _use_direct are
+    # the flags Process._resume branches on in its int-yield fast path
+    # (_use_direct additionally selects direct-entry scheduling -- see the
+    # compiled backend).
     kernel_name = "heap"
     _use_wheel = False
+    _use_direct = False
 
     def __new__(cls, kernel: Optional[str] = None):
         if cls is Simulator:
             name = kernel if kernel is not None else default_kernel()
             if name == "wheel":
                 return object.__new__(WheelSimulator)
+            if name == "compiled":
+                # Lazy import: the compiled package renders and compiles its
+                # run-loop sources on first use; heap/wheel users never pay.
+                from .compiled import CompiledSimulator
+
+                return object.__new__(CompiledSimulator)
             if name not in KERNEL_BACKENDS:
                 raise SimulationError(
                     "unknown scheduler backend %r (expected one of %s)"

@@ -326,6 +326,9 @@ class ProtocolMonitor:
 
 def attach_monitors(machine, fail_fast: bool = True) -> ProtocolMonitor:
     """Attach one :class:`ProtocolMonitor` to every model of ``machine``."""
+    # Monitored transfers must run the generic instrumented paths, not the
+    # compiled backend's specialized (hook-free) dispatch.
+    machine._despecialize()
     monitor = ProtocolMonitor(fail_fast=fail_fast)
     for segment in machine.segments.values():
         monitor.watch_segment(segment)

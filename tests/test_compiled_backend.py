@@ -1,0 +1,298 @@
+"""Gen-3 compiled backend: generated kernel variants + fabric specializer.
+
+Observational parity with the heap backend is pinned three ways in
+``test_scheduler_parity.py`` (random workloads) and ``test_machine_builder.py``
+(hook combinations); this file covers what is *specific* to the compiled
+backend: the generated sources themselves, the direct-entry representation,
+the specializer's eligibility rules, install/remove life cycle, and the
+``repro compile`` inspection verb.
+"""
+
+import os
+
+import pytest
+
+from repro.apps.ofdm import OfdmParameters, run_ofdm
+from repro.options import presets
+from repro.sim.compiled import (
+    CompiledSimulator,
+    KERNEL_VARIANTS,
+    generated_kernel_sources,
+)
+from repro.sim.compiled.specializer import (
+    eligible_pairs,
+    specialize_machine,
+    specialized_fabric_source,
+)
+from repro.sim.fabric import MachineBuilder, build_machine
+from repro.sim.kernel import WHEEL_SIZE, Interrupt, SimulationError, Simulator
+
+
+# ---------------------------------------------------------------------------
+# Generated kernel variants
+# ---------------------------------------------------------------------------
+
+
+class TestGeneratedKernelSources:
+    def test_every_variant_rendered(self):
+        sources = generated_kernel_sources()
+        assert sorted(sources) == sorted(KERNEL_VARIANTS)
+        assert set(KERNEL_VARIANTS) == {"plain", "deadline", "stop", "monitored"}
+
+    def test_every_variant_compiles(self):
+        for variant, source in generated_kernel_sources().items():
+            compile(source, "<kernel:%s>" % variant, "exec")
+
+    def test_variants_specialize_their_checks(self):
+        # Every variant shares the uniform (sim, stop_event, deadline,
+        # limit) signature; what differs is the *body*.  The plain variant
+        # carries neither deadline nor stop-event checks and no per-event
+        # depth bookkeeping -- that is the whole point of generating one
+        # loop per configuration.
+        def body(variant):
+            lines = generated_kernel_sources()[variant].splitlines()
+            start = next(
+                index
+                for index, line in enumerate(lines)
+                if line.startswith("def _compiled_run")
+            )
+            return "\n".join(lines[start + 1 :])
+
+        assert "deadline" not in body("plain")
+        assert "stop_event" not in body("plain")
+        assert "deadline" in body("deadline")
+        assert "stop_event" in body("stop")
+        assert "stop_event" not in body("deadline")
+        assert "deadline" not in body("stop")
+        # Only the monitored variant pays for queue-depth tracking.
+        assert "peak" in body("monitored")
+        for variant in ("plain", "deadline", "stop"):
+            assert "peak" not in body(variant)
+
+    def test_no_hook_call_sites_in_fast_variants(self):
+        # Free-when-off becomes absent-when-off: the generated fast loops
+        # contain no tracer/obs call sites at all.
+        for variant in ("plain", "deadline", "stop"):
+            source = generated_kernel_sources()[variant]
+            assert "tracer" not in source
+            assert "obs" not in source
+
+
+class TestCompiledSimulatorSelection:
+    def test_kernel_kwarg(self):
+        sim = Simulator(kernel="compiled")
+        assert type(sim) is CompiledSimulator
+        assert sim.kernel_name == "compiled"
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "compiled")
+        assert type(Simulator()) is CompiledSimulator
+
+    def test_listed_in_backends(self):
+        from repro.sim.kernel import KERNEL_BACKENDS
+
+        assert "compiled" in KERNEL_BACKENDS
+
+
+class TestDirectEntries:
+    def test_in_horizon_int_yield_uses_bare_tuple(self):
+        sim = Simulator(kernel="compiled")
+
+        def worker():
+            yield 5
+            yield 5
+
+        process = sim.process(worker())
+        sim.step()  # fires the spawn event; reschedules via direct entry
+        bucket = sim._buckets[5 & (WHEEL_SIZE - 1)]
+        assert any(
+            type(entry) is tuple and len(entry) == 1 and entry[0] is process
+            for entry in bucket
+        )
+        assert process._target is not None
+        sim.run()
+        assert sim.now == 10
+
+    def test_stale_direct_entry_still_delivers_interrupt(self):
+        """An interrupt cancels the pending direct entry (stale), but a
+        *second* interrupt queued before the stale entry drains must be
+        delivered when it fires -- the heap does, so the compiled drain
+        must delegate stale entries instead of skipping them."""
+        sim = Simulator(kernel="compiled")
+        caught = []
+
+        def victim():
+            for _ in range(3):
+                try:
+                    yield 10
+                except Interrupt as exc:
+                    caught.append((sim.now, str(exc.cause)))
+
+        target = sim.process(victim())
+
+        def attacker():
+            yield 2
+            target.interrupt("a")
+            target.interrupt("b")
+
+        sim.process(attacker())
+        sim.run()
+        assert caught[:2] == [(2, "a"), (2, "b")]
+
+    def test_event_limit_raises(self):
+        sim = Simulator(kernel="compiled")
+
+        def livelock():
+            while True:
+                yield 1
+
+        sim.process(livelock())
+        with pytest.raises(SimulationError):
+            sim.run(limit=100)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator(kernel="compiled")
+
+        def bad():
+            yield -3
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_non_event_yield_rejected(self):
+        sim = Simulator(kernel="compiled")
+
+        def bad():
+            yield "soon"
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+# ---------------------------------------------------------------------------
+# Fabric specializer
+# ---------------------------------------------------------------------------
+
+
+def _machine(preset="GBAVIII", pes=4, kernel="compiled"):
+    return build_machine(presets.preset(preset, pes), kernel=kernel)
+
+
+class TestEligibility:
+    def test_memory_and_hsregs_only(self):
+        machine = _machine()
+        kinds = {device.kind for _pe, device, _seg in eligible_pairs(machine)}
+        assert kinds <= {"memory", "hsregs"}
+
+    def test_every_preset_has_pairs(self):
+        for preset in sorted(presets.PRESETS):
+            machine = _machine(preset)
+            assert machine._specialized, preset
+            pairs = list(eligible_pairs(machine))
+            assert pairs, "no eligible pairs on %s" % preset
+
+    def test_traced_segment_is_ineligible(self):
+        from repro.obs import Observability
+
+        machine = _machine()
+        machine.attach_observability(Observability())
+        assert list(eligible_pairs(machine)) == []
+
+
+class TestSpecializeLifecycle:
+    def test_source_is_deterministic(self):
+        source_a, entries_a = specialized_fabric_source(_machine())
+        source_b, entries_b = specialized_fabric_source(_machine())
+        assert source_a == source_b
+        assert [name for name, *_ in entries_a] == [name for name, *_ in entries_b]
+
+    def test_source_compiles_standalone(self):
+        source, entries = specialized_fabric_source(_machine())
+        assert entries
+        compile(source, "<fabric>", "exec")
+
+    def test_install_is_idempotent(self):
+        machine = _machine()
+        assert machine._specialized
+        dispatch = machine.__dict__["transaction"]
+        assert specialize_machine(machine)  # second call: no-op, still True
+        assert machine.__dict__["transaction"] is dispatch
+
+    def test_heap_machine_never_specializes(self):
+        # The builder gates specialization on the compiled kernel; a heap
+        # build keeps the generic class-level dispatch.
+        machine = _machine(kernel="heap")
+        assert not machine._specialized
+        assert "transaction" not in machine.__dict__
+
+    def test_despecialize_restores_class_methods(self):
+        machine = _machine()
+        assert "transaction" in machine.__dict__
+        machine._despecialize()
+        assert "transaction" not in machine.__dict__
+        assert "miss_traffic" not in machine.__dict__
+        assert not machine._specialized
+        # The class-level generic path still works after removal.
+        assert machine.transaction.__self__ is machine
+
+    def test_attach_monitors_despecializes(self):
+        machine = _machine()
+        machine.attach_monitors()
+        assert not machine._specialized
+
+    def test_install_faults_despecializes(self):
+        from repro.faults import SMOKE_SCENARIO, compile_plan, install_faults
+
+        machine = _machine()
+        plan = compile_plan(machine, SMOKE_SCENARIO, seed=1)
+        install_faults(machine, plan)
+        assert not machine._specialized
+
+
+class TestSpecializedParity:
+    @pytest.mark.parametrize("preset,style", [("GBAVIII", "FPA"), ("GBAVII", "PPA")])
+    def test_specialized_matches_generic(self, preset, style):
+        """Specialized dispatch is bit-identical to the generic fabric path
+        on the same compiled kernel (GBAVII adds DMA masters, which fall
+        through the jump table to the generic path)."""
+
+        def run(specialize):
+            builder = MachineBuilder(presets.preset(preset, 4)).with_kernel("compiled")
+            if not specialize:
+                builder.without_specialization()
+            machine = builder.build()
+            assert machine._specialized == specialize
+            result = run_ofdm(machine, style, OfdmParameters(packets=1))
+            return result.cycles, result.throughput_mbps, vars(
+                machine.run_report(name="parity")
+            )
+
+        assert run(True) == run(False)
+
+
+# ---------------------------------------------------------------------------
+# repro compile verb
+# ---------------------------------------------------------------------------
+
+
+class TestCompileVerb:
+    def test_dumps_kernel_and_fabric_sources(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "dump")
+        assert main(["compile", "--preset", "GBAVIII", "--pes", "4", "-o", out]) == 0
+        files = sorted(os.listdir(out))
+        assert files == [
+            "fabric_gbaviii.py",
+            "kernel_deadline.py",
+            "kernel_monitored.py",
+            "kernel_plain.py",
+            "kernel_stop.py",
+        ]
+        for name in files:
+            with open(os.path.join(out, name)) as handle:
+                compile(handle.read(), name, "exec")
+        captured = capsys.readouterr().out
+        assert "specialized (master, device) pair(s)" in captured

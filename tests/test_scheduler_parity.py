@@ -1,19 +1,25 @@
-"""Differential tests: heap vs timing-wheel scheduler backends.
+"""Differential tests: heap vs timing-wheel vs compiled scheduler backends.
 
-The wheel backend (``repro.sim.kernel.WheelSimulator``) must be
+The wheel backend (``repro.sim.kernel.WheelSimulator``) and the gen-3
+compiled backend (``repro.sim.compiled.CompiledSimulator``) must be
 observationally identical to the heap backend: same event firing order,
 same process wake order, same final clock, same event accounting.  These
-tests execute the *same* workload on both backends and compare execution
-logs, concentrating on the places where bucket draining could plausibly
-diverge from the heap's ``(when, seq)`` order:
+tests execute the *same* workload on every backend and compare execution
+logs, concentrating on the places where bucket draining -- and the
+compiled backend's direct entries (bare ``(process,)`` tuples with no
+proxy event) -- could plausibly diverge from the heap's ``(when, seq)``
+order:
 
 * same-cycle tie-breaks between events scheduled through different paths
   (int fast path, ``timeout()``, composite re-arms, interrupts);
 * the ``WHEEL_SIZE`` boundary, where a delay moves between the wheel and
-  the overflow heap;
+  the overflow heap (and a compiled direct entry falls back to a proxy);
 * overflow events landing on the same cycle as bucket events (the
   overflow-drains-first rule);
-* ``Interrupt`` delivered while the victim waits on a pooled timeout;
+* ``Interrupt`` delivered while the victim waits on a pooled timeout (for
+  the compiled backend: a *stale direct entry* that must still deliver a
+  queued interrupt when it drains);
+* request withdrawal via ``Arbiter.cancel`` mid-contention;
 * ``run(until=...)`` deadline splits mid-stream.
 """
 
@@ -131,17 +137,21 @@ class TestRandomWorkloadParity:
     @pytest.mark.parametrize("seed", range(8))
     def test_logs_identical(self, seed):
         heap = _run_backend("heap", seed)
-        wheel = _run_backend("wheel", seed)
-        assert heap[0] == wheel[0], "wake order diverged for seed %d" % seed
-        assert heap[1] == wheel[1]  # final clock
-        assert heap[2] == wheel[2]  # events_processed
+        for kernel in BACKENDS[1:]:
+            other = _run_backend(kernel, seed)
+            assert heap[0] == other[0], (
+                "wake order diverged for seed %d on %s" % (seed, kernel)
+            )
+            assert heap[1] == other[1]  # final clock
+            assert heap[2] == other[2]  # events_processed
 
+    @pytest.mark.parametrize("kernel", ["wheel", "compiled"])
     @pytest.mark.parametrize("seed", range(4))
-    def test_deadline_split_identical(self, seed):
+    def test_deadline_split_identical(self, seed, kernel):
         """Stopping at a deadline and resuming must not perturb the order."""
         whole = _run_backend("heap", seed)
 
-        sim = Simulator(kernel="wheel")
+        sim = Simulator(kernel=kernel)
         log = []
         _random_workload(sim, log, seed)
         sim.run(until=40)
@@ -183,7 +193,9 @@ class TestSameCycleTieBreak:
             sim.run()
             return order
 
-        assert run("heap") == run("wheel")
+        reference = run("heap")
+        for kernel in BACKENDS[1:]:
+            assert run(kernel) == reference, kernel
 
     def test_overflow_meets_bucket_on_same_cycle(self):
         """An event scheduled far ahead (overflow heap) fires before events
@@ -214,7 +226,8 @@ class TestSameCycleTieBreak:
 
         heap_order = run("heap")
         assert heap_order == ["overflow-first", "overflow-third", "bucket-second"]
-        assert run("wheel") == heap_order
+        for kernel in BACKENDS[1:]:
+            assert run(kernel) == heap_order, kernel
 
     @pytest.mark.parametrize(
         "delay", [WHEEL_SIZE - 1, WHEEL_SIZE, WHEEL_SIZE + 1]
@@ -237,7 +250,9 @@ class TestSameCycleTieBreak:
             sim.run()
             return order, sim.now
 
-        assert run("heap") == run("wheel")
+        reference = run("heap")
+        for kernel in BACKENDS[1:]:
+            assert run(kernel) == reference, kernel
 
 
 class TestInterruptWhilePooled:
@@ -270,7 +285,9 @@ class TestInterruptWhilePooled:
             sim.run()
             return trace, sim.now
 
-        assert run("heap") == run("wheel")
+        reference = run("heap")
+        for kernel in BACKENDS[1:]:
+            assert run(kernel) == reference, kernel
 
     def test_pool_recycling_stays_consistent(self):
         """After interrupts, recycled proxies must still fire correctly."""
@@ -304,14 +321,17 @@ class TestInterruptWhilePooled:
             sim.run()
             return wakes, sim.now, sim.events_processed
 
-        assert run("heap") == run("wheel")
+        reference = run("heap")
+        for kernel in BACKENDS[1:]:
+            assert run(kernel) == reference, kernel
 
 
 class TestWheelRunSemantics:
-    """Heap-equivalent contract details on the wheel backend alone."""
+    """Heap-equivalent contract details on the wheel-family backends."""
 
-    def test_deadline_is_exclusive_and_fast_forwards(self):
-        sim = Simulator(kernel="wheel")
+    @pytest.mark.parametrize("kernel", ["wheel", "compiled"])
+    def test_deadline_is_exclusive_and_fast_forwards(self, kernel):
+        sim = Simulator(kernel=kernel)
         fired = []
 
         def worker():
@@ -325,10 +345,11 @@ class TestWheelRunSemantics:
         sim.run()
         assert fired == [10]
 
-    def test_idle_fast_forward_reaches_overflow(self):
+    @pytest.mark.parametrize("kernel", ["wheel", "compiled"])
+    def test_idle_fast_forward_reaches_overflow(self, kernel):
         """With an empty wheel, run(until=...) jumps straight to the
         deadline even when the only pending event sits in the overflow."""
-        sim = Simulator(kernel="wheel")
+        sim = Simulator(kernel=kernel)
         fired = []
 
         def worker():
@@ -360,11 +381,14 @@ class TestWheelRunSemantics:
                 sim.step()
             return seen, peeks, sim.now
 
-        assert drive("heap") == drive("wheel")
+        reference = drive("heap")
+        for kernel in BACKENDS[1:]:
+            assert drive(kernel) == reference, kernel
 
-    def test_step_on_empty_raises_index_error(self):
+    @pytest.mark.parametrize("kernel", ["wheel", "compiled"])
+    def test_step_on_empty_raises_index_error(self, kernel):
         with pytest.raises(IndexError):
-            Simulator(kernel="wheel").step()
+            Simulator(kernel=kernel).step()
 
     def test_zero_delay_during_drain_fires_same_cycle(self):
         """A callback that schedules a zero-delay event mid-drain must see
@@ -389,7 +413,103 @@ class TestWheelRunSemantics:
             sim.run()
             return order
 
-        assert run("heap") == run("wheel")
+        reference = run("heap")
+        for kernel in BACKENDS[1:]:
+            assert run(kernel) == reference, kernel
+
+
+class TestCancelParity:
+    def test_arbiter_cancel_mid_contention(self):
+        """A master that withdraws a queued request (``Arbiter.cancel``,
+        the fault layer's timeout-escalation path) must leave the same
+        grant sequence, wait accounting, and final clock on every
+        backend -- including the dispatch that skips the withdrawn entry."""
+        from repro.sim.arbiter import FCFSArbiter
+
+        def run(kernel):
+            sim = Simulator(kernel=kernel)
+            arbiter = FCFSArbiter(sim, "seg")
+            trace = []
+
+            def holder():
+                grant = arbiter.request("hold")
+                yield grant
+                trace.append((sim.now, "hold", "granted"))
+                yield 30
+                arbiter.release("hold")
+                trace.append((sim.now, "hold", "released"))
+
+            def quitter():
+                yield 2  # queue behind the holder...
+                grant = arbiter.request("quit")
+                yield 10  # ...then give up before the grant can land
+                arbiter.cancel("quit", grant)
+                trace.append((sim.now, "quit", "cancelled"))
+                yield 1
+
+            def patient(name, delay):
+                yield delay
+                grant = arbiter.request(name)
+                yield grant
+                trace.append((sim.now, name, "granted"))
+                yield 5
+                arbiter.release(name)
+                trace.append((sim.now, name, "released"))
+
+            sim.process(holder())
+            sim.process(quitter())
+            sim.process(patient("p1", 4))
+            sim.process(patient("p2", 6))
+            sim.run()
+            return trace, sim.now, arbiter.grants, arbiter.wait_cycles
+
+        reference = run("heap")
+        # The withdrawn master must never appear granted.
+        assert not any(m == "quit" and what == "granted" for _, m, what in reference[0])
+        for kernel in BACKENDS[1:]:
+            assert run(kernel) == reference, kernel
+
+    def test_cancel_after_grant_landed(self):
+        """Cancelling when the grant already landed releases the bus (the
+        giver-upper secretly owns it); the hand-off order must match."""
+        from repro.sim.arbiter import FCFSArbiter
+
+        def run(kernel):
+            sim = Simulator(kernel=kernel)
+            arbiter = FCFSArbiter(sim, "seg")
+            trace = []
+
+            def holder():
+                grant = arbiter.request("hold")
+                yield grant
+                yield 10
+                arbiter.release("hold")
+
+            def racer():
+                yield 1
+                grant = arbiter.request("racer")
+                # Sleep past the grant: it lands at cycle 10 while we doze.
+                yield 20
+                arbiter.cancel("racer", grant)
+                trace.append((sim.now, "racer", "cancelled", arbiter.owner))
+
+            def waiter():
+                yield 15
+                grant = arbiter.request("waiter")
+                yield grant
+                trace.append((sim.now, "waiter", "granted", arbiter.owner))
+                arbiter.release("waiter")
+
+            sim.process(holder())
+            sim.process(racer())
+            sim.process(waiter())
+            sim.run()
+            return trace, sim.now, arbiter.grants, arbiter.owner
+
+        reference = run("heap")
+        assert reference[3] is None  # everything retired
+        for kernel in BACKENDS[1:]:
+            assert run(kernel) == reference, kernel
 
 
 # ---------------------------------------------------------------------------
@@ -477,7 +597,8 @@ class TestEventAccounting:
             before = total_events_processed()
             sim.run()
             results[kernel] = (total_events_processed() - before, sim.events_processed)
-        assert results["heap"] == results["wheel"]
+        for kernel in BACKENDS[1:]:
+            assert results[kernel] == results["heap"], kernel
 
     def test_pool_workers_report_same_counts_per_backend(self):
         """Per-case event counts from worker processes match the in-process
@@ -500,8 +621,10 @@ class TestEventAccounting:
                 ]
                 assert all(count > 0 for count in counts[(kernel, jobs)])
         # Same backend: pool workers must report exactly the inline counts.
-        assert counts[("heap", 1)] == counts[("heap", 2)]
-        assert counts[("wheel", 1)] == counts[("wheel", 2)]
+        for kernel in BACKENDS:
+            assert counts[(kernel, 1)] == counts[(kernel, 2)], kernel
         # Across backends the counts agree too -- the wheel batches bucket
-        # pops but still charges one event per fire.
-        assert counts[("heap", 1)] == counts[("wheel", 1)]
+        # pops (and the compiled backend fires direct entries) but still
+        # charges one event per fire.
+        for kernel in BACKENDS[1:]:
+            assert counts[(kernel, 1)] == counts[("heap", 1)], kernel
