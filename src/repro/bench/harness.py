@@ -244,6 +244,63 @@ def bench_run_report(kernel: str, packets: int) -> dict:
     }
 
 
+def bench_counters(kernel: str = "compiled", packets: int = 2, rounds: int = 1) -> dict:
+    """Counter-plane cost on the compiled fast path (docs/observability.md).
+
+    Times one OFDM run with and without a bound
+    :class:`~repro.obs.counters.CounterPlane` and checks the three
+    zero-despecialization claims: the machine stays specialized, the
+    simulated cycle count is bit-identical, and counter totals match
+    :class:`~repro.sim.stats.BusStats`.  ``overhead_fraction`` is the
+    relative wall-time cost of the baked increments (gated against
+    ``gates.counters_overhead_max`` outside ``--smoke``).
+    """
+    from ..apps.ofdm import OfdmParameters, run_ofdm
+    from ..options import presets
+    from ..sim.fabric import MachineBuilder
+
+    def one(with_counters: bool):
+        builder = MachineBuilder(presets.preset("GBAVIII", 4)).with_kernel(kernel)
+        if with_counters:
+            builder.with_counters()
+        machine = builder.build()
+        start = time.perf_counter()
+        result = run_ofdm(machine, "FPA", OfdmParameters(packets=packets))
+        return machine, result.cycles, time.perf_counter() - start
+
+    off_samples: List[float] = []
+    on_samples: List[float] = []
+    cycles_off = cycles_on = None
+    stayed_specialized = True
+    counters_match_stats = True
+    for _ in range(max(1, rounds)):
+        _machine, cycles_off, wall = one(False)
+        off_samples.append(wall)
+        machine, cycles_on, wall = one(True)
+        on_samples.append(wall)
+        stayed_specialized = stayed_specialized and machine._specialized
+        counters_match_stats = (
+            counters_match_stats and not machine.counters.check_against_stats(machine)
+        )
+    seconds_off = min(off_samples)
+    seconds_on = min(on_samples)
+    return {
+        "kernel": kernel,
+        "packets": packets,
+        "rounds": len(off_samples),
+        "cycles_off": cycles_off,
+        "cycles_on": cycles_on,
+        "bit_identical": cycles_on == cycles_off,
+        "stayed_specialized": stayed_specialized,
+        "counters_match_stats": counters_match_stats,
+        "seconds_off": seconds_off,
+        "seconds_on": seconds_on,
+        "overhead_fraction": (
+            (seconds_on - seconds_off) / seconds_off if seconds_off > 0 else 0.0
+        ),
+    }
+
+
 def _table5_key(row) -> dict:
     """Table V row minus its wall-clock field (generation_time_ms measures
     *this* run's generator speed, not simulated behaviour)."""
@@ -385,8 +442,29 @@ def run_harness(
 
     parity = bench_backend_parity(scales["parity_packets"], jobs=1 if smoke else jobs)
     run_report = bench_run_report(kernels[0], scales["report_packets"])
+    counters = bench_counters(
+        packets=scales["report_packets"], rounds=1 if smoke else max(1, rounds)
+    )
 
     failures: List[str] = []
+    # Counter-plane identity gates run even under --smoke: they are
+    # determinism checks, not timing checks.
+    if not counters["bit_identical"]:
+        failures.append(
+            "counters: cycle count changed with the plane bound (%s != %s)"
+            % (counters["cycles_on"], counters["cycles_off"])
+        )
+    if not counters["stayed_specialized"]:
+        failures.append("counters: compiled backend despecialized under counters")
+    if not counters["counters_match_stats"]:
+        failures.append("counters: totals diverged from BusStats")
+    overhead_max = gates.get("counters_overhead_max")
+    if not smoke and overhead_max is not None:
+        if counters["overhead_fraction"] > overhead_max:
+            failures.append(
+                "counters: overhead %.3f above the %.3f budget"
+                % (counters["overhead_fraction"], overhead_max)
+            )
     for kernel, table2 in table2_section.items():
         if not table2["rows_identical"]:
             failures.append(
@@ -457,6 +535,8 @@ def run_harness(
                     % (kernel, measured, tolerance * 100, reference)
                 )
 
+    from ..obs.ledger import git_revision, options_hash
+
     report = {
         "smoke": smoke,
         "kernels": list(kernels),
@@ -465,9 +545,25 @@ def run_harness(
         "table2": table2_section,
         "backend_parity": parity,
         "run_report": run_report,
+        "counters": counters,
         "baselines": baselines,
         "vs_seed": vs_seed,
         "failures": failures,
+        # Self-describing artifact: which code, which config, which
+        # backends produced these numbers (ledger-correlatable).
+        "provenance": {
+            "git_rev": git_revision(),
+            "backends": list(kernels),
+            "options_hash": options_hash(
+                {
+                    "kernels": list(kernels),
+                    "smoke": smoke,
+                    "jobs": jobs,
+                    "rounds": rounds,
+                    "enforce_floor": enforce_floor,
+                }
+            ),
+        },
     }
     if ci_floor is not None:
         report["ci_floor"] = ci_floor
@@ -475,6 +571,16 @@ def run_harness(
 
 
 def _print_summary(report: dict) -> None:
+    provenance = report.get("provenance")
+    if provenance:
+        print(
+            "provenance: backend=%s options=%s rev=%s"
+            % (
+                ",".join(provenance["backends"]),
+                provenance["options_hash"],
+                provenance["git_rev"],
+            )
+        )
     for kernel in report["kernels"]:
         section = report["kernel"][kernel]
         speedups = report["vs_seed"][kernel]
@@ -518,6 +624,17 @@ def _print_summary(report: dict) -> None:
         for name, entry in sorted(report["backend_parity"].items())
     )
     print("parity    : %s" % parity)
+    counters = report.get("counters")
+    if counters:
+        print(
+            "counters  : %s overhead %+.1f%%, bit_identical=%s, specialized=%s"
+            % (
+                counters["kernel"],
+                100.0 * counters["overhead_fraction"],
+                counters["bit_identical"],
+                counters["stayed_specialized"],
+            )
+        )
     run_report = report["run_report"]
     print(
         "telemetry : %s  %d cycles, %d events, peak queue depth %d"

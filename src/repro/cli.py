@@ -33,6 +33,34 @@ def _load_spec(args):
     return presets.preset(args.preset, args.pes)
 
 
+def _ledger_for(args):
+    """The run ledger selected by ``--ledger``/``--no-ledger``, or None.
+
+    Default directory: ``$REPRO_LEDGER`` or ``.repro/ledger`` under the
+    current directory.  Every ledger-aware verb appends one RunRecord;
+    ``repro report`` reads them back (docs/observability.md).
+    """
+    if getattr(args, "no_ledger", False):
+        return None
+    from .obs.ledger import DEFAULT_LEDGER_DIR, Ledger
+
+    root = (
+        getattr(args, "ledger", None)
+        or os.environ.get("REPRO_LEDGER")
+        or DEFAULT_LEDGER_DIR
+    )
+    return Ledger(root)
+
+
+def _spec_options(args, spec, **extra):
+    """The option surface that identifies a run (hashed into the ledger)."""
+    options = {"arch": spec.name, "pes": spec.pe_count}
+    if getattr(args, "options", None):
+        options["options_file"] = args.options
+    options.update(extra)
+    return options
+
+
 def _cmd_generate(args) -> int:
     spec = _load_spec(args)
     generated = BusSyn().generate(spec)
@@ -69,8 +97,9 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _run_app(machine, spec, args) -> None:
-    """Run the selected --app on ``machine`` and print its headline line."""
+def _run_app(machine, spec, args) -> dict:
+    """Run the selected --app on ``machine``; print its headline line and
+    return the run's summary dict (ledger payload)."""
     if args.app == "ofdm":
         from .apps.ofdm import OfdmParameters, run_ofdm
 
@@ -80,6 +109,13 @@ def _run_app(machine, spec, args) -> None:
             % (spec.name, args.style, result.throughput_mbps, result.cycles,
                result.seconds * 1e3)
         )
+        return {
+            "app": "ofdm",
+            "style": args.style,
+            "packets": args.packets,
+            "cycles": result.cycles,
+            "throughput_mbps": result.throughput_mbps,
+        }
     elif args.app == "mpeg2":
         from .apps.mpeg2.codec import synthetic_video
         from .apps.mpeg2.parallel import run_mpeg2
@@ -89,6 +125,13 @@ def _run_app(machine, spec, args) -> None:
             "%s MPEG2: %.4f Mbps (%d GOPs, %d frames decoded)"
             % (spec.name, result.throughput_mbps, result.gops, len(result.frames))
         )
+        return {
+            "app": "mpeg2",
+            "frames": args.frames,
+            "gops": result.gops,
+            "frames_decoded": len(result.frames),
+            "throughput_mbps": result.throughput_mbps,
+        }
     elif args.app == "database":
         from .apps.database import run_database
 
@@ -97,16 +140,37 @@ def _run_app(machine, spec, args) -> None:
             "%s database: %.0f ns (%d tasks)"
             % (spec.name, result.execution_time_ns, result.tasks_completed)
         )
+        return {
+            "app": "database",
+            "execution_time_ns": result.execution_time_ns,
+            "tasks_completed": result.tasks_completed,
+        }
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit("unknown app %r" % args.app)
 
 
 def _cmd_simulate(args) -> int:
+    import time
+
     from .sim.fabric import build_machine
 
     spec = _load_spec(args)
     machine = build_machine(spec, kernel=args.kernel)
-    _run_app(machine, spec, args)
+    start = time.perf_counter()
+    summary = _run_app(machine, spec, args)
+    wall = time.perf_counter() - start
+    ledger = _ledger_for(args)
+    if ledger is not None:
+        backend = machine.sim.kernel_name
+        ledger.write(
+            "simulate",
+            options=_spec_options(args, spec, kernel=backend, app=args.app),
+            backend=backend,
+            arch=spec.name,
+            summary=summary,
+            sim_cycles=machine.sim.now,
+            wall_seconds=wall,
+        )
     return 0
 
 
@@ -131,7 +195,9 @@ def _cmd_trace(args) -> int:
     )
     out = args.out
     if args.format in ("chrome", "both"):
-        write_chrome_trace(obs.tracer, out)
+        # The registry turns per-segment occupancy into Perfetto counter
+        # tracks alongside the span lanes.
+        write_chrome_trace(obs.tracer, out, registry=obs.registry)
         print("wrote Chrome trace %s (%d transactions) -- open in Perfetto"
               % (out, len(obs.tracer.transactions)))
     if args.format in ("jsonl", "both"):
@@ -211,30 +277,83 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_table(args) -> int:
+    import time
+
     from .experiments import table2, table3, table4, table5
+    from .sim.kernel import default_kernel
 
     module = {2: table2, 3: table3, 4: table4, 5: table5}[args.number]
-    module.main(jobs=args.jobs, kernel=args.kernel)
+    start = time.perf_counter()
+    rows = module.main(jobs=args.jobs, kernel=args.kernel)
+    wall = time.perf_counter() - start
+    ledger = _ledger_for(args)
+    if ledger is not None:
+        backend = args.kernel or default_kernel()
+        ledger.write(
+            "table",
+            options={
+                "table": args.number,
+                "jobs": args.jobs,
+                "kernel": backend,
+            },
+            backend=backend,
+            arch=sorted({row.bus_system for row in rows}),
+            summary={
+                "table": args.number,
+                "rows": [vars(row) for row in rows],
+            },
+            wall_seconds=wall,
+        )
     return 0
 
 
 def _cmd_bench(args) -> int:
-    """Delegate to the perf harness (repro.bench.harness) with CLI flags."""
-    from .bench.harness import main as bench_main
+    """Run the perf harness (repro.bench.harness) and ledger the report."""
+    import json
+    import time
 
-    argv = [
-        "--jobs", str(args.jobs),
-        "--rounds", str(args.rounds),
-        "--out", args.out,
-        "--baselines", args.baselines,
-    ]
-    if args.smoke:
-        argv.append("--smoke")
-    if args.kernel:
-        argv.extend(["--kernel", args.kernel])
-    if args.enforce_floor:
-        argv.append("--enforce-floor")
-    return bench_main(argv)
+    from .bench.harness import _print_summary, run_harness
+    from .sim.kernel import KERNEL_BACKENDS
+
+    kernels = (args.kernel,) if args.kernel else KERNEL_BACKENDS
+    start = time.perf_counter()
+    report, failures = run_harness(
+        kernels=kernels,
+        smoke=args.smoke,
+        jobs=args.jobs,
+        rounds=args.rounds,
+        enforce_floor=args.enforce_floor,
+        baselines_path=args.baselines,
+    )
+    wall = time.perf_counter() - start
+    _print_summary(report)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+    ledger = _ledger_for(args)
+    if ledger is not None:
+        # The frozen baselines ride along in the artifact but would bloat
+        # every record; the provenance section identifies them instead.
+        summary = {key: value for key, value in report.items() if key != "baselines"}
+        ledger.write(
+            "bench",
+            options={
+                "kernels": list(kernels),
+                "smoke": args.smoke,
+                "jobs": args.jobs,
+                "rounds": args.rounds,
+                "enforce_floor": args.enforce_floor,
+            },
+            backend=list(kernels),
+            summary=summary,
+            wall_seconds=wall,
+        )
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure)
+        return 1
+    return 0
 
 
 # One representative (worker, case, kwargs) per table for ``repro profile``.
@@ -252,7 +371,11 @@ def _cmd_profile(args) -> int:
     paths; see benchmarks/perf_harness.py for the regression side)."""
     import cProfile
     import importlib
+    import json
     import pstats
+
+    from .obs.ledger import git_revision, options_hash
+    from .sim.kernel import default_kernel
 
     module_name, worker_name, case = _PROFILE_CASES[args.number]
     worker = getattr(importlib.import_module(module_name), worker_name)
@@ -260,11 +383,32 @@ def _cmd_profile(args) -> int:
     profiler.enable()
     result = worker(case)
     profiler.disable()
+    backend = default_kernel()
+    provenance = {
+        "backend": backend,
+        "options_hash": options_hash(
+            {"table": args.number, "case": list(case), "kernel": backend}
+        ),
+        "git_rev": git_revision(),
+        "case": "%s.%s%r" % (module_name, worker_name, case),
+    }
     print("profiled %s.%s(%r)" % (module_name, worker_name, case))
+    print(
+        "provenance: backend=%s options=%s rev=%s"
+        % (backend, provenance["options_hash"], provenance["git_rev"])
+    )
     print("result: %r" % (result,))
     if args.out:
         profiler.dump_stats(args.out)
-        print("wrote pstats dump %s (load with pstats.Stats(%r))" % (args.out, args.out))
+        # pstats dumps are opaque binaries; the sidecar makes the artifact
+        # self-describing and ledger-correlatable.
+        with open(args.out + ".provenance.json", "w") as handle:
+            json.dump(provenance, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            "wrote pstats dump %s (+ %s.provenance.json; load with "
+            "pstats.Stats(%r))" % (args.out, args.out, args.out)
+        )
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.top)
     return 0
 
@@ -308,24 +452,41 @@ def _cmd_compile(args) -> int:
             "" if machine._specialized else " (dispatch not installed)",
         )
     )
+    ledger = _ledger_for(args)
+    if ledger is not None:
+        ledger.write(
+            "compile",
+            options=_spec_options(args, spec, kernel="compiled"),
+            backend="compiled",
+            arch=spec.name,
+            summary={
+                "kernel_variants": list(KERNEL_VARIANTS),
+                "specialized_pairs": len(entries),
+                "dispatch_installed": machine._specialized,
+            },
+        )
     return 0
 
 
 def _cmd_chaos(args) -> int:
     """Run the seeded fault-injection sweep (docs/robustness.md)."""
     import json
+    import time
 
     from .faults.chaos import CHAOS_ARCHITECTURES, format_chaos_summary, run_chaos
 
+    backends = tuple(args.backend) if args.backend else ("heap", "wheel")
+    start = time.perf_counter()
     summary = run_chaos(
         seed=args.seed,
         scenario="smoke" if args.smoke else args.scenario,
         archs=args.arch or CHAOS_ARCHITECTURES,
-        backends=tuple(args.backend) if args.backend else ("heap", "wheel"),
+        backends=backends,
         packets=args.packets,
         pe_count=args.pes,
         jobs=args.jobs,
     )
+    wall = time.perf_counter() - start
     for line in format_chaos_summary(summary):
         print(line)
     if args.out:
@@ -333,6 +494,23 @@ def _cmd_chaos(args) -> int:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print("wrote %s" % args.out)
+    ledger = _ledger_for(args)
+    if ledger is not None:
+        ledger.write(
+            "chaos",
+            options={
+                "seed": args.seed,
+                "scenario": summary["scenario"],
+                "architectures": list(summary["architectures"]),
+                "backends": list(backends),
+                "packets": args.packets,
+                "pes": args.pes,
+            },
+            backend=list(backends),
+            arch=list(summary["architectures"]),
+            summary=summary,
+            wall_seconds=wall,
+        )
     return 0 if summary["ok"] else 1
 
 
@@ -342,16 +520,21 @@ def _cmd_verify(args) -> int:
 
     from .verify import SMOKE_ARCHITECTURES, format_verify_summary, run_verify
 
+    import time
+
     archs = args.arch
     if not archs:
         archs = SMOKE_ARCHITECTURES if args.smoke else None
+    backends = tuple(args.backend) if args.backend else ("heap", "wheel")
+    start = time.perf_counter()
     summary = run_verify(
         archs=archs,
-        backends=tuple(args.backend) if args.backend else ("heap", "wheel"),
+        backends=backends,
         packets=args.packets,
         pe_count=args.pes,
         jobs=args.jobs,
     )
+    wall = time.perf_counter() - start
     for line in format_verify_summary(summary):
         print(line)
     if args.out:
@@ -359,7 +542,114 @@ def _cmd_verify(args) -> int:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print("wrote %s" % args.out)
+    ledger = _ledger_for(args)
+    if ledger is not None:
+        ledger.write(
+            "verify",
+            options={
+                "architectures": list(summary["architectures"]),
+                "backends": list(backends),
+                "packets": args.packets,
+                "pes": args.pes,
+            },
+            backend=list(backends),
+            arch=list(summary["architectures"]),
+            summary=summary,
+            wall_seconds=wall,
+        )
     return 0 if summary["ok"] else 1
+
+
+def _cmd_report(args) -> int:
+    """Query the run ledger: aggregate, diff two runs, or gate regressions."""
+    import json
+
+    from .obs.ledger import DEFAULT_LEDGER_DIR, Ledger
+    from .obs.query import (
+        aggregate_records,
+        check_regressions,
+        diff_bodies,
+        filter_records,
+        find_record,
+        load_baselines,
+    )
+
+    root = args.ledger or os.environ.get("REPRO_LEDGER") or DEFAULT_LEDGER_DIR
+    ledger = Ledger(root)
+    if not ledger.exists:
+        print("repro report: no ledger at %s" % ledger.records_path, file=sys.stderr)
+        return 2
+
+    if args.diff:
+        left = find_record(ledger, args.diff[0])
+        right = find_record(ledger, args.diff[1])
+        diffs = diff_bodies(left, right)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "left": left["hash"],
+                        "right": right["hash"],
+                        "diffs": [
+                            {"field": field, "left": a, "right": b}
+                            for field, a, b in diffs
+                        ],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print("diff %s .. %s" % (left["hash"][:12], right["hash"][:12]))
+            if not diffs:
+                print("  identical hashed bodies")
+            for field, a, b in diffs:
+                print("  %-40s %r -> %r" % (field, a, b))
+        return 1 if diffs and args.check else 0
+
+    records = filter_records(
+        ledger.records(), verb=args.verb, backend=args.backend, arch=args.arch
+    )
+    if args.check:
+        baselines = load_baselines(args.baselines)
+        findings = check_regressions(records, baselines)
+        if args.json:
+            print(json.dumps({"findings": findings}, indent=2, sort_keys=True))
+        else:
+            print(
+                "checked %d record(s) against %s: %d regression(s)"
+                % (len(records), args.baselines, len(findings))
+            )
+            for finding in findings:
+                print(
+                    "  REGRESSION %s [%s] %s"
+                    % (finding["hash"], finding["verb"], finding["message"])
+                )
+        return 1 if findings else 0
+
+    rows = aggregate_records(records)
+    if args.json:
+        print(json.dumps({"groups": rows}, indent=2, sort_keys=True))
+        return 0
+    print(
+        "%-10s %-28s %-14s %5s %-14s %-8s %s"
+        % ("verb", "arch", "backend", "runs", "last_hash", "rev", "options")
+    )
+    for row in rows:
+        print(
+            "%-10s %-28s %-14s %5d %-14s %-8s %s"
+            % (
+                row["verb"],
+                row["arch"][:28],
+                row["backend"][:14],
+                row["runs"],
+                row["last_hash"],
+                row["last_rev"] or "-",
+                row["options_hash"] or "-",
+            )
+        )
+    print("%d record(s), %d group(s)" % (len(records), len(rows)))
+    return 0
 
 
 def _cmd_list(_args) -> int:
@@ -394,6 +684,18 @@ def build_parser() -> argparse.ArgumentParser:
             "see docs/performance.md",
         )
 
+    def add_ledger_arguments(p):
+        p.add_argument(
+            "--ledger",
+            metavar="DIR",
+            help="run-ledger directory (default: $REPRO_LEDGER or .repro/ledger)",
+        )
+        p.add_argument(
+            "--no-ledger",
+            action="store_true",
+            help="do not append a RunRecord to the run ledger",
+        )
+
     generate = sub.add_parser("generate", help="generate synthesizable Verilog")
     add_spec_arguments(generate)
     generate.add_argument("--out", default="./generated", help="output directory")
@@ -411,6 +713,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--packets", type=int, default=4)
     simulate.add_argument("--frames", type=int, default=16)
     add_kernel_argument(simulate)
+    add_ledger_arguments(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     trace = sub.add_parser(
@@ -460,6 +763,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for independent cases (1 = run inline)",
     )
     add_kernel_argument(table)
+    add_ledger_arguments(table)
     table.set_defaults(func=_cmd_table)
 
     bench = sub.add_parser(
@@ -491,6 +795,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_OUT,
         help="output JSON path (default: repo-root BENCH_kernel.json)",
     )
+    add_ledger_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
 
     profile = sub.add_parser(
@@ -516,6 +821,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="./compiled",
         help="output directory for the generated .py sources",
     )
+    add_ledger_arguments(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
 
     chaos = sub.add_parser(
@@ -559,6 +865,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for independent cases (1 = run inline)",
     )
     chaos.add_argument("-o", "--out", help="write the full sweep summary as JSON")
+    add_ledger_arguments(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
     verify = sub.add_parser(
@@ -594,7 +901,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for independent cases (1 = run inline)",
     )
     verify.add_argument("-o", "--out", help="write the full sweep summary as JSON")
+    add_ledger_arguments(verify)
     verify.set_defaults(func=_cmd_verify)
+
+    report = sub.add_parser(
+        "report",
+        help="query the run ledger: aggregate, diff two runs, CI regression gate",
+    )
+    report.add_argument(
+        "--ledger",
+        metavar="DIR",
+        help="run-ledger directory (default: $REPRO_LEDGER or .repro/ledger)",
+    )
+    report.add_argument("--verb", help="only records written by this verb")
+    report.add_argument("--backend", help="only records for this scheduler backend")
+    report.add_argument("--arch", help="only records touching this architecture")
+    report.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("HASH_A", "HASH_B"),
+        help="field-by-field diff of two records (content-hash prefixes)",
+    )
+    report.add_argument(
+        "--check",
+        action="store_true",
+        help="flag regressions vs baselines; exit 1 when any are found "
+        "(with --diff: exit 1 when the bodies differ)",
+    )
+    from .bench.harness import DEFAULT_BASELINES as _REPORT_BASELINES
+
+    report.add_argument(
+        "--baselines",
+        default=_REPORT_BASELINES,
+        help="baselines JSON for --check (default: benchmarks/baselines.json)",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    report.set_defaults(func=_cmd_report)
 
     listing = sub.add_parser("list", help="list presets and library components")
     listing.set_defaults(func=_cmd_list)

@@ -218,14 +218,14 @@ def check_table2_shape(rows: List[Table2Row]) -> List[str]:
     return failures
 
 
-def main(jobs: int = 1, kernel: Optional[str] = None) -> None:  # pragma: no cover - CLI convenience
+def main(jobs: int = 1, kernel: Optional[str] = None) -> list:  # pragma: no cover - CLI convenience
     rows = run_table2(jobs=jobs, kernel=kernel)
     print("Table II -- OFDM transmitter throughput")
     for row in rows:
         print(row.text())
     failures = check_table2_shape(rows)
     print("shape check:", "OK" if not failures else failures)
-
+    return rows
 
 if __name__ == "__main__":  # pragma: no cover
     main()

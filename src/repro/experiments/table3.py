@@ -191,14 +191,14 @@ def check_table3_shape(rows: List[Table3Row]) -> List[str]:
     return failures
 
 
-def main(jobs: int = 1, kernel: Optional[str] = None) -> None:  # pragma: no cover
+def main(jobs: int = 1, kernel: Optional[str] = None) -> list:  # pragma: no cover
     rows = run_table3(jobs=jobs, kernel=kernel)
     print("Table III -- MPEG2 decoder throughput")
     for row in rows:
         print(row.text())
     failures = check_table3_shape(rows)
     print("shape check:", "OK" if not failures else failures)
-
+    return rows
 
 if __name__ == "__main__":  # pragma: no cover
     main()

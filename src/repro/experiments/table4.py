@@ -146,7 +146,7 @@ def check_table4_shape(rows: List[Table4Row]) -> List[str]:
     return failures
 
 
-def main(jobs: int = 1, kernel: Optional[str] = None) -> None:  # pragma: no cover
+def main(jobs: int = 1, kernel: Optional[str] = None) -> list:  # pragma: no cover
     rows = run_table4(jobs=jobs, kernel=kernel)
     print("Table IV -- database example execution time")
     for row in rows:
@@ -155,7 +155,7 @@ def main(jobs: int = 1, kernel: Optional[str] = None) -> None:  # pragma: no cov
     print("reduction: %.1f%% (paper: 41%%)" % (reduction * 100))
     failures = check_table4_shape(rows)
     print("shape check:", "OK" if not failures else failures)
-
+    return rows
 
 if __name__ == "__main__":  # pragma: no cover
     main()

@@ -188,14 +188,14 @@ def check_table5_shape(rows: List[Table5Row]) -> List[str]:
     return failures
 
 
-def main(jobs: int = 1, kernel: Optional[str] = None) -> None:  # pragma: no cover
+def main(jobs: int = 1, kernel: Optional[str] = None) -> list:  # pragma: no cover
     rows = run_table5(jobs=jobs, kernel=kernel)
     print("Table V -- generation time and gate count")
     for row in rows:
         print(row.text())
     failures = check_table5_shape(rows)
     print("shape check:", "OK" if not failures else failures)
-
+    return rows
 
 if __name__ == "__main__":  # pragma: no cover
     main()

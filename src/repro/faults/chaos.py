@@ -19,6 +19,14 @@ and then asserts the chaos invariants:
 4. backend parity -- ``faulted`` outcomes (cycles, episode ledger, all
    counters) are identical on the heap and wheel kernels.
 
+Every case additionally runs with a
+:class:`~repro.obs.counters.CounterPlane` attached, so each row carries
+per-segment transaction/grant/wait totals.  Those totals must match
+:class:`BusStats` in the fault-free modes and be identical across
+backends in *every* mode -- under injection a watchdog redelivery can
+legitimately re-grant, so chaos gates grants by parity rather than by
+the arbiter's own count.
+
 Cases fan out over the parallel experiment runner, so ``repro chaos
 --jobs N`` sweeps architectures concurrently with deterministic results.
 """
@@ -70,6 +78,7 @@ def run_chaos_case(
     """Run one ``(arch, style, backend, mode)`` chaos case; picklable."""
     arch, style, backend, mode = case
     machine = build_machine(presets.preset(arch, pe_count), kernel=backend)
+    plane = machine.attach_counters()
     injector = None
     monitor = None
     if mode != "baseline":
@@ -98,6 +107,13 @@ def run_chaos_case(
             "%s: protocol %s" % (arch, finding)
             for finding in monitor.finalize()
         ]
+    if mode != "faulted":
+        # Fault-free counters must agree with BusStats exactly; faulted
+        # runs are gated by cross-backend parity in run_chaos instead.
+        unfinished += [
+            "%s/%s counters: %s" % (arch, backend, text)
+            for text in plane.check_against_stats(machine)
+        ]
     out: Dict[str, Any] = {
         "arch": arch,
         "style": style,
@@ -105,6 +121,7 @@ def run_chaos_case(
         "mode": mode,
         "cycles": result.cycles,
         "throughput_mbps": result.throughput_mbps,
+        "counters": plane.totals(),
         "invariant_failures": unfinished,
     }
     if injector is not None:
@@ -195,6 +212,11 @@ def run_chaos(
                             backend,
                             other["cycles"],
                         )
+                    )
+                if other["counters"] != reference["counters"]:
+                    failures.append(
+                        "%s/%s: counter totals diverge between %s and %s"
+                        % (arch, mode, reference_backend, backend)
                     )
                 if mode == "faulted":
                     ref_res = dict(reference["resilience"], name="")

@@ -176,12 +176,20 @@ def _lane_ids(tracer: Tracer) -> Dict[str, int]:
     return {name: index for index, name in enumerate(sorted(lanes), start=1)}
 
 
-def chrome_trace_events(tracer: Tracer, pid: int = 1) -> List[Dict[str, Any]]:
+def chrome_trace_events(
+    tracer: Tracer, pid: int = 1, registry: Any = None
+) -> List[Dict[str, Any]]:
     """The ``traceEvents`` list: metadata first, then ts-sorted events.
 
     One bus cycle maps to one microsecond of trace time (``ts``/``dur``
     are in microseconds per the trace_event spec); Perfetto's timeline
     therefore reads directly in cycles.
+
+    With a :class:`~repro.obs.metrics.MetricsRegistry`, every
+    :class:`~repro.obs.metrics.TimeSeries` metric (per-segment occupancy)
+    is additionally exported as a Perfetto counter track: one ``"C"``
+    event per window with the window's busy-cycle count, drawn on tid 0
+    alongside the span lanes.
     """
     lanes = _lane_ids(tracer)
     events: List[Dict[str, Any]] = [
@@ -275,15 +283,34 @@ def chrome_trace_events(tracer: Tracer, pid: int = 1) -> List[Dict[str, Any]]:
         if args:
             event["args"] = args
         timed.append(event)
+    if registry is not None:
+        for name in registry.names():
+            metric = registry.get(name)
+            if getattr(metric, "kind", None) != "series":
+                continue
+            for window_start, busy, _fraction in metric.series():
+                timed.append(
+                    {
+                        "ph": "C",
+                        "pid": pid,
+                        "tid": 0,
+                        "cat": "metrics",
+                        "name": name,
+                        "ts": window_start,
+                        "args": {"busy_cycles": busy},
+                    }
+                )
     timed.sort(key=lambda event: event["ts"])
     events.extend(timed)
     return events
 
 
-def to_chrome_trace(tracer: Tracer, pid: int = 1) -> Dict[str, Any]:
+def to_chrome_trace(
+    tracer: Tracer, pid: int = 1, registry: Any = None
+) -> Dict[str, Any]:
     """The full JSON-object-format trace document."""
     return {
-        "traceEvents": chrome_trace_events(tracer, pid=pid),
+        "traceEvents": chrome_trace_events(tracer, pid=pid, registry=registry),
         "displayTimeUnit": "ms",
         "otherData": {
             "generator": "repro.obs.tracer",
@@ -292,9 +319,11 @@ def to_chrome_trace(tracer: Tracer, pid: int = 1) -> Dict[str, Any]:
     }
 
 
-def write_chrome_trace(tracer: Tracer, path: str, pid: int = 1) -> None:
+def write_chrome_trace(
+    tracer: Tracer, path: str, pid: int = 1, registry: Any = None
+) -> None:
     with open(path, "w") as handle:
-        json.dump(to_chrome_trace(tracer, pid=pid), handle)
+        json.dump(to_chrome_trace(tracer, pid=pid, registry=registry), handle)
         handle.write("\n")
 
 
@@ -399,4 +428,19 @@ def validate_chrome_trace(document: Any) -> List[str]:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 failures.append("event %d has bad dur %r" % (index, dur))
+        elif phase == "C":
+            # Counter tracks (FIFO fill, occupancy): every sample must be
+            # a finite non-negative number or Perfetto draws garbage.
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                failures.append("counter event %d has no args" % index)
+                continue
+            for key, value in args.items():
+                if isinstance(value, str):
+                    continue  # annotation fields (e.g. fifo op) are fine
+                if not isinstance(value, (int, float)) or value < 0:
+                    failures.append(
+                        "counter event %d (%r) has non-numeric or negative "
+                        "sample %s=%r" % (index, event.get("name"), key, value)
+                    )
     return failures

@@ -140,6 +140,10 @@ class Machine:
         # Protocol assertion monitor (repro.verify.monitors); None keeps
         # _occupy_path hook-free.  Set by repro.verify.attach_monitors.
         self._monitor = None
+        # Counter plane (repro.obs.counters.CounterPlane); unlike the three
+        # hooks above it does NOT force despecialization -- the compiled
+        # backend bakes the slot increments into its generated dispatch.
+        self._counters = None
         # Compiled-backend fabric specialization (repro.sim.compiled): when
         # set, ``transaction``/``miss_traffic`` are shadowed by generated
         # per-(master, device) dispatch installed as instance attributes.
@@ -195,6 +199,37 @@ class Machine:
         from ..verify.monitors import attach_monitors
 
         return attach_monitors(self, fail_fast=fail_fast)
+
+    @property
+    def counters(self):
+        return self._counters
+
+    def attach_counters(self, plane=None):
+        """Bind a :class:`repro.obs.counters.CounterPlane` to every segment.
+
+        Counters are the one observability surface that keeps the compiled
+        backend's specialized fast path: on an already-specialized machine
+        the baked dispatch is *rebuilt* with the slot increments compiled
+        in (never despecialized -- the regenerated functions still carry
+        the baked route/policy/timing).  On the generic paths each tenure
+        pays one ``None`` check, exactly like the ``obs`` hook.  Returns
+        the bound plane.
+        """
+        from ..obs.counters import CounterPlane
+
+        if plane is None:
+            plane = CounterPlane()
+        self._counters = plane
+        plane.bind(self)
+        if self._specialized:
+            self.__dict__.pop("transaction", None)
+            self.__dict__.pop("miss_traffic", None)
+            self._specialized = False
+            self._specialized_source = None
+            from .compiled.specializer import specialize_machine
+
+            specialize_machine(self)
+        return plane
 
     def _despecialize(self) -> None:
         """Remove compiled-backend specialized dispatch, if installed.
@@ -462,6 +497,12 @@ class Machine:
                     stats.memory_cycles += memory_cycles
                     per_master = stats.per_master
                     per_master[master] = per_master.get(master, 0) + 1
+                    cslots = segment.counters
+                    if cslots is not None:
+                        base = segment.counter_base
+                        cslots[base] += 1
+                        cslots[base + 1] += 1
+                        cslots[base + 2] += acquired - entry
                     obs = self._obs
                     if obs is not None:
                         obs.bus_transaction(
@@ -522,6 +563,12 @@ class Machine:
                     memory=memory_cycles,
                 )
                 segment.stats.record(master, words, write, timing)
+                cslots = segment.counters
+                if cslots is not None:
+                    base = segment.counter_base
+                    cslots[base] += 1
+                    cslots[base + 1] += 1
+                    cslots[base + 2] += acquired_at[index] - entry
                 if obs is not None:
                     obs.bus_transaction(
                         segment, master, entry, acquired_at[index], end,
@@ -792,6 +839,8 @@ class MachineBuilder:
         self._monitor_fail_fast = True
         self._fault_plan = None
         self._fault_policy = None
+        self._counters = None
+        self._want_counters = False
         self._specialize = True
 
     # -- simulator selection ------------------------------------------------
@@ -838,6 +887,17 @@ class MachineBuilder:
         self._fault_policy = policy
         return self
 
+    def with_counters(self, plane=None) -> "MachineBuilder":
+        """Bind a counter plane (:class:`repro.obs.counters.CounterPlane`).
+
+        Unlike the hooks above, counters never cost the compiled backend
+        its specialization: they attach *before* specialization runs, so
+        the baked dispatch compiles the slot increments in.
+        """
+        self._counters = plane
+        self._want_counters = True
+        return self
+
     def without_specialization(self) -> "MachineBuilder":
         """Keep the generic fabric paths even on the compiled backend."""
         self._specialize = False
@@ -858,6 +918,10 @@ class MachineBuilder:
             from ..faults.injector import install_faults
 
             install_faults(machine, self._fault_plan, self._fault_policy)
+        if self._want_counters:
+            # Before specialization on purpose: specialize_machine sees the
+            # bound plane and bakes the increments into the fast path.
+            machine.attach_counters(self._counters)
         if self._specialize and sim.kernel_name == "compiled":
             from .compiled.specializer import specialize_machine
 

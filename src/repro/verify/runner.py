@@ -11,7 +11,11 @@ For every architecture under test this runs, per scheduler backend:
    and (b) cycle-identical results, proving the monitors observe without
    perturbing (the free-when-off contract);
 
-then asserts backend parity on cycle counts.  Cases fan out over the
+then asserts backend parity on cycle counts and on the per-segment
+counter-plane totals carried by every case row (the bare run is counted
+via :class:`~repro.obs.counters.CounterPlane`, which must also agree
+with ``BusStats`` and the arbiters' grant counts in these fault-free
+sweeps).  Cases fan out over the
 parallel experiment runner, so ``repro verify --jobs N`` sweeps
 architectures concurrently with deterministic results.
 
@@ -77,9 +81,20 @@ def run_verify_case(
         )
     ]
 
-    baseline = run_ofdm(
-        build_machine(spec, kernel=backend), style, OfdmParameters(packets=packets)
-    )
+    bare_machine = build_machine(spec, kernel=backend)
+    plane = bare_machine.attach_counters()
+    baseline = run_ofdm(bare_machine, style, OfdmParameters(packets=packets))
+    counter_findings = plane.check_against_stats(bare_machine)
+    # Fault-free sweep: every retired tenure is exactly one arbiter grant.
+    for name in plane.segment_order:
+        granted = bare_machine.segments[name].arbiter.grants
+        counted = plane.value(name, "grants")
+        if counted != granted:
+            counter_findings.append(
+                "%s: counter grants %d != arbiter grants %d"
+                % (name, counted, granted)
+            )
+
     monitored_machine = build_machine(spec, kernel=backend)
     monitor = monitored_machine.attach_monitors(fail_fast=False)
     monitored = run_ofdm(monitored_machine, style, OfdmParameters(packets=packets))
@@ -99,8 +114,9 @@ def run_verify_case(
         "throughput_mbps": baseline.throughput_mbps,
         "grants": monitor.grants_observed,
         "transfers": monitor.transfers_opened,
+        "counters": plane.totals(),
         "structural_findings": structural,
-        "runtime_findings": runtime,
+        "runtime_findings": runtime + counter_findings,
     }
 
 
@@ -154,6 +170,11 @@ def run_verify(
                         backend,
                         other["cycles"],
                     )
+                )
+            if other["counters"] != reference["counters"]:
+                failures.append(
+                    "%s: counter totals diverge between %s and %s"
+                    % (arch, backends[0], backend)
                 )
     return {
         "packets": packets,

@@ -1,0 +1,177 @@
+"""Counter plane: zero-despecialization counters for the fabric hot path.
+
+Pins the contracts documented in ``repro.obs.counters``:
+
+* attaching a :class:`CounterPlane` never changes a run's cycle count, on
+  any backend -- and on the compiled backend never despecializes;
+* per-segment totals agree with :class:`BusStats` (transactions,
+  arbitration-wait cycles) and, fault-free, with the arbiters' grant
+  counts, identically on heap, wheel and compiled;
+* the plane survives the hook life cycle: attach to a live specialized
+  machine, keep accumulating across a later despecialization;
+* the specializer's ``?C`` template lines are rendered only when a plane
+  is bound, with the slot indices baked as literals.
+"""
+
+import re
+
+import pytest
+
+from repro.apps.ofdm import OfdmParameters, run_ofdm
+from repro.obs import COUNTER_KINDS, CounterPlane, Observability
+from repro.options import presets
+from repro.sim.compiled.specializer import specialized_fabric_source
+from repro.sim.fabric import MachineBuilder, build_machine
+
+KERNEL_BACKENDS = ("heap", "wheel", "compiled")
+
+# (preset, style): BFBA/GBAVI have no shared memory, so FPA is undefined
+# for them -- same mapping as Table II.
+PRESET_STYLES = [
+    ("BFBA", "PPA"),
+    ("GBAVI", "PPA"),
+    ("GBAVIII", "FPA"),
+    ("HYBRID", "FPA"),
+    ("SPLITBA", "FPA"),
+    ("GGBA", "FPA"),
+    ("CCBA", "FPA"),
+]
+
+
+def counted_run(arch, style, backend, packets=2, pes=4):
+    machine = (
+        MachineBuilder(presets.preset(arch, pes))
+        .with_kernel(backend)
+        .with_counters()
+        .build()
+    )
+    result = run_ofdm(machine, style, OfdmParameters(packets=packets))
+    return machine, machine.counters, result
+
+
+class TestCounterPlane:
+    def test_unbound_plane_is_empty(self):
+        plane = CounterPlane()
+        assert not plane.bound
+        assert plane.slots == []
+        assert plane.totals() == {}
+
+    def test_bind_allocates_three_slots_per_segment(self):
+        machine = build_machine(presets.preset("GBAVIII", 4))
+        plane = machine.attach_counters()
+        assert plane.bound
+        assert len(plane.slots) == len(COUNTER_KINDS) * len(machine.segments)
+        assert plane.segment_order == sorted(machine.segments)
+        for name, segment in machine.segments.items():
+            assert segment.counters is plane.slots
+            assert segment.counter_base == plane.base_of(name)
+
+    def test_rebind_same_machine_is_noop(self):
+        machine = build_machine(presets.preset("GBAVIII", 4))
+        plane = machine.attach_counters()
+        slots = plane.slots
+        plane.bind(machine)
+        assert plane.slots is slots
+
+    def test_rebind_other_machine_rejected(self):
+        plane = CounterPlane()
+        plane.bind(build_machine(presets.preset("GBAVIII", 4)))
+        with pytest.raises(ValueError, match="already bound"):
+            plane.bind(build_machine(presets.preset("HYBRID", 4)))
+
+    def test_as_dict_shape(self):
+        machine, plane, _result = counted_run("GBAVIII", "FPA", "heap")
+        snapshot = plane.as_dict()
+        assert snapshot["kinds"] == list(COUNTER_KINDS)
+        assert sorted(snapshot["segments"]) == plane.segment_order
+        for kinds in snapshot["segments"].values():
+            assert all(value >= 0 for value in kinds.values())
+
+
+class TestCountersMatchStats:
+    @pytest.mark.parametrize("arch,style", PRESET_STYLES)
+    @pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+    def test_totals_match_busstats_and_arbiter(self, arch, style, backend):
+        machine, plane, _result = counted_run(arch, style, backend)
+        assert plane.check_against_stats(machine) == []
+        for name in plane.segment_order:
+            segment = machine.segments[name]
+            assert plane.value(name, "transactions") == segment.stats.transactions
+            assert plane.value(name, "wait_cycles") == segment.stats.arbitration_cycles
+            # Fault-free: one retired tenure per arbiter grant.
+            assert plane.value(name, "grants") == segment.arbiter.grants
+        assert any(
+            plane.value(name, "transactions") > 0 for name in plane.segment_order
+        )
+
+    @pytest.mark.parametrize("arch,style", PRESET_STYLES)
+    def test_three_way_backend_parity(self, arch, style):
+        reference = None
+        for backend in KERNEL_BACKENDS:
+            _machine, plane, result = counted_run(arch, style, backend)
+            snapshot = (result.cycles, plane.totals())
+            if reference is None:
+                reference = snapshot
+            else:
+                assert snapshot == reference, backend
+
+
+class TestZeroDespecialization:
+    def test_compiled_stays_specialized_with_counters(self):
+        machine, _plane, _result = counted_run("GBAVIII", "FPA", "compiled")
+        assert machine._specialized
+
+    @pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+    def test_counters_do_not_change_cycles(self, backend):
+        bare = build_machine(presets.preset("GBAVIII", 4), kernel=backend)
+        plain = run_ofdm(bare, "FPA", OfdmParameters(packets=2))
+        _machine, _plane, counted = counted_run("GBAVIII", "FPA", backend)
+        assert counted.cycles == plain.cycles
+
+    def test_attach_to_live_specialized_machine(self):
+        machine = build_machine(presets.preset("GBAVIII", 4), kernel="compiled")
+        assert machine._specialized
+        plane = machine.attach_counters()
+        assert machine._specialized
+        run_ofdm(machine, "FPA", OfdmParameters(packets=1))
+        assert plane.check_against_stats(machine) == []
+
+    def test_counters_survive_despecializing_hook(self):
+        machine = build_machine(presets.preset("GBAVIII", 4), kernel="compiled")
+        plane = machine.attach_counters()
+        run_ofdm(machine, "FPA", OfdmParameters(packets=1))
+        first = sum(plane.slots)
+        assert first > 0
+        # Observability needs the generic instrumented paths, so this
+        # despecializes -- the plane must keep accumulating regardless.
+        machine.attach_observability(Observability())
+        assert not machine._specialized
+        run_ofdm(machine, "FPA", OfdmParameters(packets=1))
+        assert sum(plane.slots) > first
+        assert plane.check_against_stats(machine) == []
+
+
+class TestSpecializerRendering:
+    def test_counter_lines_rendered_only_when_bound(self):
+        machine = build_machine(presets.preset("GBAVIII", 4), kernel="compiled")
+        bare, _pairs = specialized_fabric_source(machine)
+        assert "cslots[" not in bare
+        assert "?C" not in bare
+        plane = machine.attach_counters()
+        counted, pairs = specialized_fabric_source(machine)
+        assert "?C" not in counted
+        assert "cslots[" in counted
+        # Slot indices are baked literals: each specialized pair's segment
+        # gets its own transaction/grant/wait triple.
+        rendered = {
+            int(index)
+            for index in re.findall(r"cslots\[(\d+)\]", counted)
+        }
+        segment_bases = {plane.base_of(name) for name in plane.segment_order}
+        assert rendered
+        assert all(index < len(plane.slots) for index in rendered)
+        bases_rendered = {index - index % len(COUNTER_KINDS) for index in rendered}
+        assert bases_rendered <= segment_bases
+        for base in bases_rendered:
+            assert "cslots[%d] += 1" % base in counted
+            assert "cslots[%d] += 1" % (base + 1) in counted
