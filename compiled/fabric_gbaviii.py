@@ -1,0 +1,774 @@
+"""Specialized fabric dispatch for machine 'GBAVIII' (generated).
+
+One factory per eligible (master, device) pair; closures bind the live
+arbiter/stats/memory objects, while route, policy and timing constants are
+baked in as literals.  Regenerate with ``repro compile -o``.
+"""
+
+def _make__txn_MPC755_A__GLOBAL_SRAM_G(sim, arbiter, stats, request, access_latency, touch_read, touch_write, cslots):
+    # MPC755_A -> GLOBAL_SRAM_G over GLOBAL_BUS_SUB1: FCFS inlined, grant 3/3w, 2 w/beat, 2 cyc/beat
+    def _txn_MPC755_A__GLOBAL_SRAM_G(address, words, write, data=None):
+        latency = access_latency(address, words, write)
+        entry = sim.now
+        if arbiter.owner is None and not arbiter._pending:
+            arbiter.owner = 'MPC755_A'
+            arbiter.grants += 1
+            arbiter.busy_since = entry
+        else:
+            yield request('MPC755_A')
+        acquired = sim.now
+        held = False
+        try:
+            held = True
+            yield (
+                (3 if write else 3)
+                + (max(words, 1) + 1) // 2 * 2
+                + latency
+            )
+        finally:
+            if held:
+                end = sim.now
+                arbiter.owner = None
+                arbiter.busy_cycles += end - arbiter.busy_since
+                arbiter.busy_since = None
+                if arbiter._pending:
+                    arbiter._dispatch()
+                stats.transactions += 1
+                if write:
+                    stats.write_transactions += 1
+                else:
+                    stats.read_transactions += 1
+                stats.words_moved += words
+                stats.busy_cycles += end - entry
+                stats.arbitration_cycles += acquired - entry
+                stats.memory_cycles += latency
+                per_master = stats.per_master
+                per_master['MPC755_A'] = per_master.get('MPC755_A', 0) + 1
+        if write:
+            touch_write(address, data if data is not None else [0] * words)
+            return None
+        return touch_read(address, words)
+    return _txn_MPC755_A__GLOBAL_SRAM_G
+
+def _make__miss_MPC755_A__GLOBAL_SRAM_G(sim, arbiter, stats, request, access_latency, target, cslots):
+    # MPC755_A -> GLOBAL_SRAM_G cache-miss bursts over GLOBAL_BUS_SUB1
+    def _miss_MPC755_A__GLOBAL_SRAM_G(misses, line_words, write):
+        per_line = access_latency(0, line_words, write)
+        remaining = misses
+        while remaining > 0:
+            group = remaining if remaining < 8 else 8
+            remaining -= group
+            words = group * line_words
+            entry = sim.now
+            if arbiter.owner is None and not arbiter._pending:
+                arbiter.owner = 'MPC755_A'
+                arbiter.grants += 1
+                arbiter.busy_since = entry
+            else:
+                yield request('MPC755_A')
+            acquired = sim.now
+            memory_cycles = per_line * group
+            held = False
+            try:
+                held = True
+                yield (
+                    (3 if write else 3) * group
+                    + (max(words, 1) + 1) // 2 * 2
+                    + memory_cycles
+                )
+            finally:
+                if held:
+                    end = sim.now
+                    arbiter.owner = None
+                    arbiter.busy_cycles += end - arbiter.busy_since
+                    arbiter.busy_since = None
+                    if arbiter._pending:
+                        arbiter._dispatch()
+                    stats.transactions += 1
+                    if write:
+                        stats.write_transactions += 1
+                    else:
+                        stats.read_transactions += 1
+                    stats.words_moved += words
+                    stats.busy_cycles += end - entry
+                    stats.arbitration_cycles += acquired - entry
+                    stats.memory_cycles += memory_cycles
+                    per_master = stats.per_master
+                    per_master['MPC755_A'] = per_master.get('MPC755_A', 0) + 1
+            if write:
+                target.writes += words
+            else:
+                target.reads += words
+    return _miss_MPC755_A__GLOBAL_SRAM_G
+
+def _make__txn_MPC755_A__SRAM_A(sim, arbiter, stats, request, access_latency, touch_read, touch_write, cslots):
+    # MPC755_A -> SRAM_A over CPU_BUS_A: FCFS inlined, grant 3/3w, 2 w/beat, 1 cyc/beat
+    def _txn_MPC755_A__SRAM_A(address, words, write, data=None):
+        latency = access_latency(address, words, write)
+        entry = sim.now
+        if arbiter.owner is None and not arbiter._pending:
+            arbiter.owner = 'MPC755_A'
+            arbiter.grants += 1
+            arbiter.busy_since = entry
+        else:
+            yield request('MPC755_A')
+        acquired = sim.now
+        held = False
+        try:
+            held = True
+            yield (
+                (3 if write else 3)
+                + (max(words, 1) + 1) // 2 * 1
+                + latency
+            )
+        finally:
+            if held:
+                end = sim.now
+                arbiter.owner = None
+                arbiter.busy_cycles += end - arbiter.busy_since
+                arbiter.busy_since = None
+                if arbiter._pending:
+                    arbiter._dispatch()
+                stats.transactions += 1
+                if write:
+                    stats.write_transactions += 1
+                else:
+                    stats.read_transactions += 1
+                stats.words_moved += words
+                stats.busy_cycles += end - entry
+                stats.arbitration_cycles += acquired - entry
+                stats.memory_cycles += latency
+                per_master = stats.per_master
+                per_master['MPC755_A'] = per_master.get('MPC755_A', 0) + 1
+        if write:
+            touch_write(address, data if data is not None else [0] * words)
+            return None
+        return touch_read(address, words)
+    return _txn_MPC755_A__SRAM_A
+
+def _make__miss_MPC755_A__SRAM_A(sim, arbiter, stats, request, access_latency, target, cslots):
+    # MPC755_A -> SRAM_A cache-miss bursts over CPU_BUS_A
+    def _miss_MPC755_A__SRAM_A(misses, line_words, write):
+        per_line = access_latency(0, line_words, write)
+        remaining = misses
+        while remaining > 0:
+            group = remaining if remaining < 8 else 8
+            remaining -= group
+            words = group * line_words
+            entry = sim.now
+            if arbiter.owner is None and not arbiter._pending:
+                arbiter.owner = 'MPC755_A'
+                arbiter.grants += 1
+                arbiter.busy_since = entry
+            else:
+                yield request('MPC755_A')
+            acquired = sim.now
+            memory_cycles = per_line * group
+            held = False
+            try:
+                held = True
+                yield (
+                    (3 if write else 3) * group
+                    + (max(words, 1) + 1) // 2 * 1
+                    + memory_cycles
+                )
+            finally:
+                if held:
+                    end = sim.now
+                    arbiter.owner = None
+                    arbiter.busy_cycles += end - arbiter.busy_since
+                    arbiter.busy_since = None
+                    if arbiter._pending:
+                        arbiter._dispatch()
+                    stats.transactions += 1
+                    if write:
+                        stats.write_transactions += 1
+                    else:
+                        stats.read_transactions += 1
+                    stats.words_moved += words
+                    stats.busy_cycles += end - entry
+                    stats.arbitration_cycles += acquired - entry
+                    stats.memory_cycles += memory_cycles
+                    per_master = stats.per_master
+                    per_master['MPC755_A'] = per_master.get('MPC755_A', 0) + 1
+            if write:
+                target.writes += words
+            else:
+                target.reads += words
+    return _miss_MPC755_A__SRAM_A
+
+def _make__txn_MPC755_B__GLOBAL_SRAM_G(sim, arbiter, stats, request, access_latency, touch_read, touch_write, cslots):
+    # MPC755_B -> GLOBAL_SRAM_G over GLOBAL_BUS_SUB1: FCFS inlined, grant 3/3w, 2 w/beat, 2 cyc/beat
+    def _txn_MPC755_B__GLOBAL_SRAM_G(address, words, write, data=None):
+        latency = access_latency(address, words, write)
+        entry = sim.now
+        if arbiter.owner is None and not arbiter._pending:
+            arbiter.owner = 'MPC755_B'
+            arbiter.grants += 1
+            arbiter.busy_since = entry
+        else:
+            yield request('MPC755_B')
+        acquired = sim.now
+        held = False
+        try:
+            held = True
+            yield (
+                (3 if write else 3)
+                + (max(words, 1) + 1) // 2 * 2
+                + latency
+            )
+        finally:
+            if held:
+                end = sim.now
+                arbiter.owner = None
+                arbiter.busy_cycles += end - arbiter.busy_since
+                arbiter.busy_since = None
+                if arbiter._pending:
+                    arbiter._dispatch()
+                stats.transactions += 1
+                if write:
+                    stats.write_transactions += 1
+                else:
+                    stats.read_transactions += 1
+                stats.words_moved += words
+                stats.busy_cycles += end - entry
+                stats.arbitration_cycles += acquired - entry
+                stats.memory_cycles += latency
+                per_master = stats.per_master
+                per_master['MPC755_B'] = per_master.get('MPC755_B', 0) + 1
+        if write:
+            touch_write(address, data if data is not None else [0] * words)
+            return None
+        return touch_read(address, words)
+    return _txn_MPC755_B__GLOBAL_SRAM_G
+
+def _make__miss_MPC755_B__GLOBAL_SRAM_G(sim, arbiter, stats, request, access_latency, target, cslots):
+    # MPC755_B -> GLOBAL_SRAM_G cache-miss bursts over GLOBAL_BUS_SUB1
+    def _miss_MPC755_B__GLOBAL_SRAM_G(misses, line_words, write):
+        per_line = access_latency(0, line_words, write)
+        remaining = misses
+        while remaining > 0:
+            group = remaining if remaining < 8 else 8
+            remaining -= group
+            words = group * line_words
+            entry = sim.now
+            if arbiter.owner is None and not arbiter._pending:
+                arbiter.owner = 'MPC755_B'
+                arbiter.grants += 1
+                arbiter.busy_since = entry
+            else:
+                yield request('MPC755_B')
+            acquired = sim.now
+            memory_cycles = per_line * group
+            held = False
+            try:
+                held = True
+                yield (
+                    (3 if write else 3) * group
+                    + (max(words, 1) + 1) // 2 * 2
+                    + memory_cycles
+                )
+            finally:
+                if held:
+                    end = sim.now
+                    arbiter.owner = None
+                    arbiter.busy_cycles += end - arbiter.busy_since
+                    arbiter.busy_since = None
+                    if arbiter._pending:
+                        arbiter._dispatch()
+                    stats.transactions += 1
+                    if write:
+                        stats.write_transactions += 1
+                    else:
+                        stats.read_transactions += 1
+                    stats.words_moved += words
+                    stats.busy_cycles += end - entry
+                    stats.arbitration_cycles += acquired - entry
+                    stats.memory_cycles += memory_cycles
+                    per_master = stats.per_master
+                    per_master['MPC755_B'] = per_master.get('MPC755_B', 0) + 1
+            if write:
+                target.writes += words
+            else:
+                target.reads += words
+    return _miss_MPC755_B__GLOBAL_SRAM_G
+
+def _make__txn_MPC755_B__SRAM_B(sim, arbiter, stats, request, access_latency, touch_read, touch_write, cslots):
+    # MPC755_B -> SRAM_B over CPU_BUS_B: FCFS inlined, grant 3/3w, 2 w/beat, 1 cyc/beat
+    def _txn_MPC755_B__SRAM_B(address, words, write, data=None):
+        latency = access_latency(address, words, write)
+        entry = sim.now
+        if arbiter.owner is None and not arbiter._pending:
+            arbiter.owner = 'MPC755_B'
+            arbiter.grants += 1
+            arbiter.busy_since = entry
+        else:
+            yield request('MPC755_B')
+        acquired = sim.now
+        held = False
+        try:
+            held = True
+            yield (
+                (3 if write else 3)
+                + (max(words, 1) + 1) // 2 * 1
+                + latency
+            )
+        finally:
+            if held:
+                end = sim.now
+                arbiter.owner = None
+                arbiter.busy_cycles += end - arbiter.busy_since
+                arbiter.busy_since = None
+                if arbiter._pending:
+                    arbiter._dispatch()
+                stats.transactions += 1
+                if write:
+                    stats.write_transactions += 1
+                else:
+                    stats.read_transactions += 1
+                stats.words_moved += words
+                stats.busy_cycles += end - entry
+                stats.arbitration_cycles += acquired - entry
+                stats.memory_cycles += latency
+                per_master = stats.per_master
+                per_master['MPC755_B'] = per_master.get('MPC755_B', 0) + 1
+        if write:
+            touch_write(address, data if data is not None else [0] * words)
+            return None
+        return touch_read(address, words)
+    return _txn_MPC755_B__SRAM_B
+
+def _make__miss_MPC755_B__SRAM_B(sim, arbiter, stats, request, access_latency, target, cslots):
+    # MPC755_B -> SRAM_B cache-miss bursts over CPU_BUS_B
+    def _miss_MPC755_B__SRAM_B(misses, line_words, write):
+        per_line = access_latency(0, line_words, write)
+        remaining = misses
+        while remaining > 0:
+            group = remaining if remaining < 8 else 8
+            remaining -= group
+            words = group * line_words
+            entry = sim.now
+            if arbiter.owner is None and not arbiter._pending:
+                arbiter.owner = 'MPC755_B'
+                arbiter.grants += 1
+                arbiter.busy_since = entry
+            else:
+                yield request('MPC755_B')
+            acquired = sim.now
+            memory_cycles = per_line * group
+            held = False
+            try:
+                held = True
+                yield (
+                    (3 if write else 3) * group
+                    + (max(words, 1) + 1) // 2 * 1
+                    + memory_cycles
+                )
+            finally:
+                if held:
+                    end = sim.now
+                    arbiter.owner = None
+                    arbiter.busy_cycles += end - arbiter.busy_since
+                    arbiter.busy_since = None
+                    if arbiter._pending:
+                        arbiter._dispatch()
+                    stats.transactions += 1
+                    if write:
+                        stats.write_transactions += 1
+                    else:
+                        stats.read_transactions += 1
+                    stats.words_moved += words
+                    stats.busy_cycles += end - entry
+                    stats.arbitration_cycles += acquired - entry
+                    stats.memory_cycles += memory_cycles
+                    per_master = stats.per_master
+                    per_master['MPC755_B'] = per_master.get('MPC755_B', 0) + 1
+            if write:
+                target.writes += words
+            else:
+                target.reads += words
+    return _miss_MPC755_B__SRAM_B
+
+def _make__txn_MPC755_C__GLOBAL_SRAM_G(sim, arbiter, stats, request, access_latency, touch_read, touch_write, cslots):
+    # MPC755_C -> GLOBAL_SRAM_G over GLOBAL_BUS_SUB1: FCFS inlined, grant 3/3w, 2 w/beat, 2 cyc/beat
+    def _txn_MPC755_C__GLOBAL_SRAM_G(address, words, write, data=None):
+        latency = access_latency(address, words, write)
+        entry = sim.now
+        if arbiter.owner is None and not arbiter._pending:
+            arbiter.owner = 'MPC755_C'
+            arbiter.grants += 1
+            arbiter.busy_since = entry
+        else:
+            yield request('MPC755_C')
+        acquired = sim.now
+        held = False
+        try:
+            held = True
+            yield (
+                (3 if write else 3)
+                + (max(words, 1) + 1) // 2 * 2
+                + latency
+            )
+        finally:
+            if held:
+                end = sim.now
+                arbiter.owner = None
+                arbiter.busy_cycles += end - arbiter.busy_since
+                arbiter.busy_since = None
+                if arbiter._pending:
+                    arbiter._dispatch()
+                stats.transactions += 1
+                if write:
+                    stats.write_transactions += 1
+                else:
+                    stats.read_transactions += 1
+                stats.words_moved += words
+                stats.busy_cycles += end - entry
+                stats.arbitration_cycles += acquired - entry
+                stats.memory_cycles += latency
+                per_master = stats.per_master
+                per_master['MPC755_C'] = per_master.get('MPC755_C', 0) + 1
+        if write:
+            touch_write(address, data if data is not None else [0] * words)
+            return None
+        return touch_read(address, words)
+    return _txn_MPC755_C__GLOBAL_SRAM_G
+
+def _make__miss_MPC755_C__GLOBAL_SRAM_G(sim, arbiter, stats, request, access_latency, target, cslots):
+    # MPC755_C -> GLOBAL_SRAM_G cache-miss bursts over GLOBAL_BUS_SUB1
+    def _miss_MPC755_C__GLOBAL_SRAM_G(misses, line_words, write):
+        per_line = access_latency(0, line_words, write)
+        remaining = misses
+        while remaining > 0:
+            group = remaining if remaining < 8 else 8
+            remaining -= group
+            words = group * line_words
+            entry = sim.now
+            if arbiter.owner is None and not arbiter._pending:
+                arbiter.owner = 'MPC755_C'
+                arbiter.grants += 1
+                arbiter.busy_since = entry
+            else:
+                yield request('MPC755_C')
+            acquired = sim.now
+            memory_cycles = per_line * group
+            held = False
+            try:
+                held = True
+                yield (
+                    (3 if write else 3) * group
+                    + (max(words, 1) + 1) // 2 * 2
+                    + memory_cycles
+                )
+            finally:
+                if held:
+                    end = sim.now
+                    arbiter.owner = None
+                    arbiter.busy_cycles += end - arbiter.busy_since
+                    arbiter.busy_since = None
+                    if arbiter._pending:
+                        arbiter._dispatch()
+                    stats.transactions += 1
+                    if write:
+                        stats.write_transactions += 1
+                    else:
+                        stats.read_transactions += 1
+                    stats.words_moved += words
+                    stats.busy_cycles += end - entry
+                    stats.arbitration_cycles += acquired - entry
+                    stats.memory_cycles += memory_cycles
+                    per_master = stats.per_master
+                    per_master['MPC755_C'] = per_master.get('MPC755_C', 0) + 1
+            if write:
+                target.writes += words
+            else:
+                target.reads += words
+    return _miss_MPC755_C__GLOBAL_SRAM_G
+
+def _make__txn_MPC755_C__SRAM_C(sim, arbiter, stats, request, access_latency, touch_read, touch_write, cslots):
+    # MPC755_C -> SRAM_C over CPU_BUS_C: FCFS inlined, grant 3/3w, 2 w/beat, 1 cyc/beat
+    def _txn_MPC755_C__SRAM_C(address, words, write, data=None):
+        latency = access_latency(address, words, write)
+        entry = sim.now
+        if arbiter.owner is None and not arbiter._pending:
+            arbiter.owner = 'MPC755_C'
+            arbiter.grants += 1
+            arbiter.busy_since = entry
+        else:
+            yield request('MPC755_C')
+        acquired = sim.now
+        held = False
+        try:
+            held = True
+            yield (
+                (3 if write else 3)
+                + (max(words, 1) + 1) // 2 * 1
+                + latency
+            )
+        finally:
+            if held:
+                end = sim.now
+                arbiter.owner = None
+                arbiter.busy_cycles += end - arbiter.busy_since
+                arbiter.busy_since = None
+                if arbiter._pending:
+                    arbiter._dispatch()
+                stats.transactions += 1
+                if write:
+                    stats.write_transactions += 1
+                else:
+                    stats.read_transactions += 1
+                stats.words_moved += words
+                stats.busy_cycles += end - entry
+                stats.arbitration_cycles += acquired - entry
+                stats.memory_cycles += latency
+                per_master = stats.per_master
+                per_master['MPC755_C'] = per_master.get('MPC755_C', 0) + 1
+        if write:
+            touch_write(address, data if data is not None else [0] * words)
+            return None
+        return touch_read(address, words)
+    return _txn_MPC755_C__SRAM_C
+
+def _make__miss_MPC755_C__SRAM_C(sim, arbiter, stats, request, access_latency, target, cslots):
+    # MPC755_C -> SRAM_C cache-miss bursts over CPU_BUS_C
+    def _miss_MPC755_C__SRAM_C(misses, line_words, write):
+        per_line = access_latency(0, line_words, write)
+        remaining = misses
+        while remaining > 0:
+            group = remaining if remaining < 8 else 8
+            remaining -= group
+            words = group * line_words
+            entry = sim.now
+            if arbiter.owner is None and not arbiter._pending:
+                arbiter.owner = 'MPC755_C'
+                arbiter.grants += 1
+                arbiter.busy_since = entry
+            else:
+                yield request('MPC755_C')
+            acquired = sim.now
+            memory_cycles = per_line * group
+            held = False
+            try:
+                held = True
+                yield (
+                    (3 if write else 3) * group
+                    + (max(words, 1) + 1) // 2 * 1
+                    + memory_cycles
+                )
+            finally:
+                if held:
+                    end = sim.now
+                    arbiter.owner = None
+                    arbiter.busy_cycles += end - arbiter.busy_since
+                    arbiter.busy_since = None
+                    if arbiter._pending:
+                        arbiter._dispatch()
+                    stats.transactions += 1
+                    if write:
+                        stats.write_transactions += 1
+                    else:
+                        stats.read_transactions += 1
+                    stats.words_moved += words
+                    stats.busy_cycles += end - entry
+                    stats.arbitration_cycles += acquired - entry
+                    stats.memory_cycles += memory_cycles
+                    per_master = stats.per_master
+                    per_master['MPC755_C'] = per_master.get('MPC755_C', 0) + 1
+            if write:
+                target.writes += words
+            else:
+                target.reads += words
+    return _miss_MPC755_C__SRAM_C
+
+def _make__txn_MPC755_D__GLOBAL_SRAM_G(sim, arbiter, stats, request, access_latency, touch_read, touch_write, cslots):
+    # MPC755_D -> GLOBAL_SRAM_G over GLOBAL_BUS_SUB1: FCFS inlined, grant 3/3w, 2 w/beat, 2 cyc/beat
+    def _txn_MPC755_D__GLOBAL_SRAM_G(address, words, write, data=None):
+        latency = access_latency(address, words, write)
+        entry = sim.now
+        if arbiter.owner is None and not arbiter._pending:
+            arbiter.owner = 'MPC755_D'
+            arbiter.grants += 1
+            arbiter.busy_since = entry
+        else:
+            yield request('MPC755_D')
+        acquired = sim.now
+        held = False
+        try:
+            held = True
+            yield (
+                (3 if write else 3)
+                + (max(words, 1) + 1) // 2 * 2
+                + latency
+            )
+        finally:
+            if held:
+                end = sim.now
+                arbiter.owner = None
+                arbiter.busy_cycles += end - arbiter.busy_since
+                arbiter.busy_since = None
+                if arbiter._pending:
+                    arbiter._dispatch()
+                stats.transactions += 1
+                if write:
+                    stats.write_transactions += 1
+                else:
+                    stats.read_transactions += 1
+                stats.words_moved += words
+                stats.busy_cycles += end - entry
+                stats.arbitration_cycles += acquired - entry
+                stats.memory_cycles += latency
+                per_master = stats.per_master
+                per_master['MPC755_D'] = per_master.get('MPC755_D', 0) + 1
+        if write:
+            touch_write(address, data if data is not None else [0] * words)
+            return None
+        return touch_read(address, words)
+    return _txn_MPC755_D__GLOBAL_SRAM_G
+
+def _make__miss_MPC755_D__GLOBAL_SRAM_G(sim, arbiter, stats, request, access_latency, target, cslots):
+    # MPC755_D -> GLOBAL_SRAM_G cache-miss bursts over GLOBAL_BUS_SUB1
+    def _miss_MPC755_D__GLOBAL_SRAM_G(misses, line_words, write):
+        per_line = access_latency(0, line_words, write)
+        remaining = misses
+        while remaining > 0:
+            group = remaining if remaining < 8 else 8
+            remaining -= group
+            words = group * line_words
+            entry = sim.now
+            if arbiter.owner is None and not arbiter._pending:
+                arbiter.owner = 'MPC755_D'
+                arbiter.grants += 1
+                arbiter.busy_since = entry
+            else:
+                yield request('MPC755_D')
+            acquired = sim.now
+            memory_cycles = per_line * group
+            held = False
+            try:
+                held = True
+                yield (
+                    (3 if write else 3) * group
+                    + (max(words, 1) + 1) // 2 * 2
+                    + memory_cycles
+                )
+            finally:
+                if held:
+                    end = sim.now
+                    arbiter.owner = None
+                    arbiter.busy_cycles += end - arbiter.busy_since
+                    arbiter.busy_since = None
+                    if arbiter._pending:
+                        arbiter._dispatch()
+                    stats.transactions += 1
+                    if write:
+                        stats.write_transactions += 1
+                    else:
+                        stats.read_transactions += 1
+                    stats.words_moved += words
+                    stats.busy_cycles += end - entry
+                    stats.arbitration_cycles += acquired - entry
+                    stats.memory_cycles += memory_cycles
+                    per_master = stats.per_master
+                    per_master['MPC755_D'] = per_master.get('MPC755_D', 0) + 1
+            if write:
+                target.writes += words
+            else:
+                target.reads += words
+    return _miss_MPC755_D__GLOBAL_SRAM_G
+
+def _make__txn_MPC755_D__SRAM_D(sim, arbiter, stats, request, access_latency, touch_read, touch_write, cslots):
+    # MPC755_D -> SRAM_D over CPU_BUS_D: FCFS inlined, grant 3/3w, 2 w/beat, 1 cyc/beat
+    def _txn_MPC755_D__SRAM_D(address, words, write, data=None):
+        latency = access_latency(address, words, write)
+        entry = sim.now
+        if arbiter.owner is None and not arbiter._pending:
+            arbiter.owner = 'MPC755_D'
+            arbiter.grants += 1
+            arbiter.busy_since = entry
+        else:
+            yield request('MPC755_D')
+        acquired = sim.now
+        held = False
+        try:
+            held = True
+            yield (
+                (3 if write else 3)
+                + (max(words, 1) + 1) // 2 * 1
+                + latency
+            )
+        finally:
+            if held:
+                end = sim.now
+                arbiter.owner = None
+                arbiter.busy_cycles += end - arbiter.busy_since
+                arbiter.busy_since = None
+                if arbiter._pending:
+                    arbiter._dispatch()
+                stats.transactions += 1
+                if write:
+                    stats.write_transactions += 1
+                else:
+                    stats.read_transactions += 1
+                stats.words_moved += words
+                stats.busy_cycles += end - entry
+                stats.arbitration_cycles += acquired - entry
+                stats.memory_cycles += latency
+                per_master = stats.per_master
+                per_master['MPC755_D'] = per_master.get('MPC755_D', 0) + 1
+        if write:
+            touch_write(address, data if data is not None else [0] * words)
+            return None
+        return touch_read(address, words)
+    return _txn_MPC755_D__SRAM_D
+
+def _make__miss_MPC755_D__SRAM_D(sim, arbiter, stats, request, access_latency, target, cslots):
+    # MPC755_D -> SRAM_D cache-miss bursts over CPU_BUS_D
+    def _miss_MPC755_D__SRAM_D(misses, line_words, write):
+        per_line = access_latency(0, line_words, write)
+        remaining = misses
+        while remaining > 0:
+            group = remaining if remaining < 8 else 8
+            remaining -= group
+            words = group * line_words
+            entry = sim.now
+            if arbiter.owner is None and not arbiter._pending:
+                arbiter.owner = 'MPC755_D'
+                arbiter.grants += 1
+                arbiter.busy_since = entry
+            else:
+                yield request('MPC755_D')
+            acquired = sim.now
+            memory_cycles = per_line * group
+            held = False
+            try:
+                held = True
+                yield (
+                    (3 if write else 3) * group
+                    + (max(words, 1) + 1) // 2 * 1
+                    + memory_cycles
+                )
+            finally:
+                if held:
+                    end = sim.now
+                    arbiter.owner = None
+                    arbiter.busy_cycles += end - arbiter.busy_since
+                    arbiter.busy_since = None
+                    if arbiter._pending:
+                        arbiter._dispatch()
+                    stats.transactions += 1
+                    if write:
+                        stats.write_transactions += 1
+                    else:
+                        stats.read_transactions += 1
+                    stats.words_moved += words
+                    stats.busy_cycles += end - entry
+                    stats.arbitration_cycles += acquired - entry
+                    stats.memory_cycles += memory_cycles
+                    per_master = stats.per_master
+                    per_master['MPC755_D'] = per_master.get('MPC755_D', 0) + 1
+            if write:
+                target.writes += words
+            else:
+                target.reads += words
+    return _miss_MPC755_D__SRAM_D

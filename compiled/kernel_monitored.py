@@ -1,0 +1,132 @@
+def _compiled_run_monitored(sim, stop_event, deadline, limit):
+    buckets = sim._buckets
+    overflow = sim._overflow
+    pool = sim._timeout_pool
+    pop = heappop
+    pooled_type = _PooledTimeout
+    entry_type = tuple
+    mask = _WHEEL_MASK
+    size = WHEEL_SIZE
+    bits = _WHEEL_BITS
+    clears = _WHEEL_CLEARS
+    low_masks = _LOW_MASKS
+    peak = sim.peak_queue_depth
+    steps = 0
+    try:
+        while True:
+            if stop_event is not None and stop_event._fired:
+                return stop_event.value
+            now = sim.now
+            if buckets[now & mask]:
+                when = now
+            else:
+                occupied = sim._occupied
+                if occupied and buckets[(now + 1) & mask]:
+                    when = now + 1
+                elif occupied:
+                    index = now & mask
+                    ahead = occupied >> index
+                    if ahead:
+                        when = now + (ahead & -ahead).bit_length() - 1
+                    else:
+                        low = occupied & low_masks[index]
+                        when = (
+                            now + size - index + (low & -low).bit_length() - 1
+                        )
+                else:
+                    when = None
+            if overflow:
+                over_when = overflow[0][0]
+                if when is None or over_when < when:
+                    when = over_when
+            elif when is None:
+                break
+            if deadline is not None and when >= deadline:
+                sim.now = deadline
+                return None
+            sim.now = when
+            while overflow and overflow[0][0] == when:
+                if stop_event is not None and stop_event._fired:
+                    return stop_event.value
+                depth = sim._wheel_count + len(overflow)
+                if depth > peak:
+                    peak = depth
+                event = pop(overflow)[2]
+                event._fire()
+                if type(event) is pooled_type:
+                    pool.append(event)
+                steps += 1
+                if steps > limit:
+                    raise SimulationError("event limit exceeded (livelock?)")
+            index = when & mask
+            bucket = buckets[index]
+            if not bucket:
+                continue
+            fired = 0
+            try:
+                while fired < len(bucket):
+                    if stop_event is not None and stop_event._fired:
+                        return stop_event.value
+                    depth = sim._wheel_count - fired + len(overflow)
+                    if depth > peak:
+                        peak = depth
+                    entry = bucket[fired]
+                    fired += 1
+                    steps += 1
+                    if type(entry) is entry_type:
+                        process = entry[0]
+                        if process._target is not entry or process._interrupts:
+                            process._resume(entry)
+                        else:
+                            try:
+                                nxt = process._send(None)
+                            except StopIteration as stop:
+                                process._target = None
+                                process._triggered = True
+                                process._value = stop.value
+                                sim._schedule(process)
+                            except Interrupt:
+                                raise SimulationError(
+                                    "process %r did not handle an Interrupt"
+                                    % process.name
+                                )
+                            except BaseException as error:
+                                process._target = None
+                                process._triggered = True
+                                process._exception = error
+                                sim._schedule(process)
+                            else:
+                                if type(nxt) is int and 0 <= nxt < size:
+                                    j = (when + nxt) & mask
+                                    buckets[j].append(entry)
+                                    sim._occupied |= bits[j]
+                                    sim._wheel_count += 1
+                                else:
+                                    _resume_slow(sim, process, nxt)
+                    else:
+                        event = entry
+                        event._fire()
+                        if type(event) is pooled_type:
+                            pool.append(event)
+                    if steps > limit:
+                        raise SimulationError("event limit exceeded (livelock?)")
+            finally:
+                if fired:
+                    sim._wheel_count -= fired
+                    del bucket[:fired]
+                if not bucket:
+                    sim._occupied &= clears[index]
+        if stop_event is not None:
+            if stop_event._fired:
+                return stop_event.value
+            raise SimulationError(
+                "simulation ran to quiescence before the awaited event fired"
+            )
+        if deadline is not None:
+            sim.now = deadline
+        return None
+    finally:
+        if peak > sim.peak_queue_depth:
+            sim.peak_queue_depth = peak
+        sim.events_processed += steps
+        _kernel._TOTAL_EVENTS = _kernel._TOTAL_EVENTS + steps

@@ -1,0 +1,174 @@
+def _compiled_run_stop(sim, stop_event, deadline, limit):
+    buckets = sim._buckets
+    overflow = sim._overflow
+    pool = sim._timeout_pool
+    pop = heappop
+    pooled_type = _PooledTimeout
+    entry_type = tuple
+    mask = _WHEEL_MASK
+    size = WHEEL_SIZE
+    one = 1
+    bits = _WHEEL_BITS
+    clears = _WHEEL_CLEARS
+    low_masks = _LOW_MASKS
+    llen = len
+    steps = 0
+    pending1 = []
+    p1_append = pending1.append
+    try:
+        while True:
+            if stop_event._fired:
+                return stop_event.value
+            now = sim.now
+            if buckets[now & mask]:
+                when = now
+            else:
+                occupied = sim._occupied
+                if occupied and buckets[(now + 1) & mask]:
+                    when = now + 1
+                elif occupied:
+                    index = now & mask
+                    ahead = occupied >> index
+                    if ahead:
+                        when = now + (ahead & -ahead).bit_length() - 1
+                    else:
+                        low = occupied & low_masks[index]
+                        when = (
+                            now + size - index + (low & -low).bit_length() - 1
+                        )
+                else:
+                    when = None
+            if overflow:
+                over_when = overflow[0][0]
+                if when is None or over_when < when:
+                    when = over_when
+            elif when is None:
+                break
+            sim.now = when
+            while overflow and overflow[0][0] == when:
+                if stop_event._fired:
+                    return stop_event.value
+                event = pop(overflow)[2]
+                event._fire()
+                if type(event) is pooled_type:
+                    pool.append(event)
+                steps += 1
+                if steps > limit:
+                    raise SimulationError("event limit exceeded (livelock?)")
+            index = when & mask
+            bucket = buckets[index]
+            if not bucket:
+                continue
+            next_index = (when + 1) & mask
+            next_bucket = buckets[next_index]
+            next_bit = bits[next_index]
+            fired = 0
+            appended = 0
+            add_bits = 0
+            limit_left = limit - steps
+            try:
+                # Iterating the live list: a CPython list iterator picks up
+                # entries appended during iteration, so zero-delay events
+                # scheduled by a callback still fire this same cycle --
+                # without a len() call or subscript per event.  ``steps`` is
+                # folded in once per bucket (finally); the per-event limit
+                # guard compares ``fired`` against the hoisted remainder.
+                for entry in bucket:
+                    if stop_event._fired:
+                        return stop_event.value
+                    fired += 1
+                    if type(entry) is entry_type:
+                        process = entry[0]
+                        if process._target is not entry or process._interrupts:
+                            # Stale entry, queued interrupt, or finished
+                            # process: the generic resume sorts them out
+                            # with heap-identical semantics.
+                            if pending1:
+                                next_bucket.extend(pending1)
+                                add_bits |= next_bit
+                                appended += llen(pending1)
+                                del pending1[:]
+                            process._resume(entry)
+                        else:
+                            try:
+                                nxt = process._send(None)
+                            except StopIteration as stop:
+                                process._target = None
+                                process._triggered = True
+                                process._value = stop.value
+                                if pending1:
+                                    next_bucket.extend(pending1)
+                                    add_bits |= next_bit
+                                    appended += llen(pending1)
+                                    del pending1[:]
+                                sim._schedule(process)
+                            except Interrupt:
+                                raise SimulationError(
+                                    "process %r did not handle an Interrupt"
+                                    % process.name
+                                )
+                            except BaseException as error:
+                                process._target = None
+                                process._triggered = True
+                                process._exception = error
+                                if pending1:
+                                    next_bucket.extend(pending1)
+                                    add_bits |= next_bit
+                                    appended += llen(pending1)
+                                    del pending1[:]
+                                sim._schedule(process)
+                            else:
+                                if nxt is one:
+                                    p1_append(entry)
+                                elif type(nxt) is int and 0 <= nxt < size:
+                                    j = (when + nxt) & mask
+                                    buckets[j].append(entry)
+                                    add_bits |= bits[j]
+                                    appended += 1
+                                else:
+                                    if pending1:
+                                        next_bucket.extend(pending1)
+                                        add_bits |= next_bit
+                                        appended += llen(pending1)
+                                        del pending1[:]
+                                    _resume_slow(sim, process, nxt)
+                    else:
+                        if pending1:
+                            next_bucket.extend(pending1)
+                            add_bits |= next_bit
+                            appended += llen(pending1)
+                            del pending1[:]
+                        if type(entry) is pooled_type:
+                            entry._fired = True
+                            callbacks = entry.callbacks
+                            callback = callbacks[0]
+                            callbacks.clear()
+                            callback(entry)
+                            pool.append(entry)
+                        else:
+                            entry._fire()
+                    if fired > limit_left:
+                        raise SimulationError("event limit exceeded (livelock?)")
+            finally:
+                steps += fired
+                if pending1:
+                    next_bucket.extend(pending1)
+                    add_bits |= next_bit
+                    appended += llen(pending1)
+                    del pending1[:]
+                if fired:
+                    sim._wheel_count += appended - fired
+                    del bucket[:fired]
+                occupied = sim._occupied | add_bits
+                if not bucket:
+                    occupied &= clears[index]
+                sim._occupied = occupied
+        if stop_event._fired:
+            return stop_event.value
+        raise SimulationError(
+            "simulation ran to quiescence before the awaited event fired"
+        )
+        return None
+    finally:
+        sim.events_processed += steps
+        _kernel._TOTAL_EVENTS = _kernel._TOTAL_EVENTS + steps
