@@ -301,6 +301,61 @@ def bench_counters(kernel: str = "compiled", packets: int = 2, rounds: int = 1) 
     }
 
 
+def bench_dse_sweep(smoke: bool = False, kernel: str = "compiled") -> dict:
+    """Cold-vs-warm DSE sweep throughput (docs/dse.md).
+
+    Runs the bench sweep twice against a fresh temporary artifact cache:
+    the cold pass generates and simulates every config, the warm pass
+    must be pure cache reads.  Both passes run with ``jobs=1`` so the
+    speedup measures the cache alone, not pool fan-out.  Outside
+    ``--smoke`` the warm pass must be at least ``gates.dse_warm_vs_cold``
+    (5x) faster; the warm hit ratio (``gates.dse_warm_hit_ratio_min``)
+    and cold/warm frontier identity are determinism checks and gate even
+    under ``--smoke``.
+    """
+    import shutil
+    import tempfile
+
+    from ..dse.engine import run_sweep
+    from ..dse.spec import bench_spec
+    from ..obs.ledger import scrub_timings
+
+    sweep = bench_spec(smoke=smoke)
+    tmp = tempfile.mkdtemp(prefix="repro-bench-dse-")
+    try:
+        cold = run_sweep(sweep, jobs=1, kernel=kernel, cache_dir=tmp)
+        warm = run_sweep(sweep, jobs=1, kernel=kernel, cache_dir=tmp)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    cold_seconds = cold["seconds"]
+    warm_seconds = warm["seconds"]
+    warm_cache = warm["cache_stats"]
+    return {
+        "smoke": smoke,
+        "kernel": kernel,
+        "spec": sweep.name,
+        "configs": cold["configs"],
+        "expanded": cold["expanded"],
+        "errors": cold["errors"],
+        "frontier_size": len(cold["frontier"]),
+        "frontier_identical": scrub_timings(cold["frontier"])
+        == scrub_timings(warm["frontier"]),
+        # Wall-clock / cache-state tail (ledger-scrubbed keys).
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else 0.0,
+        "configs_per_sec": {
+            "cold": cold["configs_per_sec"],
+            "warm": warm["configs_per_sec"],
+        },
+        "cache_stats": {
+            "cold": cold["cache_stats"],
+            "warm": warm_cache,
+            "warm_hit_ratio": warm_cache["hit_ratio"],
+        },
+    }
+
+
 def _table5_key(row) -> dict:
     """Table V row minus its wall-clock field (generation_time_ms measures
     *this* run's generator speed, not simulated behaviour)."""
@@ -445,8 +500,26 @@ def run_harness(
     counters = bench_counters(
         packets=scales["report_packets"], rounds=1 if smoke else max(1, rounds)
     )
+    dse_sweep = bench_dse_sweep(smoke=smoke)
 
     failures: List[str] = []
+    # DSE identity gates run even under --smoke (determinism checks); the
+    # warm-vs-cold speedup floor only gates the full-size sweep.
+    if not dse_sweep["frontier_identical"]:
+        failures.append("dse_sweep: warm frontier differs from cold frontier")
+    hit_floor = gates.get("dse_warm_hit_ratio_min")
+    if hit_floor is not None and dse_sweep["cache_stats"]["warm_hit_ratio"] < hit_floor:
+        failures.append(
+            "dse_sweep: warm hit ratio %.2f below the %.2f floor"
+            % (dse_sweep["cache_stats"]["warm_hit_ratio"], hit_floor)
+        )
+    speedup_floor = gates.get("dse_warm_vs_cold")
+    if not smoke and speedup_floor is not None:
+        if dse_sweep["speedup"] < speedup_floor:
+            failures.append(
+                "dse_sweep: warm only %.1fx cold, below the %.1fx floor"
+                % (dse_sweep["speedup"], speedup_floor)
+            )
     # Counter-plane identity gates run even under --smoke: they are
     # determinism checks, not timing checks.
     if not counters["bit_identical"]:
@@ -546,6 +619,7 @@ def run_harness(
         "backend_parity": parity,
         "run_report": run_report,
         "counters": counters,
+        "dse_sweep": dse_sweep,
         "baselines": baselines,
         "vs_seed": vs_seed,
         "failures": failures,
@@ -633,6 +707,20 @@ def _print_summary(report: dict) -> None:
                 100.0 * counters["overhead_fraction"],
                 counters["bit_identical"],
                 counters["stayed_specialized"],
+            )
+        )
+    dse_sweep = report.get("dse_sweep")
+    if dse_sweep:
+        print(
+            "dse_sweep : %d configs, cold %.1f/s warm %.1f/s (%.0fx), "
+            "warm hits %.0f%%, frontier_identical=%s"
+            % (
+                dse_sweep["configs"],
+                dse_sweep["configs_per_sec"]["cold"],
+                dse_sweep["configs_per_sec"]["warm"],
+                dse_sweep["speedup"],
+                100.0 * dse_sweep["cache_stats"]["warm_hit_ratio"],
+                dse_sweep["frontier_identical"],
             )
         )
     run_report = report["run_report"]

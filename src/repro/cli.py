@@ -652,6 +652,64 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_dse(args) -> int:
+    """Run a design-space-exploration sweep (docs/dse.md)."""
+    import json
+    import time
+
+    from .dse.engine import format_sweep_lines, run_sweep
+    from .dse.pareto import format_frontier_lines, format_markdown_report
+    from .dse.spec import SweepSpec, smoke_spec
+
+    if args.spec:
+        sweep = SweepSpec.from_file(args.spec)
+    else:
+        sweep = smoke_spec()
+    start = time.perf_counter()
+    summary = run_sweep(
+        sweep,
+        jobs=args.jobs,
+        kernel=args.kernel,
+        budget=args.budget,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=print,
+    )
+    wall = time.perf_counter() - start
+    for line in format_sweep_lines(summary, top=args.top):
+        print(line)
+    for line in format_frontier_lines(summary["frontier"]):
+        print(line)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out)
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(format_markdown_report(summary))
+        print("wrote %s" % args.markdown)
+    ledger = _ledger_for(args)
+    if ledger is not None:
+        # --jobs and cache state are scheduling facts, not design facts:
+        # they stay out of the hashed options so cold/warm and 1-vs-N-job
+        # sweeps of one spec land on the same options hash.
+        ledger.write(
+            "dse",
+            options={
+                "spec": summary["spec"],
+                "spec_hash": summary["spec_hash"],
+                "kernel": summary["kernel"],
+                "budget": args.budget,
+            },
+            backend=summary["kernel"],
+            arch=sorted({row["options"]["bus"] for row in summary["results"]}),
+            summary=summary,
+            wall_seconds=wall,
+        )
+    return 1 if summary["errors"] else 0
+
+
 def _cmd_list(_args) -> int:
     from .moduledb import default_library
 
@@ -939,6 +997,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable JSON output"
     )
     report.set_defaults(func=_cmd_report)
+
+    dse = sub.add_parser(
+        "dse",
+        help="design-space exploration: sharded sweep + Pareto report "
+        "(docs/dse.md)",
+    )
+    dse.add_argument(
+        "--spec",
+        help="sweep specification JSON (axes/cases/score/seed; docs/dse.md); "
+        "default: the built-in smoke sweep",
+    )
+    dse.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the built-in smoke sweep (the default when --spec is absent)",
+    )
+    dse.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; shards are assigned by config hash, so the "
+        "frontier is identical at any --jobs value",
+    )
+    dse.add_argument(
+        "--budget",
+        type=int,
+        help="cap the queue at the first N configs (canonical order)",
+    )
+    dse.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the artifact cache (re-simulate every config)",
+    )
+    from .dse.cache import DEFAULT_CACHE_DIR
+
+    dse.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="artifact-cache directory (default: .repro/dse)",
+    )
+    dse.add_argument("--top", type=int, default=10, help="ranked rows to print")
+    dse.add_argument("-o", "--out", help="write the full sweep summary as JSON")
+    dse.add_argument("--markdown", help="write the ranked report as markdown")
+    add_kernel_argument(dse)
+    add_ledger_arguments(dse)
+    dse.set_defaults(func=_cmd_dse)
 
     listing = sub.add_parser("list", help="list presets and library components")
     listing.set_defaults(func=_cmd_list)

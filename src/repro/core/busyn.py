@@ -13,9 +13,10 @@ generation, BAN integration, Bus Subsystem generation, Bus System assembly
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..hdl.ast import Design
 from ..hdl.emitter import emit_design, emit_module
@@ -140,27 +141,54 @@ class BusSyn:
     """The bus synthesis tool: libraries in, Verilog out, in seconds.
 
     Generation is deterministic in the spec (and the libraries), so results
-    are memoized per tool instance, keyed by :meth:`spec_key`.  A cache hit
-    returns the *original* :class:`GeneratedBusSystem` -- including its
-    first-run ``generation_time_ms`` -- which is what repeated-measurement
-    harnesses want.  Pass ``cache=False`` to time every generation afresh
-    (the Table V measurement path does this).
+    are cached at two levels, both keyed by the spec:
+
+    * an in-process **memo** per tool instance (keyed by :meth:`spec_key`),
+      which returns the *original* :class:`GeneratedBusSystem` object --
+      including its first-run ``generation_time_ms`` -- which is what
+      repeated-measurement harnesses want;
+    * an optional shared **store** (``store=``), any object with
+      ``get_object(kind, key)`` / ``put_object(kind, key, payload)`` --
+      in practice the content-addressed :class:`~repro.dse.cache.ArtifactCache`
+      under ``.repro/dse/`` -- which persists pickled generated systems
+      across tool instances *and across processes*, keyed by
+      :meth:`spec_hash`.  DSE sweep workers all share one store, so a spec
+      is generated once per fleet rather than once per worker.
+
+    Pass ``cache=False`` to bypass **both** levels and time every
+    generation afresh (the Table V measurement path does this).
     """
+
+    #: Store namespace for generated systems.
+    STORE_KIND = "busyn"
 
     def __init__(
         self,
         module_library: Optional[ModuleLibrary] = None,
         wire_library: Optional[WireLibrary] = None,
         cache: bool = True,
+        store: Optional[Any] = None,
     ):
         self.module_library = module_library or default_library()
         self.wire_library = wire_library or default_wire_library()
         self._cache: Optional[Dict[str, GeneratedBusSystem]] = {} if cache else None
+        self._store = store if cache else None
+        self.memo_hits = 0
+        self.store_hits = 0
+        self.generations = 0
 
     @staticmethod
     def spec_key(spec: BusSystemSpec) -> str:
-        """Cache key for a spec: the dataclass repr is complete and stable."""
+        """In-process memo key: the dataclass repr is complete and stable."""
         return repr(spec)
+
+    @staticmethod
+    def spec_hash(spec: BusSystemSpec) -> str:
+        """Content hash of the spec (the shared-store key): SHA-256 over the
+        canonical JSON of the spec's dataclass fields."""
+        from ..obs.ledger import canonical_json, content_hash
+
+        return content_hash(canonical_json(dataclasses.asdict(spec)))
 
     def generate(self, spec: BusSystemSpec) -> GeneratedBusSystem:
         """Generate the Bus System described by the user options."""
@@ -170,7 +198,14 @@ class BusSyn:
             key = self.spec_key(spec)
             hit = cache.get(key)
             if hit is not None:
+                self.memo_hits += 1
                 return hit
+            if self._store is not None:
+                stored = self._store.get_object(self.STORE_KIND, self.spec_hash(spec))
+                if stored is not None:
+                    self.store_hits += 1
+                    cache[key] = stored
+                    return stored
         start = time.perf_counter()
         system = generate_system(self.module_library, self.wire_library, spec)
         gates = count_system_gates(system)
@@ -183,6 +218,9 @@ class BusSyn:
             gate_breakdown=gate_report(system),
         )
         generated = GeneratedBusSystem(spec, system, report)
+        self.generations += 1
         if cache is not None:
             cache[key] = generated
+            if self._store is not None:
+                self._store.put_object(self.STORE_KIND, self.spec_hash(spec), generated)
         return generated

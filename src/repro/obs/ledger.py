@@ -79,6 +79,14 @@ TIMING_KEYS = frozenset(
         # Whole bench sections of wall-clock ratios (see bench/harness.py).
         "vs_seed",
         "ab",
+        # DSE sweep nondeterminism: cache state and scheduling are host
+        # facts, not design facts (see dse/engine.py).
+        "cached",
+        "cache_stats",
+        "shard_stats",
+        "configs_per_sec",
+        "cold_seconds",
+        "warm_seconds",
     ]
 )
 

@@ -221,12 +221,12 @@ def check_regressions(
             )
         if verb == "bench":
             _check_bench(
-                record, summary, floors, tolerance, overhead_max, flag
+                record, summary, floors, tolerance, overhead_max, flag, gates
             )
     return findings
 
 
-def _check_bench(record, summary, floors, tolerance, overhead_max, flag):
+def _check_bench(record, summary, floors, tolerance, overhead_max, flag, gates=None):
     measurements = record.get("envelope", {}).get("measurements", {})
     harness_failures = summary.get("failures")
     if harness_failures:
@@ -281,6 +281,48 @@ def _check_bench(record, summary, floors, tolerance, overhead_max, flag):
                 % (overhead, float(overhead_max)),
                 value=overhead,
                 threshold=overhead_max,
+            )
+    dse = summary.get("dse_sweep")
+    if isinstance(dse, dict):
+        gates = gates or {}
+        if dse.get("frontier_identical") is False:
+            flag(
+                record,
+                "dse_sweep.frontier_identical",
+                "dse warm frontier differs from cold frontier",
+                value=False,
+                threshold=True,
+            )
+        hit_floor = gates.get("dse_warm_hit_ratio_min")
+        cache_stats = measurements.get("dse_sweep.cache_stats") or {}
+        hit_ratio = cache_stats.get("warm_hit_ratio")
+        if hit_floor is not None and hit_ratio is not None:
+            if float(hit_ratio) < float(hit_floor):
+                flag(
+                    record,
+                    "dse_sweep.cache_stats.warm_hit_ratio",
+                    "dse warm hit ratio %.2f below the %.2f floor"
+                    % (hit_ratio, float(hit_floor)),
+                    value=hit_ratio,
+                    threshold=hit_floor,
+                )
+        speedup_floor = gates.get("dse_warm_vs_cold")
+        speedup = measurements.get("dse_sweep.speedup")
+        # Smoke-scale sweeps are too small to gate the speedup on; hit
+        # ratio and frontier identity gate regardless (determinism facts).
+        if (
+            speedup_floor is not None
+            and speedup is not None
+            and not dse.get("smoke", False)
+            and float(speedup) < float(speedup_floor)
+        ):
+            flag(
+                record,
+                "dse_sweep.speedup",
+                "dse warm sweep only %.1fx cold, below the %.1fx floor"
+                % (speedup, float(speedup_floor)),
+                value=speedup,
+                threshold=speedup_floor,
             )
 
 

@@ -1,0 +1,469 @@
+"""DSE engine: spec expansion, artifact cache, sharded determinism, Pareto.
+
+Pins the production-sweep contracts of ``repro.dse`` (docs/dse.md):
+
+* **expansion** -- a declarative spec expands into a deduplicated,
+  deterministically ordered queue; illegal combinations are skipped with
+  counted reasons, inapplicable axes normalize away before hashing;
+* **cache** -- the on-disk content-addressed store round-trips JSON and
+  pickled artifacts, treats corruption and stale versions as misses, and
+  backs the BusSyn generation memo across tool instances and processes;
+* **determinism** -- the same spec yields a bit-identical frontier cold
+  vs warm, at any ``--jobs`` value, and on every scheduler backend;
+* **gates** -- the bench ``dse_sweep`` section regression-gates warm
+  speedup, warm hit ratio, and frontier identity via ``repro report``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.busyn import BusSyn
+from repro.dse.cache import ARTIFACT_VERSION, ArtifactCache
+from repro.dse.engine import (
+    busyn_store_probe,
+    run_sweep,
+    shard_of,
+    sweep_fingerprint,
+)
+from repro.dse.pareto import axes_for, dominates, pareto_frontier, rank_rows
+from repro.dse.spec import (
+    DseConfig,
+    SweepSpec,
+    build_config_spec,
+    example_spec,
+    smoke_spec,
+)
+from repro.experiments.runner import run_cases
+from repro.obs.ledger import build_record, scrub_timings
+from repro.obs.query import check_regressions
+from repro.options import presets
+from repro.options.schema import OptionError
+
+
+def tiny_spec():
+    """Four fast configs -- enough to exercise sharding and caching."""
+    return SweepSpec.from_dict(
+        {
+            "name": "tiny",
+            "axes": {
+                "bus": ["GBAVIII", "GGBA"],
+                "pes": [2, 4],
+                "style": ["FPA"],
+                "packets": [1],
+            },
+        }
+    )
+
+
+class TestSpecExpansion:
+    def test_smoke_spec_counts(self):
+        configs, skipped, duplicates = smoke_spec().expand()
+        assert len(configs) == 10
+        assert duplicates == 0
+        # 4 buses x 2 pes x 2 styles: PPA away from 4 PEs and FPA on the
+        # memory-less BFBA are holes, not errors.
+        assert skipped == {"ppa-needs-4-pes": 4, "fpa-needs-shared-memory": 2}
+
+    def test_example_spec_is_the_nine_cases(self):
+        configs, skipped, duplicates = example_spec().expand()
+        assert len(configs) == 9
+        assert skipped == {}
+        assert duplicates == 0
+
+    def test_inapplicable_axes_normalize_and_dedup(self):
+        # GBAVIII has no Bi-FIFOs: every fifo_depth value collapses to None,
+        # so the product dedups down to one config.
+        spec = SweepSpec.from_dict(
+            {
+                "axes": {
+                    "bus": ["GBAVIII"],
+                    "fifo_depth": [256, 512, 1024],
+                    "packets": [1],
+                }
+            }
+        )
+        configs, _skipped, duplicates = spec.expand()
+        assert len(configs) == 1
+        assert duplicates == 2
+        assert configs[0].fifo_depth is None
+
+    def test_fifo_depth_kept_on_fifo_archs(self):
+        spec = SweepSpec.from_dict(
+            {"axes": {"bus": ["BFBA"], "style": ["PPA"], "fifo_depth": [256, 512]}}
+        )
+        configs, _, duplicates = spec.expand()
+        assert sorted(c.fifo_depth for c in configs) == [256, 512]
+        assert duplicates == 0
+
+    def test_expansion_order_is_independent_of_axis_listing(self):
+        axes = {"bus": ["GGBA", "GBAVIII"], "pes": [4, 2], "style": ["FPA"]}
+        reversed_axes = {k: list(reversed(v)) for k, v in axes.items()}
+        a = SweepSpec.from_dict({"axes": axes}).expand()[0]
+        b = SweepSpec.from_dict({"axes": reversed_axes}).expand()[0]
+        assert [c.key() for c in a] == [c.key() for c in b]
+
+    def test_style_auto_resolves_per_architecture(self):
+        spec = SweepSpec.from_dict(
+            {"axes": {"bus": ["BFBA", "GBAVIII"], "style": ["auto"]}}
+        )
+        configs, _, _ = spec.expand()
+        by_bus = {c.bus: c.style for c in configs}
+        assert by_bus == {"BFBA": "PPA", "GBAVIII": "FPA"}
+
+    def test_unknown_axis_and_keys_rejected(self):
+        with pytest.raises(OptionError):
+            SweepSpec.from_dict({"axes": {"voltage": [1]}})
+        with pytest.raises(OptionError):
+            SweepSpec.from_dict({"sweep": []})
+        with pytest.raises(OptionError):
+            SweepSpec.from_dict({"axes": {"bus": []}})
+        with pytest.raises(OptionError):
+            SweepSpec.from_dict({"cases": [{"voltage": 1}]})
+
+    def test_unknown_bus_is_a_counted_skip(self):
+        configs, skipped, _ = SweepSpec.from_dict(
+            {"axes": {"bus": ["NOSUCH", "GBAVIII"]}}
+        ).expand()
+        assert len(configs) == 1
+        assert skipped == {"unknown-bus": 1}
+
+    def test_config_round_trips_through_options(self):
+        config = DseConfig(bus="SPLITBA", pes=6, subsystems=3, packets=1)
+        again = DseConfig.from_options(config.options())
+        assert again == config
+        assert again.key() == config.key()
+
+    def test_width_and_policy_written_into_generated_spec(self):
+        config = DseConfig(
+            bus="GBAVIII", pes=4, data_width=32, arbiter_policy="round_robin"
+        )
+        spec = build_config_spec(config)
+        for subsystem in spec.subsystems:
+            for bus in subsystem.buses:
+                assert bus.data_width == 32
+                assert bus.arbiter_policy == "round_robin"
+
+    def test_splitba_generalizes_to_n_subsystems(self):
+        config = DseConfig(bus="SPLITBA", pes=6, subsystems=3, packets=1)
+        spec = build_config_spec(config)
+        assert len(spec.subsystems) == 3
+        # One global-memory BAN per subsystem (the FPA prerequisite).
+        for subsystem in spec.subsystems:
+            assert any(ban.is_global_resource for ban in subsystem.bans)
+
+    def test_subsystems_beyond_pes_skipped(self):
+        configs, skipped, _ = SweepSpec.from_dict(
+            {"axes": {"bus": ["SPLITBA"], "pes": [2], "subsystems": [4]}}
+        ).expand()
+        assert configs == []
+        assert skipped == {"subsystems-exceed-pes": 1}
+
+
+class TestArtifactCache:
+    def test_json_round_trip_and_counters(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = "ab" * 32
+        assert cache.get_json("result", key) is None
+        path = cache.put_json("result", key, {"x": 1})
+        assert os.path.exists(path)
+        assert cache.get_json("result", key) == {"x": 1}
+        assert (cache.hits, cache.misses, cache.puts) == (1, 1, 1)
+        assert cache.stats()["hit_ratio"] == 0.5
+        assert cache.artifact_count() == 1
+
+    def test_object_round_trip(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = "cd" * 32
+        cache.put_object("busyn", key, {"payload": [1, 2, 3]})
+        assert cache.get_object("busyn", key) == {"payload": [1, 2, 3]}
+
+    def test_corrupt_artifact_reads_as_miss(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = "ef" * 32
+        cache.put_json("result", key, {"x": 1})
+        with open(cache.path("result", key, ".json"), "w") as handle:
+            handle.write("{ truncated")
+        assert cache.get_json("result", key) is None
+
+    def test_stale_version_reads_as_miss(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = "01" * 32
+        cache.put_json("result", key, {"x": 1})
+        path = cache.path("result", key, ".json")
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["version"] = ARTIFACT_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        assert cache.get_json("result", key) is None
+
+    def test_non_hash_keys_rejected(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        with pytest.raises(ValueError):
+            cache.path("result", "../escape", ".json")
+
+
+class TestBusSynStore:
+    def test_store_shared_across_tool_instances(self, tmp_path):
+        store = ArtifactCache(str(tmp_path))
+        spec = presets.preset("GBAVIII", 4)
+        first = BusSyn(store=store)
+        generated = first.generate(spec)
+        assert (first.generations, first.store_hits) == (1, 0)
+        second = BusSyn(store=store)
+        again = second.generate(spec)
+        assert (second.generations, second.store_hits) == (0, 1)
+        assert again.report.gate_count == generated.report.gate_count
+        assert again.verilog() == generated.verilog()
+        # The in-process memo serves repeats without another disk read.
+        second.generate(spec)
+        assert second.memo_hits == 1
+
+    def test_cache_false_bypasses_memo_and_store(self, tmp_path):
+        store = ArtifactCache(str(tmp_path))
+        tool = BusSyn(cache=False, store=store)
+        spec = presets.preset("GGBA", 4)
+        tool.generate(spec)
+        tool.generate(spec)
+        assert tool.generations == 2
+        assert store.puts == 0
+        assert store.artifact_count() == 0
+
+    def test_store_hit_across_processes(self, tmp_path):
+        results, _ = run_cases(
+            busyn_store_probe, [0], jobs=2, kwargs={"cache_dir": str(tmp_path)}
+        )
+        assert results[0]["generations"] == 1
+        results, _ = run_cases(
+            busyn_store_probe, [0], jobs=2, kwargs={"cache_dir": str(tmp_path)}
+        )
+        assert results[0] == {
+            "gate_count": results[0]["gate_count"],
+            "store_hits": 1,
+            "generations": 0,
+        }
+
+
+class TestSweepDeterminism:
+    def test_warm_rerun_is_pure_cache_hits_and_bit_identical(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_sweep(tiny_spec(), jobs=1, cache_dir=cache_dir)
+        warm = run_sweep(tiny_spec(), jobs=1, cache_dir=cache_dir)
+        assert cold["cache_stats"]["hit_ratio"] == 0.0
+        assert warm["cache_stats"]["hit_ratio"] >= 0.95
+        assert sweep_fingerprint(cold) == sweep_fingerprint(warm)
+        assert all(row["cached"] for row in warm["results"])
+
+    def test_jobs_do_not_change_the_frontier(self, tmp_path):
+        serial = run_sweep(tiny_spec(), jobs=1, cache_dir=str(tmp_path / "a"))
+        sharded = run_sweep(tiny_spec(), jobs=4, cache_dir=str(tmp_path / "b"))
+        assert sweep_fingerprint(serial) == sweep_fingerprint(sharded)
+        assert [r["key"] for r in serial["results"]] == [
+            r["key"] for r in sharded["results"]
+        ]
+
+    def test_kernel_backends_agree(self, tmp_path):
+        fingerprints = {
+            kernel: sweep_fingerprint(
+                run_sweep(
+                    tiny_spec(), jobs=1, kernel=kernel, cache_dir=str(tmp_path / kernel)
+                )
+            )
+            for kernel in ("heap", "wheel", "compiled")
+        }
+        assert len(set(fingerprints.values())) == 1
+
+    def test_kernel_stays_out_of_config_identity(self, tmp_path):
+        # Artifacts cached by a heap sweep satisfy a compiled sweep: the
+        # backend is not part of the config hash.
+        cache_dir = str(tmp_path)
+        run_sweep(tiny_spec(), jobs=1, kernel="heap", cache_dir=cache_dir)
+        warm = run_sweep(tiny_spec(), jobs=1, kernel="compiled", cache_dir=cache_dir)
+        assert warm["cache_stats"]["hit_ratio"] == 1.0
+
+    def test_no_cache_recomputes_but_matches(self, tmp_path):
+        cache_dir = str(tmp_path)
+        cached = run_sweep(tiny_spec(), jobs=1, cache_dir=cache_dir)
+        fresh = run_sweep(tiny_spec(), jobs=1, cache_dir=cache_dir, use_cache=False)
+        assert fresh["cache_stats"]["hits"] == 0
+        assert sweep_fingerprint(cached) == sweep_fingerprint(fresh)
+
+    def test_budget_caps_the_queue(self, tmp_path):
+        capped = run_sweep(tiny_spec(), jobs=1, budget=2, cache_dir=str(tmp_path))
+        assert capped["configs"] == 2
+        assert capped["expanded"] == 4
+        empty = run_sweep(tiny_spec(), jobs=1, budget=0, cache_dir=None)
+        assert empty["configs"] == 0
+        assert empty["frontier"] == []
+        with pytest.raises(ValueError):
+            run_sweep(tiny_spec(), jobs=1, budget=-1, cache_dir=None)
+
+    def test_shard_assignment_is_deterministic_and_in_range(self):
+        configs, _, _ = smoke_spec().expand()
+        for shards in (1, 3, 8):
+            assignment = [shard_of(c.key(), shards) for c in configs]
+            assert assignment == [shard_of(c.key(), shards) for c in configs]
+            assert all(0 <= index < shards for index in assignment)
+
+
+class TestScoring:
+    def test_resilience_and_verify_axes(self, tmp_path):
+        spec = SweepSpec.from_dict(
+            {
+                "cases": [{"bus": "GBAVIII", "style": "FPA", "packets": 1}],
+                "score": {"resilience": True, "verify": True},
+                "seed": 3,
+            }
+        )
+        summary = run_sweep(spec, jobs=1, cache_dir=str(tmp_path))
+        (row,) = summary["results"]
+        assert row["options"]["seed"] == 3
+        assert 0.0 <= row["resilience"] <= 1.0
+        assert row["resilience_detail"]["injected"] > 0
+        assert row["resilience_detail"]["invariant_failures"] == []
+        assert row["verify"]["ok"] is True
+        assert ["resilience", "max"] in summary["axes"]
+
+    def test_seed_left_out_of_identity_without_resilience(self):
+        a = SweepSpec.from_dict({"cases": [{"bus": "GGBA"}], "seed": 1})
+        b = SweepSpec.from_dict({"cases": [{"bus": "GGBA"}], "seed": 2})
+        assert [c.key() for c in a.expand()[0]] == [c.key() for c in b.expand()[0]]
+
+
+class TestPareto:
+    ROWS = [
+        {"options": {"n": 1}, "throughput": 3.0, "gate_count": 3000},
+        {"options": {"n": 2}, "throughput": 2.5, "gate_count": 1500},
+        {"options": {"n": 3}, "throughput": 2.0, "gate_count": 2000},  # dominated by 2
+        {"options": {"n": 4}, "throughput": 3.0, "gate_count": 3500},  # dominated by 1
+    ]
+
+    def test_dominates(self):
+        axes = (("throughput", "max"), ("gate_count", "min"))
+        assert dominates(self.ROWS[1], self.ROWS[2], axes)
+        assert not dominates(self.ROWS[2], self.ROWS[1], axes)
+        assert not dominates(self.ROWS[0], self.ROWS[1], axes)
+        assert not dominates(self.ROWS[0], self.ROWS[0], axes)
+
+    def test_frontier_and_rank(self):
+        frontier = pareto_frontier(self.ROWS)
+        assert [row["options"]["n"] for row in frontier] == [1, 2]
+        ranked = rank_rows(self.ROWS)
+        assert [row["rank"] for row in ranked] == [1, 2, 3, 4]
+        assert [row["pareto"] for row in ranked] == [True, True, False, False]
+        # Frontier members rank ahead of every dominated row; dominated
+        # rows then sort by the axis order (throughput down).
+        assert [row["options"]["n"] for row in ranked] == [1, 2, 4, 3]
+
+    def test_axes_for_adds_resilience_only_when_universal(self):
+        rows = [dict(row, resilience=1.0) for row in self.ROWS]
+        assert ("resilience", "max") in axes_for(rows)
+        rows[0]["resilience"] = None
+        assert ("resilience", "max") not in axes_for(rows)
+
+
+class TestCliRoundTrip:
+    def test_dse_verb_cold_warm_and_ledger(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs.ledger import Ledger
+
+        cache_dir = str(tmp_path / "cache")
+        ledger_dir = str(tmp_path / "ledger")
+        out = str(tmp_path / "frontier.json")
+        argv = [
+            "dse",
+            "--smoke",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            cache_dir,
+            "--ledger",
+            ledger_dir,
+        ]
+        assert main(argv + ["-o", out]) == 0
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "Pareto-efficient configurations" in output
+        with open(out) as handle:
+            summary = json.load(handle)
+        assert summary["configs"] == 10
+        assert len(summary["frontier"]) >= 1
+        records = Ledger(ledger_dir).records()
+        assert [r["body"]["verb"] for r in records] == ["dse", "dse"]
+        # Cold and warm sweeps are the same run identity: scheduling and
+        # cache facts live in the envelope, not the hashed body.
+        assert records[0]["hash"] == records[1]["hash"]
+        assert "dse_sweep" not in records[0]["body"]  # sanity: bench-only key
+
+
+def _dse_bench_record(
+    smoke=False, speedup=40.0, hit_ratio=1.0, frontier_identical=True
+):
+    return build_record(
+        "bench",
+        options={"kernels": ["compiled"], "smoke": smoke},
+        backend="compiled",
+        summary={
+            "smoke": smoke,
+            "failures": [],
+            "dse_sweep": {
+                "smoke": smoke,
+                "kernel": "compiled",
+                "configs": 252,
+                "errors": 0,
+                "frontier_identical": frontier_identical,
+                "cold_seconds": 8.0,
+                "warm_seconds": 8.0 / speedup,
+                "speedup": speedup,
+                "cache_stats": {"warm_hit_ratio": hit_ratio},
+            },
+        },
+        rev="abc1234",
+    )
+
+
+class TestDseBenchGates:
+    BASELINES = {
+        "gates": {
+            "ci_regression_tolerance": 0.2,
+            "dse_warm_vs_cold": 5.0,
+            "dse_warm_hit_ratio_min": 0.95,
+        },
+        "ci_floor": {},
+    }
+
+    def test_healthy_sweep_passes(self):
+        assert check_regressions([_dse_bench_record()], self.BASELINES) == []
+
+    def test_scrubbed_keys_leave_the_hashed_body(self):
+        record = _dse_bench_record()
+        body_dse = record["body"]["summary"]["dse_sweep"]
+        assert "speedup" not in body_dse
+        assert "cache_stats" not in body_dse
+        assert record["envelope"]["measurements"]["dse_sweep.speedup"] == 40.0
+
+    def test_low_hit_ratio_flagged(self):
+        findings = check_regressions(
+            [_dse_bench_record(hit_ratio=0.5)], self.BASELINES
+        )
+        assert [f["field"] for f in findings] == ["dse_sweep.cache_stats.warm_hit_ratio"]
+
+    def test_slow_warm_sweep_flagged_outside_smoke_only(self):
+        findings = check_regressions(
+            [_dse_bench_record(speedup=2.0)], self.BASELINES
+        )
+        assert [f["field"] for f in findings] == ["dse_sweep.speedup"]
+        assert (
+            check_regressions(
+                [_dse_bench_record(speedup=2.0, smoke=True)], self.BASELINES
+            )
+            == []
+        )
+
+    def test_frontier_mismatch_always_flagged(self):
+        findings = check_regressions(
+            [_dse_bench_record(frontier_identical=False, smoke=True)], self.BASELINES
+        )
+        assert [f["field"] for f in findings] == ["dse_sweep.frontier_identical"]
