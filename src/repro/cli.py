@@ -568,6 +568,7 @@ def _cmd_report(args) -> int:
     from .obs.query import (
         aggregate_records,
         check_regressions,
+        coverage_rows,
         diff_bodies,
         filter_records,
         find_record,
@@ -628,8 +629,13 @@ def _cmd_report(args) -> int:
         return 1 if findings else 0
 
     rows = aggregate_records(records)
+    coverage = coverage_rows(records)
     if args.json:
-        print(json.dumps({"groups": rows}, indent=2, sort_keys=True))
+        print(
+            json.dumps(
+                {"groups": rows, "coverage": coverage}, indent=2, sort_keys=True
+            )
+        )
         return 0
     print(
         "%-10s %-28s %-14s %5s %-14s %-8s %s"
@@ -649,6 +655,27 @@ def _cmd_report(args) -> int:
             )
         )
     print("%d record(s), %d group(s)" % (len(records), len(rows)))
+    for row in coverage:
+        print(
+            "coverage %s: %d run(s), %d config(s) evaluated, cache %d hit(s) / "
+            "%d miss(es) (%.0f%%)"
+            % (
+                row["verb"],
+                row["runs"],
+                row["evaluated"],
+                row["cache_hits"],
+                row["cache_misses"],
+                row["cache_hit_ratio"] * 100,
+            )
+        )
+        if row["skipped"]:
+            print(
+                "  skipped: "
+                + ", ".join(
+                    "%s=%d" % (reason, count)
+                    for reason, count in row["skipped"].items()
+                )
+            )
     return 0
 
 
@@ -708,6 +735,73 @@ def _cmd_dse(args) -> int:
             wall_seconds=wall,
         )
     return 1 if summary["errors"] else 0
+
+
+def _cmd_fuzz(args) -> int:
+    """Fuzz the architecture space with the composed oracle (docs/fuzzing.md)."""
+    import json
+    import time
+
+    from .dse.engine import resolve_kernel
+    from .fuzz import format_fuzz_lines, fuzz_fingerprint, run_fuzz
+
+    kernel = resolve_kernel(args.kernel)
+    start = time.perf_counter()
+    summary = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        jobs=args.jobs,
+        kernel=kernel,
+        corpus_dir=args.corpus,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        write_findings=not args.no_write,
+        progress=print,
+    )
+    wall = time.perf_counter() - start
+    for line in format_fuzz_lines(summary):
+        print(line)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out)
+    ledger = _ledger_for(args)
+    if ledger is not None:
+        # --jobs and cache state are scheduling facts (same discipline as
+        # repro dse); seed, budget and profile are the identity.
+        ledger.write(
+            "fuzz",
+            options={
+                "seed": args.seed,
+                "budget": args.budget,
+                "profile_hash": summary["profile_hash"],
+                "oracle_version": summary["oracle_version"],
+                "corpus": args.corpus,
+                "kernel": kernel,
+            },
+            backend=kernel,
+            arch=sorted(summary["profile"]["buses"]),
+            summary={"fingerprint": fuzz_fingerprint(summary), **summary},
+            wall_seconds=wall,
+        )
+    replay = summary["replay"]
+    unstable = replay["regressions"] + replay["now_fixed"]
+    if unstable:
+        print(
+            "corpus replay unstable: %d regression(s), %d entr(ies) now fixed "
+            "(update corpus statuses)" % (replay["regressions"], replay["now_fixed"]),
+            file=sys.stderr,
+        )
+    if summary["new_findings"]:
+        print(
+            "%d new finding(s)%s" % (
+                summary["new_findings"],
+                "" if args.no_write else " written to %s" % args.corpus,
+            ),
+            file=sys.stderr,
+        )
+    return 1 if (unstable or summary["new_findings"]) else 0
 
 
 def _cmd_list(_args) -> int:
@@ -1043,6 +1137,60 @@ def build_parser() -> argparse.ArgumentParser:
     add_kernel_argument(dse)
     add_ledger_arguments(dse)
     dse.set_defaults(func=_cmd_dse)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz random legal architectures through the composed oracle, "
+        "auto-shrinking findings into the corpus (docs/fuzzing.md)",
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=100,
+        help="unique legal cases to sample and judge (default: 100)",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="generator seed; the same seed reproduces the same cases, "
+        "findings and shrink traces (0 is a real seed)",
+    )
+    fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; cases are sharded by content hash, so the "
+        "summary fingerprint is identical at any --jobs value",
+    )
+    from .fuzz.corpus import DEFAULT_CORPUS_DIR
+
+    fuzz.add_argument(
+        "--corpus",
+        default=DEFAULT_CORPUS_DIR,
+        metavar="DIR",
+        help="corpus directory replayed on start and extended with new "
+        "findings (default: corpus/)",
+    )
+    fuzz.add_argument(
+        "--no-write",
+        action="store_true",
+        help="report findings without writing corpus entries (triage dry-run)",
+    )
+    fuzz.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the artifact cache (re-judge every case)",
+    )
+    fuzz.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="artifact-cache directory shared with repro dse (default: .repro/dse)",
+    )
+    fuzz.add_argument("-o", "--out", help="write the full fuzz summary as JSON")
+    add_kernel_argument(fuzz)
+    add_ledger_arguments(fuzz)
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     listing = sub.add_parser("list", help="list presets and library components")
     listing.set_defaults(func=_cmd_list)

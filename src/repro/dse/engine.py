@@ -39,6 +39,7 @@ from .spec import DseConfig, SweepSpec, build_config_spec
 __all__ = [
     "DEFAULT_DSE_KERNEL",
     "shard_of",
+    "simulate_config",
     "run_dse_shard",
     "run_sweep",
     "busyn_store_probe",
@@ -59,8 +60,13 @@ def shard_of(key: str, shards: int) -> int:
     return int(key[:8], 16) % shards
 
 
-def _simulate(config: DseConfig, machine) -> Dict[str, Any]:
-    """Run the configured workload; returns the metric block."""
+def simulate_config(config: DseConfig, machine) -> Dict[str, Any]:
+    """Run the configured workload on ``machine``; returns the metric block.
+
+    Shared by the DSE sweep rows and the fuzzer's oracle components
+    (``repro.fuzz.oracle``) so both harnesses drive the identical
+    workload for a given config.
+    """
     if config.app == "ofdm":
         from ..apps.ofdm import OfdmParameters, run_ofdm
 
@@ -107,9 +113,11 @@ def _score_resilience(config: DseConfig, spec, kernel: str) -> Dict[str, Any]:
     from ..sim.fabric import build_machine
 
     machine = build_machine(spec, kernel=kernel)
-    plan = compile_plan(machine, SCENARIOS["smoke"], config.seed or 0)
+    # None-check, not truthiness: seed 0 is a real, reproducible seed and
+    # must never be conflated with "unseeded" (docs/fuzzing.md).
+    plan = compile_plan(machine, SCENARIOS["smoke"], 0 if config.seed is None else config.seed)
     injector = install_faults(machine, plan, RecoveryPolicy())
-    _simulate(config, machine)
+    simulate_config(config, machine)
     report = injector.resilience_report()
     injected = report.injected
     return {
@@ -126,7 +134,7 @@ def _score_verify(config: DseConfig, spec, kernel: str) -> Dict[str, Any]:
 
     machine = build_machine(spec, kernel=kernel)
     monitor = machine.attach_monitors(fail_fast=False)
-    _simulate(config, machine)
+    simulate_config(config, machine)
     findings = monitor.finalize()
     return {"findings": len(findings), "ok": not findings}
 
@@ -139,7 +147,7 @@ def _run_config(config: DseConfig, tool: BusSyn, kernel: str) -> Dict[str, Any]:
     spec = build_config_spec(config)
     generated = tool.generate(spec)
     machine = build_machine(spec, kernel=kernel)
-    metric = _simulate(config, machine)
+    metric = simulate_config(config, machine)
     row: Dict[str, Any] = {
         "key": config.key(),
         "options": config.options(),

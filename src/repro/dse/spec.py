@@ -51,6 +51,7 @@ __all__ = [
     "FIFO_ARCHS",
     "DseConfig",
     "SweepSpec",
+    "normalize_options",
     "build_config_spec",
     "smoke_spec",
     "bench_spec",
@@ -233,6 +234,25 @@ def _normalize(raw: Dict[str, Any], score: Dict[str, Any], seed: int):
     except OptionError:
         return None, "option-error"
     return config, None
+
+
+def normalize_options(
+    raw: Dict[str, Any],
+    score: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+):
+    """Normalize a (possibly partial) raw option dict into a legal config.
+
+    The public face of :func:`_normalize` -- missing dimensions are filled
+    from :data:`DEFAULTS` first, so callers (the architecture fuzzer's
+    sampler and shrinker, ``repro.fuzz``) can pass just the dimensions
+    they care about.  Returns ``(config, None)`` for a legal combination
+    and ``(None, skip_reason)`` otherwise; a legal return is guaranteed
+    buildable (``build_config_spec`` validated it).
+    """
+    merged = dict(DEFAULTS)
+    merged.update(raw)
+    return _normalize(merged, score or {}, seed)
 
 
 @dataclass

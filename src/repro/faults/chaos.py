@@ -58,6 +58,7 @@ CHAOS_ARCHITECTURES = ["BFBA", "GBAVI", "GBAVIII", "HYBRID", "SPLITBA"]
 CHAOS_STYLES = {
     "BFBA": "PPA",
     "GBAVI": "PPA",
+    "GBAVII": "FPA",
     "GBAVIII": "FPA",
     "HYBRID": "FPA",
     "SPLITBA": "FPA",
@@ -149,7 +150,20 @@ def run_chaos(
             "unknown scenario %r (expected one of %s)"
             % (scenario, ", ".join(sorted(SCENARIOS)))
         )
-    archs = list(archs or CHAOS_ARCHITECTURES)
+    archs = [str(arch).upper() for arch in (archs or CHAOS_ARCHITECTURES)]
+    for arch in archs:
+        # OptionError (not KeyError at CHAOS_STYLES time): the CLI turns
+        # it into exit 2 with the candidate list, matching every other
+        # unknown-name path (core/netlist.py style).
+        if arch not in presets.PRESETS or arch not in CHAOS_STYLES:
+            from ..core.netlist import _did_you_mean
+            from ..options.schema import OptionError
+
+            known = sorted(set(presets.PRESETS) & set(CHAOS_STYLES))
+            raise OptionError(
+                "unknown architecture %r%s; known architectures: %s"
+                % (arch, _did_you_mean(arch, known), ", ".join(known))
+            )
     cases: List[Tuple[str, str, str, str]] = []
     for arch in archs:
         style = CHAOS_STYLES[arch]

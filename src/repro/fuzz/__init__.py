@@ -1,0 +1,34 @@
+"""Architecture fuzzing with auto-shrinking (``repro fuzz``).
+
+The closed loop behind ROADMAP item 3: a seeded sampler draws random
+*legal* option sets from the DSE options schema
+(:mod:`repro.fuzz.generator`), a composed oracle checks each one from
+four independent directions (:mod:`repro.fuzz.oracle`), any failure is
+greedily shrunk to a minimal still-failing config
+(:mod:`repro.fuzz.shrink`), and the minimal repro lands as a
+deterministic, content-hash-named file in the checked-in ``corpus/``
+directory (:mod:`repro.fuzz.corpus`).  :mod:`repro.fuzz.runner` drives
+the whole loop -- corpus replay first, then the budgeted random sweep --
+behind ``repro fuzz --budget N --seed S --jobs J`` (docs/fuzzing.md).
+"""
+
+from .corpus import DEFAULT_CORPUS_DIR, load_corpus, write_entry
+from .generator import FuzzProfile, sample_cases
+from .oracle import ORACLE_CHECKS, ORACLE_VERSION, evaluate_case
+from .runner import format_fuzz_lines, fuzz_fingerprint, run_fuzz
+from .shrink import shrink_case
+
+__all__ = [
+    "DEFAULT_CORPUS_DIR",
+    "FuzzProfile",
+    "ORACLE_CHECKS",
+    "ORACLE_VERSION",
+    "evaluate_case",
+    "format_fuzz_lines",
+    "fuzz_fingerprint",
+    "load_corpus",
+    "run_fuzz",
+    "sample_cases",
+    "shrink_case",
+    "write_entry",
+]

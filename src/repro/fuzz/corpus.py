@@ -1,0 +1,146 @@
+"""The checked-in corpus of minimal failing configs.
+
+Every finding the fuzzer shrinks lands here as one JSON file named by the
+first twelve hex digits of the minimal case's content hash -- the same
+identity discipline as the artifact cache and the run ledger, so the same
+finding found twice (any seed, any machine) lands on the same filename
+and a corpus merge is a plain file-level union.
+
+An entry records the minimal case, its oracle verdict, the original
+(pre-shrink) case, the full shrink trace, and a ``status``:
+
+* ``"open"``   -- a live finding; corpus replay expects the oracle to
+  *still fail* on it (it passing means somebody fixed the bug and should
+  flip the status);
+* ``"fixed"``  -- a regression guard; replay expects the oracle to *pass*
+  (it failing again is a regression).
+
+Files are canonical JSON (sorted keys, trailing newline), so a rewrite of
+an unchanged entry is byte-identical and git-quiet.  The replay gate runs
+in CI and as a tier-1 test (``tests/test_fuzz_corpus.py``) across all
+three scheduler backends -- see docs/fuzzing.md for the triage workflow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from ..obs.ledger import canonical_json
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "DEFAULT_CORPUS_DIR",
+    "STATUSES",
+    "build_entry",
+    "entry_filename",
+    "load_corpus",
+    "write_entry",
+]
+
+CORPUS_SCHEMA = 1
+
+#: Repo-root-relative default; the CLI resolves it against the cwd.
+DEFAULT_CORPUS_DIR = "corpus"
+
+STATUSES = ("open", "fixed")
+
+_REQUIRED = ("schema", "key", "status", "case", "verdict")
+
+
+def entry_filename(entry: Dict[str, Any]) -> str:
+    return "%s.json" % entry["key"][:12]
+
+
+def build_entry(
+    shrink_result: Dict[str, Any],
+    original_case: Dict[str, Any],
+    found_by: Dict[str, Any],
+    status: str = "open",
+    notes: str = "",
+) -> Dict[str, Any]:
+    """Assemble a corpus entry from one shrink result.
+
+    ``found_by`` is provenance (fuzz seed, profile hash, oracle version)
+    -- documentation for the human triaging the finding, not part of the
+    entry's identity.
+    """
+    case = shrink_result["case"]
+    return {
+        "schema": CORPUS_SCHEMA,
+        "key": case["key"],
+        "status": status,
+        "case": case,
+        "verdict": shrink_result["verdict"],
+        "original": original_case,
+        "shrink": {
+            "adopted": shrink_result["adopted"],
+            "evaluations": shrink_result["evaluations"],
+            "illegal_skipped": shrink_result["illegal_skipped"],
+            "exhausted": shrink_result["exhausted"],
+            "trace": shrink_result["trace"],
+        },
+        "found_by": found_by,
+        "notes": notes,
+    }
+
+
+def validate_entry(entry: Dict[str, Any], source: str = "corpus entry") -> None:
+    missing = [key for key in _REQUIRED if key not in entry]
+    if missing:
+        raise ValueError("%s: missing key(s) %s" % (source, ", ".join(missing)))
+    if entry["status"] not in STATUSES:
+        raise ValueError(
+            "%s: status %r not one of %s"
+            % (source, entry["status"], "/".join(STATUSES))
+        )
+    for key in ("options", "fault_seed", "fault_scale", "key"):
+        if key not in entry["case"]:
+            raise ValueError("%s: case is missing %r" % (source, key))
+
+
+def write_entry(entry: Dict[str, Any], corpus_dir: str = DEFAULT_CORPUS_DIR) -> str:
+    """Write (or byte-identically rewrite) one entry; returns its path."""
+    validate_entry(entry)
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, entry_filename(entry))
+    payload = canonical_json(entry) + "\n"
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=corpus_dir, prefix=".tmp-", suffix=".json", delete=False
+    )
+    try:
+        handle.write(payload)
+        handle.close()
+        os.replace(handle.name, path)
+    finally:
+        if os.path.exists(handle.name):
+            os.unlink(handle.name)
+    return path
+
+
+def load_corpus(corpus_dir: str = DEFAULT_CORPUS_DIR) -> List[Dict[str, Any]]:
+    """All corpus entries, sorted by key (deterministic replay order).
+
+    A missing directory is an empty corpus, not an error.  Each returned
+    entry gains a ``"file"`` key with its basename (for replay messages);
+    non-JSON files (the README) are ignored, unreadable JSON raises.
+    """
+    if not os.path.isdir(corpus_dir):
+        return []
+    entries: List[Dict[str, Any]] = []
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".json") or name.startswith("."):
+            continue
+        path = os.path.join(corpus_dir, name)
+        with open(path) as handle:
+            try:
+                entry = json.load(handle)
+            except ValueError as error:
+                raise ValueError("%s: not valid JSON (%s)" % (path, error))
+        validate_entry(entry, source=path)
+        entry["file"] = name
+        entries.append(entry)
+    entries.sort(key=lambda entry: entry["key"])
+    return entries

@@ -1,0 +1,243 @@
+"""Greedy auto-shrinking of a failing fuzz case to a minimal repro.
+
+Given a case the oracle failed, the shrinker walks a fixed set of
+*dimension ladders* -- fewer PEs, fewer subsystems, narrower data width,
+shallower FIFO, simpler arbiter policy, simpler style, fewer packets, a
+shorter (or absent) fault plan, and a canonical fault seed -- most
+aggressive value first, and adopts a candidate only when it
+
+1. is still **legal** (re-validated through
+   :func:`repro.dse.spec.normalize_options` -- an illegal candidate is
+   counted and skipped *without ever reaching the oracle*, so the trace
+   provably contains zero illegal evaluations), and
+2. still **fails** the oracle with at least one failing check in common
+   with the current repro (so the shrink cannot wander onto an unrelated
+   bug).
+
+Passes repeat until a whole sweep over every dimension adopts nothing
+(a fixpoint): a ``pes`` shrink that is illegal under PPA becomes legal
+after the ``style`` ladder moves PPA -> FPA on a shared-memory bus, so
+single-pass greed would under-shrink.  Every attempt -- adopted, illegal,
+passed, or diverged -- is recorded in the shrink trace that lands in the
+corpus entry, which makes the minimization auditable after the fact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..dse.spec import normalize_options
+from .generator import case_key
+from .oracle import evaluate_case
+
+__all__ = ["DIMENSIONS", "shrink_case"]
+
+#: Hard ceiling on oracle evaluations per shrink (each one simulates the
+#: workload five times); generous -- real shrinks converge in well under
+#: fifty -- but bounds a pathological ladder walk.
+MAX_EVALUATIONS = 256
+
+#: Arbiter policies by simplicity (shrink target first).
+_POLICY_ORDER = ("fcfs", "round_robin", "priority")
+
+
+def _ladder_pes(case: Dict[str, Any]) -> List[int]:
+    return [value for value in (1, 2, 3, 4, 6) if value < case["options"]["pes"]]
+
+
+def _ladder_subsystems(case: Dict[str, Any]) -> List[Optional[int]]:
+    current = case["options"]["subsystems"]
+    if current is None:
+        return []
+    return [value for value in (1, 2, 3, 4) if value < current]
+
+
+def _ladder_data_width(case: Dict[str, Any]) -> List[int]:
+    return [value for value in (32, 64) if value < case["options"]["data_width"]]
+
+
+def _ladder_fifo_depth(case: Dict[str, Any]) -> List[int]:
+    current = case["options"]["fifo_depth"]
+    if current is None:
+        return []
+    return [value for value in (4, 16, 64, 256) if value < current]
+
+
+def _ladder_policy(case: Dict[str, Any]) -> List[str]:
+    current = case["options"]["arbiter_policy"]
+    if current not in _POLICY_ORDER:
+        return []
+    return list(_POLICY_ORDER[: _POLICY_ORDER.index(current)])
+
+
+def _ladder_style(case: Dict[str, Any]) -> List[str]:
+    # FPA is the enabling move: it frees the 4-PE PPA pin so the pes
+    # ladder can keep shrinking (legality still gates it to shared-memory
+    # architectures -- an illegal FPA draw is skipped, never evaluated).
+    if case["options"]["style"] == "PPA":
+        return ["FPA"]
+    return []
+
+
+def _ladder_packets(case: Dict[str, Any]) -> List[int]:
+    current = case["options"]["packets"]
+    if current is None:
+        return []
+    return [value for value in (1, 2) if value < current]
+
+
+def _ladder_fault_scale(case: Dict[str, Any]) -> List[int]:
+    return [value for value in (0, 1) if value < case["fault_scale"]]
+
+
+def _ladder_fault_seed(case: Dict[str, Any]) -> List[int]:
+    return [0] if case["fault_seed"] != 0 else []
+
+
+#: (name, is_option_dimension, ladder) -- most aggressive value first.
+DIMENSIONS: Tuple[Tuple[str, bool, Callable], ...] = (
+    ("pes", True, _ladder_pes),
+    ("subsystems", True, _ladder_subsystems),
+    ("style", True, _ladder_style),
+    ("data_width", True, _ladder_data_width),
+    ("fifo_depth", True, _ladder_fifo_depth),
+    ("arbiter_policy", True, _ladder_policy),
+    ("packets", True, _ladder_packets),
+    ("fault_scale", False, _ladder_fault_scale),
+    ("fault_seed", False, _ladder_fault_seed),
+)
+
+
+def _candidate(
+    case: Dict[str, Any], dimension: str, is_option: bool, value: Any
+) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+    """Build the one-step candidate, legality-checked; (case, None) or
+    (None, skip_reason)."""
+    raw = dict(case["options"])
+    fault_seed = case["fault_seed"]
+    fault_scale = case["fault_scale"]
+    if is_option:
+        raw[dimension] = value
+    elif dimension == "fault_scale":
+        fault_scale = value
+    else:
+        fault_seed = value
+    config, reason = normalize_options(raw)
+    if config is None:
+        return None, reason
+    candidate = {
+        "options": config.options(),
+        "fault_seed": fault_seed,
+        "fault_scale": fault_scale,
+    }
+    candidate["key"] = case_key(candidate)
+    return candidate, None
+
+
+def shrink_case(
+    case: Dict[str, Any],
+    verdict: Optional[Dict[str, Any]] = None,
+    evaluate: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+    kernel: str = "heap",
+    max_evaluations: int = MAX_EVALUATIONS,
+) -> Dict[str, Any]:
+    """Shrink a failing ``case`` to a minimal still-failing one.
+
+    ``evaluate`` defaults to :func:`repro.fuzz.oracle.evaluate_case`; the
+    runner passes its cache-backed evaluator instead so shrink steps hit
+    the artifact store.  Returns the shrink result::
+
+        {"case", "verdict", "trace", "adopted", "evaluations",
+         "illegal_skipped", "exhausted"}
+
+    with the invariant that ``evaluations`` counts only *legal* candidates
+    (illegal ones are skipped before the oracle) and ``verdict`` still
+    fails with a check overlapping the original failure.
+    """
+    if evaluate is None:
+        evaluate = lambda candidate: evaluate_case(candidate, kernel=kernel)
+    current = dict(case)
+    current.setdefault("key", case_key(current))
+    current_verdict = verdict if verdict is not None else evaluate(current)
+    if current_verdict["ok"]:
+        raise ValueError(
+            "shrink_case needs a failing case; %s passed the oracle"
+            % current["key"][:12]
+        )
+
+    trace: List[Dict[str, Any]] = []
+    memo: Dict[str, Dict[str, Any]] = {current["key"]: current_verdict}
+    evaluations = 0
+    illegal_skipped = 0
+    adopted = 0
+    exhausted = False
+
+    progressed = True
+    while progressed and not exhausted:
+        progressed = False
+        for dimension, is_option, ladder in DIMENSIONS:
+            for value in ladder(current):
+                step: Dict[str, Any] = {
+                    "dimension": dimension,
+                    "from": current["options"][dimension]
+                    if is_option
+                    else current[dimension],
+                    "to": value,
+                }
+                candidate, reason = _candidate(current, dimension, is_option, value)
+                if candidate is None:
+                    illegal_skipped += 1
+                    step["outcome"] = "illegal:%s" % reason
+                    trace.append(step)
+                    continue
+                if candidate["key"] == current["key"]:
+                    step["outcome"] = "no-op"
+                    trace.append(step)
+                    continue
+                if candidate["key"] in memo:
+                    candidate_verdict = memo[candidate["key"]]
+                    step["memoized"] = True
+                else:
+                    if evaluations >= max_evaluations:
+                        exhausted = True
+                        step["outcome"] = "budget-exhausted"
+                        trace.append(step)
+                        break
+                    evaluations += 1
+                    candidate_verdict = evaluate(candidate)
+                    memo[candidate["key"]] = candidate_verdict
+                if candidate_verdict["ok"]:
+                    step["outcome"] = "passed"
+                    trace.append(step)
+                    continue
+                overlap = sorted(
+                    set(candidate_verdict["failed_checks"])
+                    & set(current_verdict["failed_checks"])
+                )
+                if not overlap:
+                    step["outcome"] = "different-failure"
+                    step["failed_checks"] = candidate_verdict["failed_checks"]
+                    trace.append(step)
+                    continue
+                step["outcome"] = "adopted"
+                step["key"] = candidate["key"][:12]
+                trace.append(step)
+                current = candidate
+                current_verdict = candidate_verdict
+                adopted += 1
+                progressed = True
+                # Restart this dimension's ladder from the new current
+                # value on the next pass; move on for now.
+                break
+            if exhausted:
+                break
+
+    return {
+        "case": current,
+        "verdict": current_verdict,
+        "trace": trace,
+        "adopted": adopted,
+        "evaluations": evaluations,
+        "illegal_skipped": illegal_skipped,
+        "exhausted": exhausted,
+    }

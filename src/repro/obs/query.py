@@ -4,12 +4,15 @@ Three capabilities over :mod:`repro.obs.ledger` records:
 
 * **filter/aggregate** -- slice records by verb x backend x architecture x
   revision and summarize each group (run count, latest hash/revision,
-  simulated cycles);
+  simulated cycles); sweep verbs (``dse``/``fuzz``) additionally get
+  :func:`coverage_rows` -- skip-reason totals from the shared legality
+  map plus artifact-cache hit/miss totals;
 * **diff** -- field-by-field comparison of two records' hashed bodies,
   addressed by content-hash prefix; identical hashes are identical runs by
   construction, so a diff is always a behaviour difference;
 * **check** -- regression gates for CI: chaos/verify records must report
-  ``ok``, bench throughput measurements must clear the per-backend
+  ``ok``, fuzz records must have a stable corpus replay and no untriaged
+  findings, bench throughput measurements must clear the per-backend
   ``ci_floor`` entries of ``benchmarks/baselines.json`` (with the file's
   ``ci_regression_tolerance`` margin), and counter overhead must stay
   within ``gates.counters_overhead_max``.  :func:`check_regressions`
@@ -27,6 +30,7 @@ from .ledger import Ledger
 __all__ = [
     "filter_records",
     "aggregate_records",
+    "coverage_rows",
     "diff_bodies",
     "check_regressions",
     "load_baselines",
@@ -118,6 +122,67 @@ def aggregate_records(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return rows
 
 
+#: Verbs whose summaries carry generator/expander skip-reason counters and
+#: whose envelopes carry artifact-cache hit/miss measurements.
+COVERAGE_VERBS = ("dse", "fuzz")
+
+
+def coverage_rows(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-verb coverage totals for the sweep verbs (``dse``, ``fuzz``).
+
+    Aggregates, across every matching record, the *evaluated* config
+    count, the skip-reason counters (why legality filtering rejected
+    draws/expansions -- the legality map the fuzzer and DSE expander
+    share), and the artifact-cache hit/miss totals read back from the
+    envelope's scrubbed measurements.  One row per verb, sorted.
+    """
+    totals: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        body = record.get("body", {})
+        verb = body.get("verb")
+        if verb not in COVERAGE_VERBS:
+            continue
+        summary = body.get("summary") or {}
+        if not isinstance(summary, dict):
+            continue
+        row = totals.setdefault(
+            verb,
+            {
+                "verb": verb,
+                "runs": 0,
+                "evaluated": 0,
+                "skipped": {},
+                "cache_hits": 0,
+                "cache_misses": 0,
+            },
+        )
+        row["runs"] += 1
+        evaluated = summary.get("sampled", summary.get("configs"))
+        if isinstance(evaluated, int):
+            row["evaluated"] += evaluated
+        skipped = summary.get("skipped")
+        if isinstance(skipped, dict):
+            for reason, count in skipped.items():
+                if isinstance(count, int):
+                    row["skipped"][str(reason)] = (
+                        row["skipped"].get(str(reason), 0) + count
+                    )
+        cache = (
+            record.get("envelope", {}).get("measurements", {}).get("cache_stats")
+        )
+        if isinstance(cache, dict):
+            row["cache_hits"] += int(cache.get("hits") or 0)
+            row["cache_misses"] += int(cache.get("misses") or 0)
+    rows = []
+    for verb in sorted(totals):
+        row = totals[verb]
+        lookups = row["cache_hits"] + row["cache_misses"]
+        row["cache_hit_ratio"] = (row["cache_hits"] / lookups) if lookups else 0.0
+        row["skipped"] = dict(sorted(row["skipped"].items()))
+        rows.append(row)
+    return rows
+
+
 def _scalar(value: Any) -> str:
     if value is None:
         return "-"
@@ -178,7 +243,8 @@ def check_regressions(
 ) -> List[Dict[str, Any]]:
     """CI regression findings over a ledger; empty means gates pass.
 
-    Per record: chaos/verify summaries must report ``ok``; bench records
+    Per record: chaos/verify summaries must report ``ok``; fuzz records
+    must have a stable corpus replay and zero new findings; bench records
     must have no harness failures, full-size ``int_yield`` throughput
     (a wall-clock number, read back from the envelope's measurements)
     must clear the per-backend ``ci_floor`` less
@@ -219,11 +285,52 @@ def check_regressions(
                 value=False,
                 threshold=True,
             )
+        if verb == "fuzz":
+            _check_fuzz(record, summary, flag)
         if verb == "bench":
             _check_bench(
                 record, summary, floors, tolerance, overhead_max, flag, gates
             )
     return findings
+
+
+def _check_fuzz(record, summary, flag):
+    """Fuzz gates: corpus statuses must match reality; no new findings.
+
+    Mirrors the ``repro fuzz`` exit-status policy (cli.py): a ``fixed``
+    entry failing again is a regression, an ``open`` entry passing means
+    the corpus status is stale, and a new minimal repro means the sweep
+    found a bug that is not yet triaged.
+    """
+    replay = summary.get("replay") or {}
+    regressions = replay.get("regressions") or 0
+    if regressions:
+        flag(
+            record,
+            "replay.regressions",
+            "fuzz corpus replay: %d fixed entr(ies) failing again" % regressions,
+            value=regressions,
+            threshold=0,
+        )
+    now_fixed = replay.get("now_fixed") or 0
+    if now_fixed:
+        flag(
+            record,
+            "replay.now_fixed",
+            "fuzz corpus replay: %d open entr(ies) now passing "
+            "(flip their status to fixed)" % now_fixed,
+            value=now_fixed,
+            threshold=0,
+        )
+    new_findings = summary.get("new_findings") or 0
+    if new_findings:
+        flag(
+            record,
+            "new_findings",
+            "fuzz sweep shrank %d new minimal failing config(s)" % new_findings,
+            value=new_findings,
+            threshold=0,
+        )
 
 
 def _check_bench(record, summary, floors, tolerance, overhead_max, flag, gates=None):

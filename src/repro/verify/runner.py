@@ -130,12 +130,18 @@ def run_verify(
     """Sweep the verification matrix; returns a JSON-able summary."""
     from ..experiments.runner import run_cases
 
-    archs = list(archs or VERIFY_ARCHITECTURES)
+    archs = [str(arch).upper() for arch in (archs or VERIFY_ARCHITECTURES)]
     for arch in archs:
         if arch not in presets.PRESETS:
-            raise ValueError(
-                "unknown architecture %r (expected one of %s)"
-                % (arch, ", ".join(sorted(presets.PRESETS)))
+            # OptionError -> exit 2 in the CLI, with the did-you-mean
+            # candidate list (core/netlist.py style), not a traceback.
+            from ..core.netlist import _did_you_mean
+            from ..options.schema import OptionError
+
+            known = sorted(presets.PRESETS)
+            raise OptionError(
+                "unknown architecture %r%s; known architectures: %s"
+                % (arch, _did_you_mean(arch, known), ", ".join(known))
             )
     cases = [(arch, backend) for arch in archs for backend in backends]
     results, _telemetry = run_cases(

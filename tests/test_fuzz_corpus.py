@@ -1,0 +1,69 @@
+"""Corpus replay gate: every checked-in finding must still be honest.
+
+Loads every entry in the repo's ``corpus/`` directory and re-runs its
+composed oracle *fresh* (no artifact cache) on each scheduler backend:
+an ``open`` entry must still fail (it passing means the bug was fixed
+and the status is stale -- flip it to ``fixed``), a ``fixed`` entry must
+still pass (it failing is a regression).  This is the same gate
+``repro fuzz`` applies on every run; here it rides the tier-1 suite so a
+corpus-visible behaviour change cannot land silently.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz.corpus import STATUSES, load_corpus
+from repro.fuzz.oracle import ORACLE_VERSION, evaluate_case
+from repro.sim.kernel import KERNEL_BACKENDS
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "corpus")
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def _entry_ids():
+    return ["%s:%s" % (entry["file"], entry["status"]) for entry in ENTRIES]
+
+
+def test_corpus_is_present_and_well_formed():
+    # The repo ships with real findings (the data-width propagation bug);
+    # an empty corpus here means the checkout is broken, not clean.
+    assert ENTRIES, "no corpus entries found at %s" % CORPUS_DIR
+    keys = [entry["key"] for entry in ENTRIES]
+    assert len(set(keys)) == len(keys)
+    for entry in ENTRIES:
+        assert entry["status"] in STATUSES
+        assert entry["file"] == "%s.json" % entry["key"][:12]
+        assert entry["verdict"]["oracle_version"] <= ORACLE_VERSION
+        # The shrink trace must prove no illegal candidate was evaluated.
+        trace = entry["shrink"]["trace"]
+        illegal = [
+            step for step in trace if step["outcome"].startswith("illegal:")
+        ]
+        assert len(illegal) == entry["shrink"]["illegal_skipped"]
+        assert all("key" not in step for step in illegal)
+
+
+@pytest.mark.parametrize("kernel", list(KERNEL_BACKENDS))
+@pytest.mark.parametrize("entry", ENTRIES, ids=_entry_ids())
+def test_corpus_entry_replays_stable(entry, kernel):
+    verdict = evaluate_case(entry["case"], kernel=kernel)
+    if entry["status"] == "open":
+        assert not verdict["ok"], (
+            "%s: open finding now passes on the %s kernel -- the bug "
+            "appears fixed; flip the entry's status to \"fixed\""
+            % (entry["file"], kernel)
+        )
+        # Same bug, not a different one: the failing-check sets overlap.
+        assert set(verdict["failed_checks"]) & set(
+            entry["verdict"]["failed_checks"]
+        ), "%s: failure signature drifted to %s" % (
+            entry["file"],
+            verdict["failed_checks"],
+        )
+    else:
+        assert verdict["ok"], (
+            "%s: fixed entry fails again on the %s kernel (REGRESSION): %s"
+            % (entry["file"], kernel, verdict["failed_checks"])
+        )
