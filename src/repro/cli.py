@@ -533,6 +533,7 @@ def _cmd_verify(args) -> int:
         packets=args.packets,
         pe_count=args.pes,
         jobs=args.jobs,
+        data_width=args.data_width,
     )
     wall = time.perf_counter() - start
     for line in format_verify_summary(summary):
@@ -551,6 +552,7 @@ def _cmd_verify(args) -> int:
                 "backends": list(backends),
                 "packets": args.packets,
                 "pes": args.pes,
+                "data_width": args.data_width,
             },
             backend=list(backends),
             arch=list(summary["architectures"]),
@@ -1046,6 +1048,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--packets", type=int, default=2, help="OFDM packets per run")
     verify.add_argument("--pes", type=int, default=4, help="processor count")
+    verify.add_argument(
+        "--data-width",
+        type=int,
+        default=None,
+        help="bus/memory data width in bits applied to every bus and memory "
+        "(default: the presets' 64); non-default widths exercise the "
+        "width-parameterized generation path",
+    )
     verify.add_argument(
         "--jobs",
         type=int,

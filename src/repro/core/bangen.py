@@ -57,6 +57,8 @@ class BanPlan:
     wire_section_kind: str
     mem_address_width: int
     with_ip_port: bool = False
+    data_width: int = 64
+    mem_data_width: int = 64
 
 
 @dataclass
@@ -97,6 +99,16 @@ def _memory_width(ban: BANSpec) -> int:
     return ban.memories[0].address_width if ban.memories else 20
 
 
+def _memory_data_width(ban: BANSpec) -> int:
+    return ban.memories[0].data_width if ban.memories else 64
+
+
+def _wsuffix(data_width: int) -> str:
+    """Module-name suffix distinguishing non-default data widths; empty at
+    the paper's 64-bit default so those netlists stay byte-identical."""
+    return "" if data_width == 64 else "_w%d" % data_width
+
+
 def plan_ban(ban: BANSpec, subsystem: BusSubsystemSpec) -> BanPlan:
     """Decide the module list for one BAN (Step 1)."""
     kind = ban_kind(ban, subsystem)
@@ -114,95 +126,117 @@ def plan_ban(ban: BANSpec, subsystem: BusSubsystemSpec) -> BanPlan:
     hosts_ip = any(ip.ip_attach == ban.name for ip in subsystem.ip_bans)
     cpu = ban.cpu_type
     mem_aw = _memory_width(ban)
+    mem_dw = _memory_data_width(ban)
     bus = subsystem.buses[0]
+    data_width = bus.data_width
+    ws = _wsuffix(data_width)
+    mem_ws = _wsuffix(mem_dw)
     fifo_bus = subsystem.bus_of_type("BFBA")
     fifo_depth = fifo_bus.fifo_depth if fifo_bus else 1024
     cpu_lower = cpu.lower()
 
     modules: List[ModulePlan] = [
         ModulePlan("CPU", cpu, cpu_lower, "u_cpu"),
-        ModulePlan("CBI", "CBI_%s" % cpu, "cbi_%s" % cpu_lower, "u_cbi"),
+        ModulePlan(
+            "CBI",
+            "CBI_%s" % cpu,
+            "cbi_%s%s" % (cpu_lower, ws),
+            "u_cbi",
+            {"DATA_WIDTH": data_width},
+        ),
     ]
     mem_modules = [
         ModulePlan(
             "MBI0",
             "MBI_SRAM",
-            "mbi_sram_aw%d" % mem_aw,
+            "mbi_sram_aw%d%s%s" % (mem_aw, ws, mem_ws and "_m%d" % mem_dw),
             "u_mbi0",
-            {"MEM_A_WIDTH": mem_aw},
+            {
+                "MEM_A_WIDTH": mem_aw,
+                "MEM_D_WIDTH": mem_dw,
+                "BIT_DIFFERENCE": max(0, data_width - mem_dw),
+                "DATA_WIDTH": data_width,
+            },
         ),
         ModulePlan(
             "MEM0",
             "SRAM_comp",
-            "sram_aw%d" % mem_aw,
+            "sram_aw%d%s" % (mem_aw, mem_ws),
             "u_mem0",
-            {"MEM_A_WIDTH": mem_aw},
+            {"MEM_A_WIDTH": mem_aw, "MEM_D_WIDTH": mem_dw},
         ),
     ]
     hs_fifo = [
         ModulePlan(
             "HS",
             "HS_REGS",
-            "hs_regs_bfba",
+            "hs_regs_bfba%s" % ws,
             "u_hs",
-            {"OP_RESET": "1'b1"},  # Example 4's initial conditions
+            {"OP_RESET": "1'b1", "DATA_WIDTH": data_width},  # Example 4's initial conditions
         ),
         ModulePlan(
             "FIFO",
             "BIFIFO",
-            "bififo_d%d" % fifo_depth,
+            "bififo_d%d%s" % (fifo_depth, ws),
             "u_fifo",
-            {"FIFO_DEPTH": fifo_depth},
+            {"FIFO_DEPTH": fifo_depth, "DATA_WIDTH": data_width},
         ),
     ]
 
+    dw_params = {"DATA_WIDTH": data_width}
     if kind == BanKind.BFBA:
-        modules += [ModulePlan("SB", "SB_BFBA", "sb_bfba", "u_sb")]
+        modules += [ModulePlan("SB", "SB_BFBA", "sb_bfba%s" % ws, "u_sb", dict(dw_params))]
         modules += mem_modules + hs_fifo
-        modules += [ModulePlan("GBI", "GBI_BFBA", "gbi_bfba", "u_gbi")]
-        name = "ban_bfba_%s_aw%d_d%d" % (cpu_lower, mem_aw, fifo_depth)
+        modules += [ModulePlan("GBI", "GBI_BFBA", "gbi_bfba%s" % ws, "u_gbi", dict(dw_params))]
+        name = "ban_bfba_%s_aw%d_d%d%s" % (cpu_lower, mem_aw, fifo_depth, ws)
     elif kind == BanKind.GBAVI:
         modules += [
-            ModulePlan("SBC", "SB_GBAVI", "sb_gbavi", "u_sbc"),
-            ModulePlan("SBM", "SB_GBAVI", "sb_gbavi", "u_sbm"),
+            ModulePlan("SBC", "SB_GBAVI", "sb_gbavi%s" % ws, "u_sbc", dict(dw_params)),
+            ModulePlan("SBM", "SB_GBAVI", "sb_gbavi%s" % ws, "u_sbm", dict(dw_params)),
         ]
         modules += mem_modules
         modules += [
-            ModulePlan("HS", "HS_REGS_GBAVI", "hs_regs_gbavi", "u_hs"),
-            ModulePlan("BB", "BB_GBAVI", "bb_gbavi", "u_bb"),
-            ModulePlan("GBI", "GBI_GBAVI", "gbi_gbavi", "u_gbi"),
+            ModulePlan("HS", "HS_REGS_GBAVI", "hs_regs_gbavi%s" % ws, "u_hs", dict(dw_params)),
+            ModulePlan("BB", "BB_GBAVI", "bb_gbavi%s" % ws, "u_bb", dict(dw_params)),
+            ModulePlan("GBI", "GBI_GBAVI", "gbi_gbavi%s" % ws, "u_gbi", dict(dw_params)),
         ]
-        name = "ban_gbavi_%s_aw%d" % (cpu_lower, mem_aw)
+        name = "ban_gbavi_%s_aw%d%s" % (cpu_lower, mem_aw, ws)
     elif kind == BanKind.GBAVIII:
-        modules += [ModulePlan("SB", "SB_GBAVI", "sb_gbavi", "u_sb")]
+        modules += [ModulePlan("SB", "SB_GBAVI", "sb_gbavi%s" % ws, "u_sb", dict(dw_params))]
         modules += mem_modules
-        modules += [ModulePlan("GBI", "GBI_GBAVIII", "gbi_gbaviii", "u_gbi")]
-        name = "ban_gbaviii_%s_aw%d" % (cpu_lower, mem_aw)
+        modules += [
+            ModulePlan("GBI", "GBI_GBAVIII", "gbi_gbaviii%s" % ws, "u_gbi", dict(dw_params))
+        ]
+        name = "ban_gbaviii_%s_aw%d%s" % (cpu_lower, mem_aw, ws)
     elif kind == BanKind.HYBRID:
-        modules += [ModulePlan("SB", "SB_BFBA", "sb_bfba", "u_sb")]
+        modules += [ModulePlan("SB", "SB_BFBA", "sb_bfba%s" % ws, "u_sb", dict(dw_params))]
         modules += mem_modules + hs_fifo
         modules += [
-            ModulePlan("GBI", "GBI_BFBA", "gbi_bfba", "u_gbi"),
-            ModulePlan("GGBI", "GBI_GBAVIII", "gbi_gbaviii", "u_ggbi"),
+            ModulePlan("GBI", "GBI_BFBA", "gbi_bfba%s" % ws, "u_gbi", dict(dw_params)),
+            ModulePlan(
+                "GGBI", "GBI_GBAVIII", "gbi_gbaviii%s" % ws, "u_ggbi", dict(dw_params)
+            ),
         ]
-        name = "ban_hybrid_%s_aw%d_d%d" % (cpu_lower, mem_aw, fifo_depth)
+        name = "ban_hybrid_%s_aw%d_d%d%s" % (cpu_lower, mem_aw, fifo_depth, ws)
     elif kind == BanKind.SPLITBA:
         # Figure 7: the PE's CBI sits directly on the shared bus; the thin
         # GBI_SHARED only adds the request line and the bus drivers.
         modules += [
-            ModulePlan("SB", "SB_GBAVI", "sb_gbavi", "u_sb"),
-            ModulePlan("GBI", "GBI_SHARED", "gbi_shared", "u_gbi"),
+            ModulePlan("SB", "SB_GBAVI", "sb_gbavi%s" % ws, "u_sb", dict(dw_params)),
+            ModulePlan("GBI", "GBI_SHARED", "gbi_shared%s" % ws, "u_gbi", dict(dw_params)),
         ]
-        name = "ban_shared_%s" % cpu_lower
+        name = "ban_shared_%s%s" % (cpu_lower, ws)
     else:  # pragma: no cover - classified above
         raise OptionError("unhandled BAN kind %r" % kind)
-    plan = BanPlan(kind, name, modules, kind, mem_aw)
+    plan = BanPlan(kind, name, modules, kind, mem_aw, data_width=data_width, mem_data_width=mem_dw)
     if hosts_ip:
         if kind == BanKind.GBAVI:
             raise OptionError(
                 "BAN %s: IP attachments are not supported on GBAVI BANs" % ban.name
             )
-        modules.append(ModulePlan("IPIF", "IPIF", "ipif", "u_ipif"))
+        modules.append(
+            ModulePlan("IPIF", "IPIF", "ipif%s" % ws, "u_ipif", dict(dw_params))
+        )
         plan.module_name = name + "_ip"
         plan.with_ip_port = True
     return plan
@@ -212,6 +246,10 @@ def _plan_global_ban(ban: BANSpec, subsystem: BusSubsystemSpec) -> BanPlan:
     bus = subsystem.buses[-1]
     n_masters = len(subsystem.pe_bans)
     mem_aw = _memory_width(ban)
+    mem_dw = _memory_data_width(ban)
+    data_width = bus.data_width
+    ws = _wsuffix(data_width)
+    mem_ws = _wsuffix(mem_dw)
     policy = (bus.arbiter_policy or "fcfs").upper()
     arbiter_component = "ARBITER_%s" % ("ROUND_ROBIN" if policy == "ROUND_ROBIN" else policy)
     modules = [
@@ -232,27 +270,40 @@ def _plan_global_ban(ban: BANSpec, subsystem: BusSubsystemSpec) -> BanPlan:
         ModulePlan(
             "MBI0",
             "MBI_SRAM",
-            "mbi_sram_aw%d" % mem_aw,
+            "mbi_sram_aw%d%s%s" % (mem_aw, ws, mem_ws and "_m%d" % mem_dw),
             "u_mbi0",
-            {"MEM_A_WIDTH": mem_aw},
+            {
+                "MEM_A_WIDTH": mem_aw,
+                "MEM_D_WIDTH": mem_dw,
+                "BIT_DIFFERENCE": max(0, data_width - mem_dw),
+                "DATA_WIDTH": data_width,
+            },
         ),
         ModulePlan(
             "MEM0",
             "SRAM_comp",
-            "sram_aw%d" % mem_aw,
+            "sram_aw%d%s" % (mem_aw, mem_ws),
             "u_mem0",
-            {"MEM_A_WIDTH": mem_aw},
+            {"MEM_A_WIDTH": mem_aw, "MEM_D_WIDTH": mem_dw},
         ),
         ModulePlan(
             "SBG",
             "SB_GBAVIII",
-            "sb_gbaviii_n%d" % n_masters,
+            "sb_gbaviii_n%d%s" % (n_masters, ws),
             "u_sbg",
-            {"N_MASTERS": n_masters},
+            {"N_MASTERS": n_masters, "DATA_WIDTH": data_width},
         ),
     ]
-    name = "ban_global_n%d_aw%d_g%d" % (n_masters, mem_aw, bus.grant_cycles)
-    return BanPlan(BanKind.GLOBAL, name, modules, BanKind.GLOBAL, mem_aw)
+    name = "ban_global_n%d_aw%d_g%d%s" % (n_masters, mem_aw, bus.grant_cycles, ws)
+    return BanPlan(
+        BanKind.GLOBAL,
+        name,
+        modules,
+        BanKind.GLOBAL,
+        mem_aw,
+        data_width=data_width,
+        mem_data_width=mem_dw,
+    )
 
 
 def generate_ban(
@@ -276,10 +327,19 @@ def generate_ban(
         # BAN ports (Figure 17's BAN FFT).
         return GeneratedBan(plan, builder.build(), leaves)
     if plan.wire_section_kind == BanKind.GLOBAL:
-        section: WireGroup = wire_library.global_ban_section(n_masters, plan.mem_address_width)
+        section: WireGroup = wire_library.global_ban_section(
+            n_masters,
+            plan.mem_address_width,
+            data_width=plan.data_width,
+            mem_data_width=plan.mem_data_width,
+        )
     else:
         section = wire_library.ban_section(
-            plan.wire_section_kind, plan.mem_address_width, plan.with_ip_port
+            plan.wire_section_kind,
+            plan.mem_address_width,
+            plan.with_ip_port,
+            data_width=plan.data_width,
+            mem_data_width=plan.mem_data_width,
         )
 
     for spec in section.specs:

@@ -27,7 +27,13 @@ from ..wiredb.library import WireLibrary, default_wire_library
 from .gatecount import count_system_gates, gate_report
 from .sysgen import GeneratedSystem, generate_system
 
-__all__ = ["GenerationReport", "GeneratedBusSystem", "BusSyn"]
+__all__ = ["GenerationReport", "GeneratedBusSystem", "BusSyn", "GENERATOR_VERSION"]
+
+#: Bump whenever the generation stack's output changes for an unchanged
+#: spec (template edits, wire-section layout changes, naming schemes).
+#: The shared-store key mixes this in so stale pickled systems from an
+#: older generator are never served for the same spec.
+GENERATOR_VERSION = 2
 
 
 @dataclass
@@ -185,10 +191,15 @@ class BusSyn:
     @staticmethod
     def spec_hash(spec: BusSystemSpec) -> str:
         """Content hash of the spec (the shared-store key): SHA-256 over the
-        canonical JSON of the spec's dataclass fields."""
+        canonical JSON of the spec's dataclass fields plus the generator
+        version, so a generator change invalidates stored systems."""
         from ..obs.ledger import canonical_json, content_hash
 
-        return content_hash(canonical_json(dataclasses.asdict(spec)))
+        payload = {
+            "generator": GENERATOR_VERSION,
+            "spec": dataclasses.asdict(spec),
+        }
+        return content_hash(canonical_json(payload))
 
     def generate(self, spec: BusSystemSpec) -> GeneratedBusSystem:
         """Generate the Bus System described by the user options."""

@@ -31,6 +31,7 @@ def estimate_component(component: str, parameters: Dict[str, object]) -> int:
     n = int(parameters.get("N_MASTERS", 4) or 4)
     addr = int(parameters.get("ADDR_WIDTH", 32) or 32)
     pointer = int(parameters.get("PTR_WIDTH", 11) or 11)
+    data = int(parameters.get("DATA_WIDTH", 64) or 64)
 
     if component in ("MPC750", "MPC755", "MPC7410", "ARM9TDMI"):
         return 0  # IP core, not bus logic
@@ -42,17 +43,19 @@ def estimate_component(component: str, parameters: Dict[str, object]) -> int:
         return 200
     if component.startswith("CBI_"):
         # Address/data registers + decode + FSM + TA/interrupt path.
-        return addr * _FLOP // 4 + 64 * _MUX // 2 + 90
+        return addr * _FLOP // 4 + data * _MUX // 2 + 90
     if component == "MBI_SRAM":
-        return 64 * _MUX // 2 + 60
+        return data * _MUX // 2 + 60
     if component == "MBI_DRAM":
-        return 64 * _MUX // 2 + 120
+        return data * _MUX // 2 + 120
     if component.startswith("SB_"):
-        return 40 + (8 * n if component == "SB_GBAVIII" else 0)
+        # Bus keepers hold the data lanes; control overhead is flat.
+        return 8 + data // 2 + (8 * n if component == "SB_GBAVIII" else 0)
     if component == "BB_GBAVI":
-        return (addr + 66) * 1 - 8  # pass-gate pairs on addr+data+control
+        # Pass-gate pairs on addr + data + {web, reb} control.
+        return (addr + data + 2) * 1 - 8
     if component == "BB_SPLITBA":
-        return (addr + 66) * 1 + 150  # plus the request/grant exchange FSM
+        return (addr + data + 2) * 1 + 150  # plus the request/grant exchange FSM
     if component == "ARBITER_FCFS":
         return 220 + 45 * n  # grant register + FIFO of requester ids
     if component == "ARBITER_ROUND_ROBIN":
@@ -76,8 +79,9 @@ def estimate_component(component: str, parameters: Dict[str, object]) -> int:
     if component == "HS_REGS_GBAVI":
         return 90
     if component == "BIFIFO":
-        # Controller only: pointers, fill counter, threshold compare, irq.
-        return 120 + 2 * pointer * _FLOP
+        # Controller only: pointers, fill counter, threshold compare, irq,
+        # plus the tri-state drivers on the bus-side data lanes.
+        return 24 + data * _MUX // 2 + 2 * pointer * _FLOP
     return 100  # unknown user component: conservative default
 
 

@@ -75,6 +75,7 @@ def generate_subsystem(
     ban_of_letter: Dict[str, str] = {}
     pe_letters = [ban.name for ban in spec.pe_bans]
     n_masters = len(pe_letters)
+    data_width = spec.buses[0].data_width
 
     # Generate / reuse BANs and instantiate them (generated BANs repeat --
     # section IV.A's scalable structure).
@@ -99,14 +100,20 @@ def generate_subsystem(
             bridge_count = n_masters if n_masters > 2 else max(1, n_masters - 1)
         else:
             bridge_count = (n_masters - 1) + (2 if n_masters > 1 else 1)
-        bridge = module_library.generate("BB_GBAVI", "bb_gbavi")
+        bridge_name = "bb_gbavi" if data_width == 64 else "bb_gbavi_w%d" % data_width
+        bridge = module_library.generate(
+            "BB_GBAVI", bridge_name, DATA_WIDTH=data_width
+        )
         leaves[bridge.name] = bridge
         for index in range(1, bridge_count + 1):
             builder.add_instance("BB_%d" % index, bridge.module, "u_bb_%d" % index)
 
     global_letters = [ban.name for ban in spec.global_bans]
     section = wire_library.subsystem_section(
-        kind, pe_letters, global_letters[0] if global_letters else "G"
+        kind,
+        pe_letters,
+        global_letters[0] if global_letters else "G",
+        data_width=data_width,
     )
 
     for wire_spec in section.specs:

@@ -22,20 +22,19 @@ from .subsysgen import GeneratedSubsystem, generate_subsystem
 
 __all__ = ["GeneratedSystem", "generate_system"]
 
-_BRIDGE_BUS_PINS = (
-    ("a_addr", "sub_addr", 32),
-    ("a_dh", "sub_dh", 32),
-    ("a_dl", "sub_dl", 32),
-    ("a_web", "sub_web", 1),
-    ("a_reb", "sub_reb", 1),
-)
-_BRIDGE_BUS_PINS_B = (
-    ("b_addr", "sub_addr", 32),
-    ("b_dh", "sub_dh", 32),
-    ("b_dl", "sub_dl", 32),
-    ("b_web", "sub_web", 1),
-    ("b_reb", "sub_reb", 1),
-)
+def _bridge_bus_pins(side: str, data_width: int):
+    """The BB_SPLITBA pins joining one bridge side to a subsystem's shared
+    bus, at the bus's lane widths (no dh lane in the 32-bit layout)."""
+    lane = data_width // 2 if data_width > 32 else data_width
+    pins = [("%s_addr" % side, "sub_addr", 32)]
+    if data_width > 32:
+        pins.append(("%s_dh" % side, "sub_dh", lane))
+    pins += [
+        ("%s_dl" % side, "sub_dl", lane),
+        ("%s_web" % side, "sub_web", 1),
+        ("%s_reb" % side, "sub_reb", 1),
+    ]
+    return tuple(pins)
 
 
 @dataclass
@@ -94,14 +93,22 @@ def generate_system(
 
     bridges = spec.effective_bridges()
     if bridges:
-        bridge = module_library.generate("BB_SPLITBA", "bb_splitba")
+        data_width = spec.subsystems[0].buses[0].data_width
+        bridge_name = (
+            "bb_splitba" if data_width == 64 else "bb_splitba_w%d" % data_width
+        )
+        bridge = module_library.generate(
+            "BB_SPLITBA", bridge_name, DATA_WIDTH=data_width
+        )
         leaves[bridge.name] = bridge
+        pins_a = _bridge_bus_pins("a", data_width)
+        pins_b = _bridge_bus_pins("b", data_width)
         for index, (left, right) in enumerate(bridges, start=1):
             logical = "BB_SYS_%d" % index
             builder.add_instance(logical, bridge.module, "u_bb_sys_%d" % index)
-            for side, pins in ((left, _BRIDGE_BUS_PINS), (right, _BRIDGE_BUS_PINS_B)):
+            for side, pins in ((left, pins_a), (right, pins_b)):
                 side_module = subsystems[side].module
-                tag = "" if pins is _BRIDGE_BUS_PINS else "b"
+                tag = "" if pins is pins_a else "b"
                 for bridge_pin, subsystem_pin, width in pins:
                     if side_module.port(subsystem_pin) is None:
                         # The subsystem exposes no shared bus (a pure BFBA

@@ -48,7 +48,10 @@ __all__ = [
 
 #: Bump when the oracle's judgement surface changes; cached verdicts from
 #: older oracles then read as misses instead of stale acquittals.
-ORACLE_VERSION = 1
+#: Version 2: data_width propagates into the generated RTL and the
+#: structural extractor reads true widths, so every width-divergence
+#: verdict from version 1 is void.
+ORACLE_VERSION = 2
 
 ORACLE_CHECKS = ("structural", "protocol", "resilience", "parity")
 

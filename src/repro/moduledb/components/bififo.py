@@ -13,7 +13,7 @@ LIBRARY_TEXT = """
 %module BIFIFO
 module @MODULE_NAME@(clk, rst_n,
                      fifo_cs_dn, web_dn, data_dn,
-                     fifo_cs_local, thr_cs_local, web_local, reb_local, dh, dl,
+                     fifo_cs_local, thr_cs_local, web_local, reb_local, @DH_ARG@dl,
                      irq_b);
   parameter FIFO_DEPTH = @FIFO_DEPTH@;
   parameter PTR_WIDTH = @PTR_WIDTH@;
@@ -21,16 +21,18 @@ module @MODULE_NAME@(clk, rst_n,
   input rst_n;
   input fifo_cs_dn;
   input web_dn;
-  inout [63:0] data_dn;
+  inout [@DATA_MSB@:0] data_dn;
   input fifo_cs_local;
   input thr_cs_local;
   input web_local;
   input reb_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   output irq_b;
 
-  reg [63:0] fifo_mem_q [@DEPTH_MSB@:0];
+  reg [@DATA_MSB@:0] fifo_mem_q [@DEPTH_MSB@:0];
   reg [@PTR_MSB@:0] wr_ptr_q;
   reg [@PTR_MSB@:0] rd_ptr_q;
   reg [@PTR_MSB@:0] count_q;
@@ -39,8 +41,8 @@ module @MODULE_NAME@(clk, rst_n,
   reg armed_q;
 
   assign irq_b = ~irq_q;
-  assign {dh, dl} = (fifo_cs_local && !reb_local) ? fifo_mem_q[rd_ptr_q] : 64'bz;
-  assign data_dn = 64'bz;
+  assign @DATA_BUS@ = (fifo_cs_local && !reb_local) ? fifo_mem_q[rd_ptr_q] : @DATA_WIDTH@'bz;
+  assign data_dn = @DATA_WIDTH@'bz;
 
   always @(posedge clk or negedge rst_n) begin
     if (!rst_n) begin

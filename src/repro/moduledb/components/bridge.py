@@ -11,37 +11,45 @@ crossing master arbitration can win the far side.
 
 LIBRARY_TEXT = """
 %module BB_GBAVI
-module @MODULE_NAME@(bb_enable, a_addr, a_dh, a_dl, a_web, a_reb,
-                     b_addr, b_dh, b_dl, b_web, b_reb, dir_a2b);
+module @MODULE_NAME@(bb_enable, a_addr, @A_DH_ARG@a_dl, a_web, a_reb,
+                     b_addr, @B_DH_ARG@b_dl, b_web, b_reb, dir_a2b);
   parameter ADDR_WIDTH = @ADDR_WIDTH@;
   input bb_enable;
   input dir_a2b;
   inout [@ADDR_MSB@:0] a_addr;
-  inout [31:0] a_dh;
-  inout [31:0] a_dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] a_dh;
+%endif
+  inout [@LANE_MSB@:0] a_dl;
   inout a_web;
   inout a_reb;
   inout [@ADDR_MSB@:0] b_addr;
-  inout [31:0] b_dh;
-  inout [31:0] b_dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] b_dh;
+%endif
+  inout [@LANE_MSB@:0] b_dl;
   inout b_web;
   inout b_reb;
   assign b_addr = (bb_enable && dir_a2b) ? a_addr : @ADDR_WIDTH@'bz;
-  assign b_dh = (bb_enable && dir_a2b) ? a_dh : 32'bz;
-  assign b_dl = (bb_enable && dir_a2b) ? a_dl : 32'bz;
+%if HAS_DH
+  assign b_dh = (bb_enable && dir_a2b) ? a_dh : @LANE_WIDTH@'bz;
+%endif
+  assign b_dl = (bb_enable && dir_a2b) ? a_dl : @LANE_WIDTH@'bz;
   assign b_web = (bb_enable && dir_a2b) ? a_web : 1'bz;
   assign b_reb = (bb_enable && dir_a2b) ? a_reb : 1'bz;
   assign a_addr = (bb_enable && !dir_a2b) ? b_addr : @ADDR_WIDTH@'bz;
-  assign a_dh = (bb_enable && !dir_a2b) ? b_dh : 32'bz;
-  assign a_dl = (bb_enable && !dir_a2b) ? b_dl : 32'bz;
+%if HAS_DH
+  assign a_dh = (bb_enable && !dir_a2b) ? b_dh : @LANE_WIDTH@'bz;
+%endif
+  assign a_dl = (bb_enable && !dir_a2b) ? b_dl : @LANE_WIDTH@'bz;
   assign a_web = (bb_enable && !dir_a2b) ? b_web : 1'bz;
   assign a_reb = (bb_enable && !dir_a2b) ? b_reb : 1'bz;
 endmodule
 %endmodule BB_GBAVI
 
 %module BB_SPLITBA
-module @MODULE_NAME@(clk, rst_n, bb_enable, a_addr, a_dh, a_dl, a_web, a_reb,
-                     a_req_b, a_gnt_b, b_addr, b_dh, b_dl, b_web, b_reb,
+module @MODULE_NAME@(clk, rst_n, bb_enable, a_addr, @A_DH_ARG@a_dl, a_web, a_reb,
+                     a_req_b, a_gnt_b, b_addr, @B_DH_ARG@b_dl, b_web, b_reb,
                      b_req_b, b_gnt_b, dir_a2b);
   parameter ADDR_WIDTH = @ADDR_WIDTH@;
   input clk;
@@ -49,15 +57,19 @@ module @MODULE_NAME@(clk, rst_n, bb_enable, a_addr, a_dh, a_dl, a_web, a_reb,
   input bb_enable;
   input dir_a2b;
   inout [@ADDR_MSB@:0] a_addr;
-  inout [31:0] a_dh;
-  inout [31:0] a_dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] a_dh;
+%endif
+  inout [@LANE_MSB@:0] a_dl;
   inout a_web;
   inout a_reb;
   output a_req_b;
   input a_gnt_b;
   inout [@ADDR_MSB@:0] b_addr;
-  inout [31:0] b_dh;
-  inout [31:0] b_dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] b_dh;
+%endif
+  inout [@LANE_MSB@:0] b_dl;
   inout b_web;
   inout b_reb;
   output b_req_b;
@@ -67,13 +79,17 @@ module @MODULE_NAME@(clk, rst_n, bb_enable, a_addr, a_dh, a_dl, a_web, a_reb,
   assign a_req_b = a_req_q;
   assign b_req_b = b_req_q;
   assign b_addr = (bb_enable && dir_a2b && !b_gnt_b) ? a_addr : @ADDR_WIDTH@'bz;
-  assign b_dh = (bb_enable && dir_a2b && !b_gnt_b) ? a_dh : 32'bz;
-  assign b_dl = (bb_enable && dir_a2b && !b_gnt_b) ? a_dl : 32'bz;
+%if HAS_DH
+  assign b_dh = (bb_enable && dir_a2b && !b_gnt_b) ? a_dh : @LANE_WIDTH@'bz;
+%endif
+  assign b_dl = (bb_enable && dir_a2b && !b_gnt_b) ? a_dl : @LANE_WIDTH@'bz;
   assign b_web = (bb_enable && dir_a2b && !b_gnt_b) ? a_web : 1'bz;
   assign b_reb = (bb_enable && dir_a2b && !b_gnt_b) ? a_reb : 1'bz;
   assign a_addr = (bb_enable && !dir_a2b && !a_gnt_b) ? b_addr : @ADDR_WIDTH@'bz;
-  assign a_dh = (bb_enable && !dir_a2b && !a_gnt_b) ? b_dh : 32'bz;
-  assign a_dl = (bb_enable && !dir_a2b && !a_gnt_b) ? b_dl : 32'bz;
+%if HAS_DH
+  assign a_dh = (bb_enable && !dir_a2b && !a_gnt_b) ? b_dh : @LANE_WIDTH@'bz;
+%endif
+  assign a_dl = (bb_enable && !dir_a2b && !a_gnt_b) ? b_dl : @LANE_WIDTH@'bz;
   assign a_web = (bb_enable && !dir_a2b && !a_gnt_b) ? b_web : 1'bz;
   assign a_reb = (bb_enable && !dir_a2b && !a_gnt_b) ? b_reb : 1'bz;
   always @(posedge clk or negedge rst_n) begin

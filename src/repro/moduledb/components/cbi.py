@@ -10,7 +10,7 @@ core means swapping this one Module (section IV.B).
 
 _CBI_BODY = """
 module @MODULE_NAME@(clk, rst_n, cpu_a, cpu_d, cpu_ts_b, cpu_wr_b, cpu_ta_b,
-                     cpu_int_b, addr_local, dh, dl, web_local, reb_local, csb, irq_b);
+                     cpu_int_b, addr_local, @DH_ARG@dl, web_local, reb_local, csb, irq_b);
   parameter ADDR_WIDTH = @ADDR_WIDTH@;
   parameter DECODE_LSB = @DECODE_LSB@;
   input clk;
@@ -22,8 +22,10 @@ module @MODULE_NAME@(clk, rst_n, cpu_a, cpu_d, cpu_ts_b, cpu_wr_b, cpu_ta_b,
   output cpu_ta_b;
   output cpu_int_b;
   output [@ADDR_MSB@:0] addr_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   output web_local;
   output reb_local;
   output [7:0] csb;
@@ -41,8 +43,8 @@ module @MODULE_NAME@(clk, rst_n, cpu_a, cpu_d, cpu_ts_b, cpu_wr_b, cpu_ta_b,
   assign cpu_ta_b = ta_q;
   assign cpu_int_b = irq_b;
   assign csb = ~(8'b00000001 << addr_q[@DECODE_MSB@:@DECODE_LSB@]);
-  assign {dh, dl} = (~web_q) ? cpu_d : 64'bz;
-  assign cpu_d = (~reb_q) ? {dh, dl} : 64'bz;
+  assign @DATA_BUS@ = (~web_q) ? cpu_d : @DATA_WIDTH@'bz;
+  assign cpu_d = (~reb_q) ? @DATA_BUS@ : 64'bz;
 
   always @(posedge clk or negedge rst_n) begin
     if (!rst_n) begin

@@ -15,20 +15,24 @@ the same BAN internals ride different bus types (section IV.A):
 
 LIBRARY_TEXT = """
 %module GBI_GBAVIII
-module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_local,
-                     g_addr, g_dh, g_dl, g_web, g_reb, g_req_b, g_gnt_b);
+module @MODULE_NAME@(clk, rst_n, addr_local, @DH_ARG@dl, web_local, reb_local, csb_local,
+                     g_addr, @G_DH_ARG@g_dl, g_web, g_reb, g_req_b, g_gnt_b);
   parameter ADDR_WIDTH = @ADDR_WIDTH@;
   input clk;
   input rst_n;
   input [@ADDR_MSB@:0] addr_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   input web_local;
   input reb_local;
   input csb_local;
   inout [@ADDR_MSB@:0] g_addr;
-  inout [31:0] g_dh;
-  inout [31:0] g_dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] g_dh;
+%endif
+  inout [@LANE_MSB@:0] g_dl;
   inout g_web;
   inout g_reb;
   output g_req_b;
@@ -39,10 +43,14 @@ module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_l
   assign g_addr = (owned_q) ? addr_local : @ADDR_WIDTH@'bz;
   assign g_web = (owned_q) ? web_local : 1'bz;
   assign g_reb = (owned_q) ? reb_local : 1'bz;
-  assign g_dh = (owned_q && !web_local) ? dh : 32'bz;
-  assign g_dl = (owned_q && !web_local) ? dl : 32'bz;
-  assign dh = (owned_q && !reb_local) ? g_dh : 32'bz;
-  assign dl = (owned_q && !reb_local) ? g_dl : 32'bz;
+%if HAS_DH
+  assign g_dh = (owned_q && !web_local) ? dh : @LANE_WIDTH@'bz;
+%endif
+  assign g_dl = (owned_q && !web_local) ? dl : @LANE_WIDTH@'bz;
+%if HAS_DH
+  assign dh = (owned_q && !reb_local) ? g_dh : @LANE_WIDTH@'bz;
+%endif
+  assign dl = (owned_q && !reb_local) ? g_dl : @LANE_WIDTH@'bz;
   always @(posedge clk or negedge rst_n) begin
     if (!rst_n) begin
       req_q <= 1'b1;
@@ -60,20 +68,24 @@ endmodule
 %endmodule GBI_GBAVIII
 
 %module GBI_GBAVI
-module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_local,
-                     seg_addr, seg_dh, seg_dl, seg_web, seg_reb, bb_req);
+module @MODULE_NAME@(clk, rst_n, addr_local, @DH_ARG@dl, web_local, reb_local, csb_local,
+                     seg_addr, @SEG_DH_ARG@seg_dl, seg_web, seg_reb, bb_req);
   parameter ADDR_WIDTH = @ADDR_WIDTH@;
   input clk;
   input rst_n;
   input [@ADDR_MSB@:0] addr_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   input web_local;
   input reb_local;
   input csb_local;
   inout [@ADDR_MSB@:0] seg_addr;
-  inout [31:0] seg_dh;
-  inout [31:0] seg_dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] seg_dh;
+%endif
+  inout [@LANE_MSB@:0] seg_dl;
   inout seg_web;
   inout seg_reb;
   output bb_req;
@@ -82,10 +94,14 @@ module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_l
   assign seg_addr = (drive_q) ? addr_local : @ADDR_WIDTH@'bz;
   assign seg_web = (drive_q) ? web_local : 1'bz;
   assign seg_reb = (drive_q) ? reb_local : 1'bz;
-  assign seg_dh = (drive_q && !web_local) ? dh : 32'bz;
-  assign seg_dl = (drive_q && !web_local) ? dl : 32'bz;
-  assign dh = (drive_q && !reb_local) ? seg_dh : 32'bz;
-  assign dl = (drive_q && !reb_local) ? seg_dl : 32'bz;
+%if HAS_DH
+  assign seg_dh = (drive_q && !web_local) ? dh : @LANE_WIDTH@'bz;
+%endif
+  assign seg_dl = (drive_q && !web_local) ? dl : @LANE_WIDTH@'bz;
+%if HAS_DH
+  assign dh = (drive_q && !reb_local) ? seg_dh : @LANE_WIDTH@'bz;
+%endif
+  assign dl = (drive_q && !reb_local) ? seg_dl : @LANE_WIDTH@'bz;
   always @(posedge clk or negedge rst_n) begin
     if (!rst_n) begin
       drive_q <= 1'b0;
@@ -97,19 +113,21 @@ endmodule
 %endmodule GBI_GBAVI
 
 %module GBI_BFBA
-module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_local,
+module @MODULE_NAME@(clk, rst_n, addr_local, @DH_ARG@dl, web_local, reb_local, csb_local,
                      data_up, fifo_cs_up, web_up, reb_up,
                      done_op_cs_up, done_rv_cs_up);
   parameter ADDR_WIDTH = @ADDR_WIDTH@;
   input clk;
   input rst_n;
   input [@ADDR_MSB@:0] addr_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   input web_local;
   input reb_local;
   input csb_local;
-  inout [63:0] data_up;
+  inout [@DATA_MSB@:0] data_up;
   output fifo_cs_up;
   output web_up;
   output reb_up;
@@ -123,9 +141,11 @@ module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_l
   assign done_rv_cs_up = rv_cs_q;
   assign web_up = web_local;
   assign reb_up = reb_local;
-  assign data_up = (!web_local && !csb_local) ? {dh, dl} : 64'bz;
-  assign dh = (!reb_local && !csb_local) ? data_up[63:32] : 32'bz;
-  assign dl = (!reb_local && !csb_local) ? data_up[31:0] : 32'bz;
+  assign data_up = (!web_local && !csb_local) ? @DATA_BUS@ : @DATA_WIDTH@'bz;
+%if HAS_DH
+  assign dh = (!reb_local && !csb_local) ? data_up[@DATA_MSB@:@LANE_WIDTH@] : @LANE_WIDTH@'bz;
+%endif
+  assign dl = (!reb_local && !csb_local) ? data_up[@LANE_MSB@:0] : @LANE_WIDTH@'bz;
   always @(posedge clk or negedge rst_n) begin
     if (!rst_n) begin
       fifo_cs_q <= 1'b0;
@@ -141,20 +161,24 @@ endmodule
 %endmodule GBI_BFBA
 
 %module GBI_SHARED
-module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_local,
-                     g_addr, g_dh, g_dl, g_web, g_reb, g_req_b, g_gnt_b);
+module @MODULE_NAME@(clk, rst_n, addr_local, @DH_ARG@dl, web_local, reb_local, csb_local,
+                     g_addr, @G_DH_ARG@g_dl, g_web, g_reb, g_req_b, g_gnt_b);
   parameter ADDR_WIDTH = @ADDR_WIDTH@;
   input clk;
   input rst_n;
   input [@ADDR_MSB@:0] addr_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   input web_local;
   input reb_local;
   input csb_local;
   inout [@ADDR_MSB@:0] g_addr;
-  inout [31:0] g_dh;
-  inout [31:0] g_dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] g_dh;
+%endif
+  inout [@LANE_MSB@:0] g_dl;
   inout g_web;
   inout g_reb;
   output g_req_b;
@@ -163,10 +187,14 @@ module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_l
   assign g_addr = (!g_gnt_b) ? addr_local : @ADDR_WIDTH@'bz;
   assign g_web = (!g_gnt_b) ? web_local : 1'bz;
   assign g_reb = (!g_gnt_b) ? reb_local : 1'bz;
-  assign g_dh = (!g_gnt_b && !web_local) ? dh : 32'bz;
-  assign g_dl = (!g_gnt_b && !web_local) ? dl : 32'bz;
-  assign dh = (!g_gnt_b && !reb_local) ? g_dh : 32'bz;
-  assign dl = (!g_gnt_b && !reb_local) ? g_dl : 32'bz;
+%if HAS_DH
+  assign g_dh = (!g_gnt_b && !web_local) ? dh : @LANE_WIDTH@'bz;
+%endif
+  assign g_dl = (!g_gnt_b && !web_local) ? dl : @LANE_WIDTH@'bz;
+%if HAS_DH
+  assign dh = (!g_gnt_b && !reb_local) ? g_dh : @LANE_WIDTH@'bz;
+%endif
+  assign dl = (!g_gnt_b && !reb_local) ? g_dl : @LANE_WIDTH@'bz;
 endmodule
 %endmodule GBI_SHARED
 """

@@ -11,7 +11,7 @@ LIBRARY_TEXT = """
 %module HS_REGS
 module @MODULE_NAME@(clk, rst_n,
                      done_op_cs_dn, done_rv_cs_dn, web_dn, reb_dn, data_dn,
-                     op_cs_local, rv_cs_local, web_local, reb_local, dh, dl,
+                     op_cs_local, rv_cs_local, web_local, reb_local, @DH_ARG@dl,
                      done_op, done_rv);
   parameter OP_RESET = @OP_RESET@;
   parameter RV_RESET = @RV_RESET@;
@@ -21,13 +21,15 @@ module @MODULE_NAME@(clk, rst_n,
   input [1:0] done_rv_cs_dn;
   input web_dn;
   input reb_dn;
-  inout [63:0] data_dn;
+  inout [@DATA_MSB@:0] data_dn;
   input op_cs_local;
   input rv_cs_local;
   input web_local;
   input reb_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   output done_op;
   output done_rv;
   reg op_q;
@@ -35,11 +37,13 @@ module @MODULE_NAME@(clk, rst_n,
   assign done_op = op_q;
   assign done_rv = rv_q;
   assign data_dn = (reb_dn == 1'b0 && (done_op_cs_dn[1] || done_rv_cs_dn[1]))
-                   ? {62'b0, rv_q, op_q} : 64'bz;
+                   ? {@DATA_PAD@'b0, rv_q, op_q} : @DATA_WIDTH@'bz;
   assign dl = (reb_local == 1'b0 && (op_cs_local || rv_cs_local))
-              ? {30'b0, rv_q, op_q} : 32'bz;
+              ? {@LANE_PAD@'b0, rv_q, op_q} : @LANE_WIDTH@'bz;
+%if HAS_DH
   assign dh = (reb_local == 1'b0 && (op_cs_local || rv_cs_local))
-              ? 32'b0 : 32'bz;
+              ? @LANE_WIDTH@'b0 : @LANE_WIDTH@'bz;
+%endif
   always @(posedge clk or negedge rst_n) begin
     if (!rst_n) begin
       op_q <= OP_RESET;
@@ -62,8 +66,8 @@ endmodule
 
 %module HS_REGS_GBAVI
 module @MODULE_NAME@(clk, rst_n,
-                     op_cs_a, rv_cs_a, web_a, reb_a, dh_a, dl_a,
-                     op_cs_b, rv_cs_b, web_b, reb_b, dh_b, dl_b,
+                     op_cs_a, rv_cs_a, web_a, reb_a, @DH_A_ARG@dl_a,
+                     op_cs_b, rv_cs_b, web_b, reb_b, @DH_B_ARG@dl_b,
                      done_op, done_rv);
   parameter OP_RESET = @OP_RESET@;
   parameter RV_RESET = @RV_RESET@;
@@ -73,24 +77,32 @@ module @MODULE_NAME@(clk, rst_n,
   input rv_cs_a;
   input web_a;
   input reb_a;
-  inout [31:0] dh_a;
-  inout [31:0] dl_a;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh_a;
+%endif
+  inout [@LANE_MSB@:0] dl_a;
   input op_cs_b;
   input rv_cs_b;
   input web_b;
   input reb_b;
-  inout [31:0] dh_b;
-  inout [31:0] dl_b;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh_b;
+%endif
+  inout [@LANE_MSB@:0] dl_b;
   output done_op;
   output done_rv;
   reg op_q;
   reg rv_q;
   assign done_op = op_q;
   assign done_rv = rv_q;
-  assign dl_a = (reb_a == 1'b0 && (op_cs_a || rv_cs_a)) ? {30'b0, rv_q, op_q} : 32'bz;
-  assign dh_a = (reb_a == 1'b0 && (op_cs_a || rv_cs_a)) ? 32'b0 : 32'bz;
-  assign dl_b = (reb_b == 1'b0 && (op_cs_b || rv_cs_b)) ? {30'b0, rv_q, op_q} : 32'bz;
-  assign dh_b = (reb_b == 1'b0 && (op_cs_b || rv_cs_b)) ? 32'b0 : 32'bz;
+  assign dl_a = (reb_a == 1'b0 && (op_cs_a || rv_cs_a)) ? {@LANE_PAD@'b0, rv_q, op_q} : @LANE_WIDTH@'bz;
+%if HAS_DH
+  assign dh_a = (reb_a == 1'b0 && (op_cs_a || rv_cs_a)) ? @LANE_WIDTH@'b0 : @LANE_WIDTH@'bz;
+%endif
+  assign dl_b = (reb_b == 1'b0 && (op_cs_b || rv_cs_b)) ? {@LANE_PAD@'b0, rv_q, op_q} : @LANE_WIDTH@'bz;
+%if HAS_DH
+  assign dh_b = (reb_b == 1'b0 && (op_cs_b || rv_cs_b)) ? @LANE_WIDTH@'b0 : @LANE_WIDTH@'bz;
+%endif
   always @(posedge clk or negedge rst_n) begin
     if (!rst_n) begin
       op_q <= OP_RESET;

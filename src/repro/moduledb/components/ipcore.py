@@ -63,14 +63,16 @@ LIBRARY_TEXT = (
     "%module MPEG2_IP" + _IP_BODY + "%endmodule MPEG2_IP\n\n"
     + """
 %module IPIF
-module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_local,
+module @MODULE_NAME@(clk, rst_n, addr_local, @DH_ARG@dl, web_local, reb_local, csb_local,
                      addr_b, data_b, web_b, reb_b, srt_b, ack_b);
   parameter BUF_A_WIDTH = @BUF_A_WIDTH@;
   input clk;
   input rst_n;
   input [31:0] addr_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   input web_local;
   input reb_local;
   input csb_local;
@@ -85,9 +87,11 @@ module @MODULE_NAME@(clk, rst_n, addr_local, dh, dl, web_local, reb_local, csb_l
   assign web_b = (csb_local) ? 1'b1 : web_local;
   assign reb_b = (csb_local) ? 1'b1 : reb_local;
   assign srt_b = srt_q;
-  assign data_b = (!web_local && !csb_local) ? {dh, dl} : 64'bz;
-  assign dh = (!reb_local && !csb_local) ? data_b[63:32] : 32'bz;
-  assign dl = (!reb_local && !csb_local) ? {31'b0, ack_b} | data_b[31:0] : 32'bz;
+  assign data_b = (!web_local && !csb_local) ? @DATA_BUS@ : 64'bz;
+%if HAS_DH
+  assign dh = (!reb_local && !csb_local) ? data_b[@DATA_MSB@:@LANE_WIDTH@] : @LANE_WIDTH@'bz;
+%endif
+  assign dl = (!reb_local && !csb_local) ? {@LANE_MSB@'b0, ack_b} | data_b[@LANE_MSB@:0] : @LANE_WIDTH@'bz;
   always @(posedge clk or negedge rst_n) begin
     if (!rst_n) begin
       srt_q <= 1'b0;

@@ -13,7 +13,7 @@ MEM_D_WIDTH=64, BIT_DIFFERENCE=0 (Example 6).
 
 LIBRARY_TEXT = """
 %module MBI_SRAM
-module @MODULE_NAME@(addr_local, web_local, reb_local, csb_local, dh, dl,
+module @MODULE_NAME@(addr_local, web_local, reb_local, csb_local, @DH_ARG@dl,
                      sram_addr, sram_web, sram_oeb, sram_csb, sram_dq);
   parameter MEM_A_WIDTH = @MEM_A_WIDTH@;
   parameter MEM_D_WIDTH = @MEM_D_WIDTH@;
@@ -22,8 +22,10 @@ module @MODULE_NAME@(addr_local, web_local, reb_local, csb_local, dh, dl,
   input web_local;
   input reb_local;
   input csb_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   output [@MEM_A_MSB@:0] sram_addr;
   output sram_web;
   output sram_oeb;
@@ -33,13 +35,13 @@ module @MODULE_NAME@(addr_local, web_local, reb_local, csb_local, dh, dl,
   assign sram_web = web_local;
   assign sram_oeb = reb_local;
   assign sram_csb = csb_local;
-  assign sram_dq = (~web_local) ? {dh, dl} : @MEM_D_WIDTH@'bz;
-  assign {dh, dl} = (~reb_local) ? {@PAD_EXPR@sram_dq[@MEM_D_MSB@:0]} : 64'bz;
+  assign sram_dq = (~web_local) ? @DATA_BUS@ : @MEM_D_WIDTH@'bz;
+  assign @DATA_BUS@ = (~reb_local) ? {@PAD_EXPR@sram_dq[@MEM_D_MSB@:0]} : @DATA_WIDTH@'bz;
 endmodule
 %endmodule MBI_SRAM
 
 %module MBI_DRAM
-module @MODULE_NAME@(clk, rst_n, addr_local, web_local, reb_local, csb_local, dh, dl,
+module @MODULE_NAME@(clk, rst_n, addr_local, web_local, reb_local, csb_local, @DH_ARG@dl,
                      dram_addr, dram_rasb, dram_casb, dram_web, dram_dq, dram_rdy);
   parameter MEM_A_WIDTH = @MEM_A_WIDTH@;
   parameter MEM_D_WIDTH = @MEM_D_WIDTH@;
@@ -49,8 +51,10 @@ module @MODULE_NAME@(clk, rst_n, addr_local, web_local, reb_local, csb_local, dh
   input web_local;
   input reb_local;
   input csb_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   output [@MEM_A_MSB@:0] dram_addr;
   output dram_rasb;
   output dram_casb;
@@ -64,8 +68,8 @@ module @MODULE_NAME@(clk, rst_n, addr_local, web_local, reb_local, csb_local, dh
   assign dram_rasb = rasb_q;
   assign dram_casb = casb_q;
   assign dram_web = web_local;
-  assign dram_dq = (~web_local && !csb_local) ? {dh, dl} : @MEM_D_WIDTH@'bz;
-  assign {dh, dl} = (~reb_local && !csb_local && dram_rdy) ? dram_dq : 64'bz;
+  assign dram_dq = (~web_local && !csb_local) ? @DATA_BUS@ : @MEM_D_WIDTH@'bz;
+  assign @DATA_BUS@ = (~reb_local && !csb_local && dram_rdy) ? dram_dq : @DATA_WIDTH@'bz;
   always @(posedge clk or negedge rst_n) begin
     if (!rst_n) begin
       rasb_q <= 1'b1;

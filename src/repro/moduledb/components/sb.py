@@ -10,11 +10,15 @@ wires the bus type carries.
 
 _KEEPER_BODY = """
   reg [@ADDR_MSB@:0] addr_keep_q;
-  reg [31:0] dh_keep_q;
-  reg [31:0] dl_keep_q;
+%if HAS_DH
+  reg [@LANE_MSB@:0] dh_keep_q;
+%endif
+  reg [@LANE_MSB@:0] dl_keep_q;
   always @(posedge clk) begin
     addr_keep_q <= addr_local;
+%if HAS_DH
     dh_keep_q <= dh;
+%endif
     dl_keep_q <= dl;
   end
 """
@@ -22,12 +26,14 @@ _KEEPER_BODY = """
 LIBRARY_TEXT = (
     """
 %module SB_GBAVI
-module @MODULE_NAME@(clk, addr_local, dh, dl, web_local, reb_local, csb_local);
+module @MODULE_NAME@(clk, addr_local, @DH_ARG@dl, web_local, reb_local, csb_local);
   parameter ADDR_WIDTH = @ADDR_WIDTH@;
   input clk;
   inout [@ADDR_MSB@:0] addr_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   inout web_local;
   inout reb_local;
   inout [7:0] csb_local;
@@ -38,13 +44,15 @@ endmodule
 %endmodule SB_GBAVI
 
 %module SB_GBAVIII
-module @MODULE_NAME@(clk, addr_local, dh, dl, web_local, reb_local, req_b, gnt_b);
+module @MODULE_NAME@(clk, addr_local, @DH_ARG@dl, web_local, reb_local, req_b, gnt_b);
   parameter ADDR_WIDTH = @ADDR_WIDTH@;
   parameter N_MASTERS = @N_MASTERS@;
   input clk;
   inout [@ADDR_MSB@:0] addr_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   inout web_local;
   inout reb_local;
   inout [@N_MASTERS_MSB@:0] req_b;
@@ -56,12 +64,14 @@ endmodule
 %endmodule SB_GBAVIII
 
 %module SB_BFBA
-module @MODULE_NAME@(clk, addr_local, dh, dl, web_local, reb_local, csb_local);
+module @MODULE_NAME@(clk, addr_local, @DH_ARG@dl, web_local, reb_local, csb_local);
   parameter ADDR_WIDTH = @ADDR_WIDTH@;
   input clk;
   inout [@ADDR_MSB@:0] addr_local;
-  inout [31:0] dh;
-  inout [31:0] dl;
+%if HAS_DH
+  inout [@LANE_MSB@:0] dh;
+%endif
+  inout [@LANE_MSB@:0] dl;
   inout web_local;
   inout reb_local;
   inout [7:0] csb_local;

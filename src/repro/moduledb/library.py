@@ -30,33 +30,33 @@ DEFAULT_PARAMETERS: Dict[str, Dict[str, object]] = {
     "MPC755": {"CPU_A_WIDTH": 32, "CPU_D_WIDTH": 64},
     "MPC7410": {"CPU_A_WIDTH": 32, "CPU_D_WIDTH": 64},
     "ARM9TDMI": {"CPU_A_WIDTH": 32, "CPU_D_WIDTH": 64},
-    "CBI_MPC750": {"ADDR_WIDTH": 32, "DECODE_LSB": 23},
-    "CBI_MPC755": {"ADDR_WIDTH": 32, "DECODE_LSB": 23},
-    "CBI_MPC7410": {"ADDR_WIDTH": 32, "DECODE_LSB": 23},
-    "CBI_ARM9TDMI": {"ADDR_WIDTH": 32, "DECODE_LSB": 23},
+    "CBI_MPC750": {"ADDR_WIDTH": 32, "DECODE_LSB": 23, "DATA_WIDTH": 64},
+    "CBI_MPC755": {"ADDR_WIDTH": 32, "DECODE_LSB": 23, "DATA_WIDTH": 64},
+    "CBI_MPC7410": {"ADDR_WIDTH": 32, "DECODE_LSB": 23, "DATA_WIDTH": 64},
+    "CBI_ARM9TDMI": {"ADDR_WIDTH": 32, "DECODE_LSB": 23, "DATA_WIDTH": 64},
     "SRAM_comp": {"MEM_A_WIDTH": 20, "MEM_D_WIDTH": 64},
     "DRAM_comp": {"MEM_A_WIDTH": 22, "MEM_D_WIDTH": 64, "ROW_BITS": 9},
-    "MBI_SRAM": {"MEM_A_WIDTH": 20, "MEM_D_WIDTH": 64, "BIT_DIFFERENCE": 0},
-    "MBI_DRAM": {"MEM_A_WIDTH": 22, "MEM_D_WIDTH": 64},
-    "BB_GBAVI": {"ADDR_WIDTH": 32},
-    "BB_SPLITBA": {"ADDR_WIDTH": 32},
+    "MBI_SRAM": {"MEM_A_WIDTH": 20, "MEM_D_WIDTH": 64, "BIT_DIFFERENCE": 0, "DATA_WIDTH": 64},
+    "MBI_DRAM": {"MEM_A_WIDTH": 22, "MEM_D_WIDTH": 64, "DATA_WIDTH": 64},
+    "BB_GBAVI": {"ADDR_WIDTH": 32, "DATA_WIDTH": 64},
+    "BB_SPLITBA": {"ADDR_WIDTH": 32, "DATA_WIDTH": 64},
     "ARBITER_FCFS": {"N_MASTERS": 4},
     "ARBITER_ROUND_ROBIN": {"N_MASTERS": 4},
     "ARBITER_PRIORITY": {"N_MASTERS": 4},
     "ABI": {"N_MASTERS": 4, "GRANT_CYCLES": 3},
-    "GBI_GBAVIII": {"ADDR_WIDTH": 32},
-    "GBI_GBAVI": {"ADDR_WIDTH": 32},
-    "GBI_BFBA": {"ADDR_WIDTH": 32},
-    "GBI_SHARED": {"ADDR_WIDTH": 32},
-    "SB_GBAVI": {"ADDR_WIDTH": 32},
-    "SB_GBAVIII": {"ADDR_WIDTH": 32, "N_MASTERS": 4},
-    "SB_BFBA": {"ADDR_WIDTH": 32},
-    "HS_REGS": {"OP_RESET": "1'b0", "RV_RESET": "1'b0"},
-    "HS_REGS_GBAVI": {"OP_RESET": "1'b0", "RV_RESET": "1'b0"},
-    "BIFIFO": {"FIFO_DEPTH": 1024},
+    "GBI_GBAVIII": {"ADDR_WIDTH": 32, "DATA_WIDTH": 64},
+    "GBI_GBAVI": {"ADDR_WIDTH": 32, "DATA_WIDTH": 64},
+    "GBI_BFBA": {"ADDR_WIDTH": 32, "DATA_WIDTH": 64},
+    "GBI_SHARED": {"ADDR_WIDTH": 32, "DATA_WIDTH": 64},
+    "SB_GBAVI": {"ADDR_WIDTH": 32, "DATA_WIDTH": 64},
+    "SB_GBAVIII": {"ADDR_WIDTH": 32, "N_MASTERS": 4, "DATA_WIDTH": 64},
+    "SB_BFBA": {"ADDR_WIDTH": 32, "DATA_WIDTH": 64},
+    "HS_REGS": {"OP_RESET": "1'b0", "RV_RESET": "1'b0", "DATA_WIDTH": 64},
+    "HS_REGS_GBAVI": {"OP_RESET": "1'b0", "RV_RESET": "1'b0", "DATA_WIDTH": 64},
+    "BIFIFO": {"FIFO_DEPTH": 1024, "DATA_WIDTH": 64},
     "DCT_IP": {"BUF_A_WIDTH": 12, "LATENCY": 64},
     "MPEG2_IP": {"BUF_A_WIDTH": 12, "LATENCY": 128},
-    "IPIF": {"BUF_A_WIDTH": 12},
+    "IPIF": {"BUF_A_WIDTH": 12, "DATA_WIDTH": 64},
 }
 
 
@@ -77,6 +77,30 @@ class GeneratedModule:
 def _derive_parameters(values: Dict[str, object]) -> Dict[str, object]:
     """Compute the implied parameters templates may reference."""
     out = dict(values)
+    if isinstance(out.get("DATA_WIDTH"), int):
+        # Data-path lane layout (section V.A): widths >= 64 split into a
+        # dh/dl lane pair of DATA_WIDTH/2 each; width 32 is a single dl
+        # lane and the dh ports/wires are omitted entirely (%if HAS_DH).
+        data_width = out["DATA_WIDTH"]
+        has_dh = data_width > 32
+        lane_width = data_width // 2 if has_dh else data_width
+        out.setdefault("HAS_DH", has_dh)
+        out.setdefault("LANE_WIDTH", lane_width)
+        out.setdefault("DATA_BUS", "{dh, dl}" if has_dh else "dl")
+        out.setdefault("LANE_PAD", lane_width - 2)
+        out.setdefault("DATA_PAD", data_width - 2)
+        dh_arg = "dh, " if has_dh else ""
+        out.setdefault("DH_ARG", dh_arg)
+        for prefix in ("G", "SEG", "A", "B"):
+            out.setdefault(
+                "%s_DH_ARG" % prefix,
+                "%s_dh, " % prefix.lower() if has_dh else "",
+            )
+        for suffix in ("A", "B"):
+            out.setdefault(
+                "DH_%s_ARG" % suffix,
+                "dh_%s, " % suffix.lower() if has_dh else "",
+            )
     for key, value in list(out.items()):
         if key.endswith("_WIDTH") and isinstance(value, int):
             out.setdefault(key[: -len("_WIDTH")] + "_MSB", max(0, value - 1))

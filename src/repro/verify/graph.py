@@ -41,8 +41,8 @@ __all__ = ["SegmentNode", "FabricGraph", "graph_from_machine", "graph_from_desig
 
 _ARBITER_RE = re.compile(r"^arbiter_([a-z_]+)_n(\d+)$")
 _ABI_RE = re.compile(r"^abi_n(\d+)_g(\d+)$")
-_SRAM_RE = re.compile(r"^sram_aw(\d+)$")
-_BIFIFO_RE = re.compile(r"^bififo_d(\d+)$")
+_SRAM_RE = re.compile(r"^sram_aw(\d+)(?:_w\d+)?$")
+_BIFIFO_RE = re.compile(r"^bififo_d(\d+)(?:_w\d+)?$")
 
 # Chain (point-to-point) link pins of the BFBA family: the ``_up`` pin of
 # one BAN and the ``_dn`` pin of its successor share a subsystem wire.
@@ -86,13 +86,11 @@ class FabricGraph:
         self.findings.append(Finding(severity, "structure", where, text))
 
     def add_segment(self, node: SegmentNode) -> str:
+        # Two segments may legitimately share a master set (a single PE
+        # mastering both its local and a shared segment); disambiguate by
+        # insertion order, which is deterministic on both sides.
         key = node.key
         if key in self.segments:
-            self._finding(
-                key,
-                "segments %s and %s share the master set %s"
-                % (self.segments[key].origin, node.origin, key),
-            )
             key = "%s#%d" % (key, len(self.segments))
         self.segments[key] = node
         return key
@@ -200,6 +198,9 @@ def _pin_check(
     right: Optional[str],
 ) -> bool:
     """One wire-level connectivity assertion; False (and a finding) on break."""
+    if left is None and right is None:
+        # Both sides omit the pin (e.g. the dh lane at data_width 32).
+        return True
     if left is not None and left == right:
         return True
     info.findings.append(
@@ -351,7 +352,7 @@ def _extract_pe_ban(
             aw = int(_SRAM_RE.match(mem.module).group(1))
             dq = mem.connection("sram_dq")
             dq_width = _signal_width(module, dq.base_signal) if dq else None
-            info.mem_words = (1 << aw) * ((dq_width or 32) // 32)
+            info.mem_words = (1 << aw) * (dq_width or 32) // 32
 
     for hs in by_kind.get("hs", []):
         hs_def_has_chain = module.port("done_op_cs_dn") is not None and (
@@ -466,7 +467,7 @@ def _extract_global_ban(module: Module, by_kind: Dict[str, List[Instance]]) -> _
             aw = int(_SRAM_RE.match(mem.module).group(1))
             dq = mem.connection("sram_dq")
             dq_width = _signal_width(module, dq.base_signal) if dq else None
-            info.mem_words = (1 << aw) * ((dq_width or 32) // 32)
+            info.mem_words = (1 << aw) * (dq_width or 32) // 32
     return info
 
 

@@ -66,11 +66,22 @@ def run_verify_case(
     case: Tuple[str, str],
     packets: int = 2,
     pe_count: int = 4,
+    data_width: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run one ``(arch, backend)`` verification case; picklable."""
     arch, backend = case
     style = CHAOS_STYLES.get(arch, "PPA")
     spec = presets.preset(arch, pe_count)
+    if data_width is not None:
+        # Same width-axis application as the DSE sweep's
+        # build_config_spec: the option lands on every bus and memory.
+        for subsystem in spec.subsystems:
+            for bus in subsystem.buses:
+                bus.data_width = data_width
+            for ban in subsystem.bans:
+                for memory in ban.memories:
+                    memory.data_width = data_width
+        spec.validate()
 
     generated = BusSyn().generate(spec)
     structural = [
@@ -126,6 +137,7 @@ def run_verify(
     packets: int = 2,
     pe_count: int = 4,
     jobs: int = 1,
+    data_width: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Sweep the verification matrix; returns a JSON-able summary."""
     from ..experiments.runner import run_cases
@@ -148,7 +160,7 @@ def run_verify(
         run_verify_case,
         cases,
         jobs=jobs,
-        kwargs={"packets": packets, "pe_count": pe_count},
+        kwargs={"packets": packets, "pe_count": pe_count, "data_width": data_width},
     )
     by_key = {(row["arch"], row["backend"]): row for row in results}
     failures: List[str] = []
@@ -185,6 +197,7 @@ def run_verify(
     return {
         "packets": packets,
         "pe_count": pe_count,
+        "data_width": data_width,
         "backends": list(backends),
         "architectures": archs,
         "cases": results,
@@ -195,9 +208,15 @@ def run_verify(
 
 def format_verify_summary(summary: Dict[str, Any]) -> List[str]:
     """Human-readable digest of a :func:`run_verify` summary."""
+    width = summary.get("data_width")
     lines = [
-        "verify sweep: packets=%d pes=%d backends=%s"
-        % (summary["packets"], summary["pe_count"], "/".join(summary["backends"]))
+        "verify sweep: packets=%d pes=%d backends=%s%s"
+        % (
+            summary["packets"],
+            summary["pe_count"],
+            "/".join(summary["backends"]),
+            " data_width=%d" % width if width else "",
+        )
     ]
     for row in summary["cases"]:
         status = (

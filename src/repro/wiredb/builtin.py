@@ -2,9 +2,16 @@
 
 Produces the ``%wire`` sections for every supported BAN kind and subsystem
 kind.  Wire text is *generated* for the requested shape (PE count, memory
-address width, ...) because vector widths -- arbiter request fans, chain
-lengths -- depend on the user options; the fixed-shape examples of the
-paper (Examples 7 and 8) fall out as the 4-PE instantiation.
+address width, data width, ...) because vector widths -- arbiter request
+fans, chain lengths, data-lane widths -- depend on the user options; the
+fixed-shape examples of the paper (Examples 7 and 8) fall out as the 4-PE
+64-bit instantiation.
+
+Data-path lane layout: a bus of ``data_width`` >= 64 is carried as a
+``dh``/``dl`` lane pair of ``data_width/2`` wires each (the paper's 32+32
+split at the default 64); ``data_width`` 32 is a single ``dl`` lane and no
+``dh`` nets are emitted at all, matching the ``%if HAS_DH`` conditionals of
+the module templates.
 
 Conventions:
 
@@ -25,6 +32,7 @@ from typing import List
 __all__ = [
     "ban_section",
     "subsystem_section",
+    "lane_width",
     "CSB_MEM",
     "CSB_FIFO",
     "CSB_THRESHOLD",
@@ -41,6 +49,16 @@ CSB_DONE_RV = 4
 CSB_GBI = 5
 
 
+def lane_width(data_width: int) -> int:
+    """One data lane's width: half the bus for split-pair layouts (>= 64),
+    the full bus for the single-lane 32-bit layout."""
+    return data_width // 2 if data_width > 32 else data_width
+
+
+def _has_dh(data_width: int) -> bool:
+    return data_width > 32
+
+
 def _cpu_to_cbi() -> List[str]:
     return [
         "w_cpu_a 32 CPU cpu_a 31 0 CBI cpu_a 31 0",
@@ -52,12 +70,21 @@ def _cpu_to_cbi() -> List[str]:
     ]
 
 
-def _local_bus(modules: List[str], sb: str = "SB", prefix: str = "w") -> List[str]:
+def _local_bus(
+    modules: List[str], sb: str = "SB", prefix: str = "w", data_width: int = 64
+) -> List[str]:
     """Multi-drop local-bus nets: every module joins the SB's wires."""
+    lane = lane_width(data_width)
+    msb = lane - 1
     lines = []
     for module in modules:
-        lines.append("%s_dh 32 %s dh 31 0 %s dh 31 0" % (prefix, module, sb))
-        lines.append("%s_dl 32 %s dl 31 0 %s dl 31 0" % (prefix, module, sb))
+        if _has_dh(data_width):
+            lines.append(
+                "%s_dh %d %s dh %d 0 %s dh %d 0" % (prefix, lane, module, msb, sb, msb)
+            )
+        lines.append(
+            "%s_dl %d %s dl %d 0 %s dl %d 0" % (prefix, lane, module, msb, sb, msb)
+        )
     for module in modules:
         if module in ("HS",):
             continue
@@ -66,14 +93,15 @@ def _local_bus(modules: List[str], sb: str = "SB", prefix: str = "w") -> List[st
     return lines
 
 
-def _mbi_to_mem(mem_aw: int) -> List[str]:
+def _mbi_to_mem(mem_aw: int, mem_dw: int = 64) -> List[str]:
     msb = mem_aw - 1
+    dq_msb = mem_dw - 1
     return [
         "w_sram_addr %d MBI0 sram_addr %d 0 MEM0 sram_addr %d 0" % (mem_aw, msb, msb),
         "w_sram_web 1 MBI0 sram_web 0 0 MEM0 sram_web 0 0",
         "w_sram_oeb 1 MBI0 sram_oeb 0 0 MEM0 sram_oeb 0 0",
         "w_sram_csb 1 MBI0 sram_csb 0 0 MEM0 sram_csb 0 0",
-        "w_sram_dq 64 MBI0 sram_dq 63 0 MEM0 sram_dq 63 0",
+        "w_sram_dq %d MBI0 sram_dq %d 0 MEM0 sram_dq %d 0" % (mem_dw, dq_msb, dq_msb),
     ]
 
 
@@ -89,20 +117,30 @@ def _section(name: str, lines: List[str]) -> str:
 CSB_IPIF = 7
 
 
-def _ipif_lines(sb: str = "SB") -> List[str]:
+def _ipif_lines(sb: str = "SB", data_width: int = 64) -> List[str]:
     """Wires attaching an IPIF (hardware-IP port, Example 8) to a local bus."""
-    return [
-        "w_addr 32 IPIF addr_local 31 0 %s addr_local 31 0" % sb,
-        "w_dh 32 IPIF dh 31 0 %s dh 31 0" % sb,
-        "w_dl 32 IPIF dl 31 0 %s dl 31 0" % sb,
+    lane = lane_width(data_width)
+    msb = lane - 1
+    lines = ["w_addr 32 IPIF addr_local 31 0 %s addr_local 31 0" % sb]
+    if _has_dh(data_width):
+        lines.append("w_dh %d IPIF dh %d 0 %s dh %d 0" % (lane, msb, sb, msb))
+    lines += [
+        "w_dl %d IPIF dl %d 0 %s dl %d 0" % (lane, msb, sb, msb),
         "w_web 1 IPIF web_local 0 0 %s web_local 0 0" % sb,
         "w_reb 1 IPIF reb_local 0 0 %s reb_local 0 0" % sb,
         "w_csb 8 IPIF csb_local %d %d %s csb_local %d %d"
         % (CSB_IPIF, CSB_IPIF, sb, CSB_IPIF, CSB_IPIF),
     ]
+    return lines
 
 
-def ban_section(kind: str, mem_aw: int = 20, with_ip_port: bool = False) -> str:
+def ban_section(
+    kind: str,
+    mem_aw: int = 20,
+    with_ip_port: bool = False,
+    data_width: int = 64,
+    mem_data_width: int = 64,
+) -> str:
     """Wire section text for one BAN kind.
 
     ``kind`` is one of ``bfba``, ``gbavi``, ``gbaviii``, ``hybrid``,
@@ -113,33 +151,33 @@ def ban_section(kind: str, mem_aw: int = 20, with_ip_port: bool = False) -> str:
     if kind == "gbavi" and with_ip_port:
         raise ValueError("IP attachments are not supported on GBAVI BANs")
     if kind == "bfba":
-        text = _ban_bfba(mem_aw)
+        text = _ban_bfba(mem_aw, data_width, mem_data_width)
     elif kind == "gbavi":
-        text = _ban_gbavi(mem_aw)
+        text = _ban_gbavi(mem_aw, data_width, mem_data_width)
     elif kind == "gbaviii":
-        text = _ban_gbaviii(mem_aw)
+        text = _ban_gbaviii(mem_aw, data_width=data_width, mem_data_width=mem_data_width)
     elif kind == "hybrid":
-        text = _ban_hybrid(mem_aw)
+        text = _ban_hybrid(mem_aw, data_width, mem_data_width)
     elif kind == "splitba":
-        text = _ban_splitba()
+        text = _ban_splitba(data_width)
     elif kind == "global":
         raise ValueError("global BAN section needs global_ban_section(n_masters, ...)")
     else:
         raise ValueError("unknown BAN kind %r" % kind)
     if with_ip_port:
         lines = text.strip().splitlines()
-        lines = lines[:-1] + _ipif_lines("SB") + [lines[-1]]
+        lines = lines[:-1] + _ipif_lines("SB", data_width) + [lines[-1]]
         text = "\n".join(lines) + "\n"
     return text
 
 
-def _ban_bfba(mem_aw: int) -> str:
+def _ban_bfba(mem_aw: int, data_width: int = 64, mem_dw: int = 64) -> str:
     mem_msb = mem_aw - 1
     lines = _cpu_to_cbi()
     lines.append("w_addr 32 CBI addr_local 31 0 SB addr_local 31 0")
     lines.append("w_addr 32 MBI0 addr_local %d 0 SB addr_local %d 0" % (mem_msb, mem_msb))
     lines.append("w_addr 32 GBI addr_local 31 0 SB addr_local 31 0")
-    lines += _local_bus(["CBI", "MBI0", "HS", "FIFO", "GBI"])
+    lines += _local_bus(["CBI", "MBI0", "HS", "FIFO", "GBI"], data_width=data_width)
     lines += [
         "w_web 1 HS web_local 0 0 SB web_local 0 0",
         "w_reb 1 HS reb_local 0 0 SB reb_local 0 0",
@@ -159,23 +197,30 @@ def _ban_bfba(mem_aw: int) -> str:
         % (CSB_GBI, CSB_GBI, CSB_GBI, CSB_GBI),
         "w_irq 1 FIFO irq_b 0 0 CBI irq_b 0 0",
     ]
-    lines += _mbi_to_mem(mem_aw)
+    lines += _mbi_to_mem(mem_aw, mem_dw)
     return _section("ban_bfba", lines)
 
 
-def _ban_gbavi(mem_aw: int) -> str:
+def _ban_gbavi(mem_aw: int, data_width: int = 64, mem_dw: int = 64) -> str:
     mem_msb = mem_aw - 1
+    lane = lane_width(data_width)
+    lmsb = lane - 1
     lines = _cpu_to_cbi()
     # CPU-side segment: CBI, bridge side a, handshake side a.
     lines += [
         "w_caddr 32 CBI addr_local 31 0 SBC addr_local 31 0",
         "w_caddr 32 BB a_addr 31 0 SBC addr_local 31 0",
-        "w_cdh 32 CBI dh 31 0 SBC dh 31 0",
-        "w_cdh 32 BB a_dh 31 0 SBC dh 31 0",
-        "w_cdh 32 HS dh_a 31 0 SBC dh 31 0",
-        "w_cdl 32 CBI dl 31 0 SBC dl 31 0",
-        "w_cdl 32 BB a_dl 31 0 SBC dl 31 0",
-        "w_cdl 32 HS dl_a 31 0 SBC dl 31 0",
+    ]
+    if _has_dh(data_width):
+        lines += [
+            "w_cdh %d CBI dh %d 0 SBC dh %d 0" % (lane, lmsb, lmsb),
+            "w_cdh %d BB a_dh %d 0 SBC dh %d 0" % (lane, lmsb, lmsb),
+            "w_cdh %d HS dh_a %d 0 SBC dh %d 0" % (lane, lmsb, lmsb),
+        ]
+    lines += [
+        "w_cdl %d CBI dl %d 0 SBC dl %d 0" % (lane, lmsb, lmsb),
+        "w_cdl %d BB a_dl %d 0 SBC dl %d 0" % (lane, lmsb, lmsb),
+        "w_cdl %d HS dl_a %d 0 SBC dl %d 0" % (lane, lmsb, lmsb),
         "w_cweb 1 CBI web_local 0 0 SBC web_local 0 0",
         "w_cweb 1 BB a_web 0 0 SBC web_local 0 0",
         "w_cweb 1 HS web_a 0 0 SBC web_local 0 0",
@@ -193,14 +238,19 @@ def _ban_gbavi(mem_aw: int) -> str:
         "w_maddr 32 BB b_addr 31 0 SBM addr_local 31 0",
         "w_maddr 32 MBI0 addr_local %d 0 SBM addr_local %d 0" % (mem_msb, mem_msb),
         "w_maddr 32 GBI addr_local 31 0 SBM addr_local 31 0",
-        "w_mdh 32 BB b_dh 31 0 SBM dh 31 0",
-        "w_mdh 32 MBI0 dh 31 0 SBM dh 31 0",
-        "w_mdh 32 HS dh_b 31 0 SBM dh 31 0",
-        "w_mdh 32 GBI dh 31 0 SBM dh 31 0",
-        "w_mdl 32 BB b_dl 31 0 SBM dl 31 0",
-        "w_mdl 32 MBI0 dl 31 0 SBM dl 31 0",
-        "w_mdl 32 HS dl_b 31 0 SBM dl 31 0",
-        "w_mdl 32 GBI dl 31 0 SBM dl 31 0",
+    ]
+    if _has_dh(data_width):
+        lines += [
+            "w_mdh %d BB b_dh %d 0 SBM dh %d 0" % (lane, lmsb, lmsb),
+            "w_mdh %d MBI0 dh %d 0 SBM dh %d 0" % (lane, lmsb, lmsb),
+            "w_mdh %d HS dh_b %d 0 SBM dh %d 0" % (lane, lmsb, lmsb),
+            "w_mdh %d GBI dh %d 0 SBM dh %d 0" % (lane, lmsb, lmsb),
+        ]
+    lines += [
+        "w_mdl %d BB b_dl %d 0 SBM dl %d 0" % (lane, lmsb, lmsb),
+        "w_mdl %d MBI0 dl %d 0 SBM dl %d 0" % (lane, lmsb, lmsb),
+        "w_mdl %d HS dl_b %d 0 SBM dl %d 0" % (lane, lmsb, lmsb),
+        "w_mdl %d GBI dl %d 0 SBM dl %d 0" % (lane, lmsb, lmsb),
         "w_mweb 1 BB b_web 0 0 SBM web_local 0 0",
         "w_mweb 1 MBI0 web_local 0 0 SBM web_local 0 0",
         "w_mweb 1 HS web_b 0 0 SBM web_local 0 0",
@@ -218,11 +268,16 @@ def _ban_gbavi(mem_aw: int) -> str:
         "w_mcsb 8 GBI csb_local %d %d SBM csb_local %d %d"
         % (CSB_GBI, CSB_GBI, CSB_GBI, CSB_GBI),
     ]
-    lines += _mbi_to_mem(mem_aw)
+    lines += _mbi_to_mem(mem_aw, mem_dw)
     return _section("ban_gbavi", lines)
 
 
-def _ban_gbaviii(mem_aw: int, name: str = "ban_gbaviii") -> str:
+def _ban_gbaviii(
+    mem_aw: int,
+    name: str = "ban_gbaviii",
+    data_width: int = 64,
+    mem_data_width: int = 64,
+) -> str:
     mem_msb = mem_aw - 1
     lines = _cpu_to_cbi()
     lines += [
@@ -230,7 +285,7 @@ def _ban_gbaviii(mem_aw: int, name: str = "ban_gbaviii") -> str:
         "w_addr 32 MBI0 addr_local %d 0 SB addr_local %d 0" % (mem_msb, mem_msb),
         "w_addr 32 GBI addr_local 31 0 SB addr_local 31 0",
     ]
-    lines += _local_bus(["CBI", "MBI0", "GBI"])
+    lines += _local_bus(["CBI", "MBI0", "GBI"], data_width=data_width)
     lines += [
         "w_csb 8 CBI csb 7 0 SB csb_local 7 0",
         "w_csb 8 MBI0 csb_local %d %d SB csb_local %d %d"
@@ -238,11 +293,11 @@ def _ban_gbaviii(mem_aw: int, name: str = "ban_gbaviii") -> str:
         "w_csb 8 GBI csb_local %d %d SB csb_local %d %d"
         % (CSB_GBI, CSB_GBI, CSB_GBI, CSB_GBI),
     ]
-    lines += _mbi_to_mem(mem_aw)
+    lines += _mbi_to_mem(mem_aw, mem_data_width)
     return _section(name, lines)
 
 
-def _ban_hybrid(mem_aw: int) -> str:
+def _ban_hybrid(mem_aw: int, data_width: int = 64, mem_dw: int = 64) -> str:
     mem_msb = mem_aw - 1
     lines = _cpu_to_cbi()
     lines += [
@@ -251,7 +306,9 @@ def _ban_hybrid(mem_aw: int) -> str:
         "w_addr 32 GGBI addr_local 31 0 SB addr_local 31 0",
         "w_addr 32 GBI addr_local 31 0 SB addr_local 31 0",
     ]
-    lines += _local_bus(["CBI", "MBI0", "HS", "FIFO", "GBI", "GGBI"])
+    lines += _local_bus(
+        ["CBI", "MBI0", "HS", "FIFO", "GBI", "GGBI"], data_width=data_width
+    )
     lines += [
         "w_web 1 HS web_local 0 0 SB web_local 0 0",
         "w_reb 1 HS reb_local 0 0 SB reb_local 0 0",
@@ -271,17 +328,17 @@ def _ban_hybrid(mem_aw: int) -> str:
         % (CSB_GBI, CSB_GBI, CSB_GBI, CSB_GBI),
         "w_irq 1 FIFO irq_b 0 0 CBI irq_b 0 0",
     ]
-    lines += _mbi_to_mem(mem_aw)
+    lines += _mbi_to_mem(mem_aw, mem_dw)
     return _section("ban_hybrid", lines)
 
 
-def _ban_splitba() -> str:
+def _ban_splitba(data_width: int = 64) -> str:
     lines = _cpu_to_cbi()
     lines += [
         "w_addr 32 CBI addr_local 31 0 SB addr_local 31 0",
         "w_addr 32 GBI addr_local 31 0 SB addr_local 31 0",
     ]
-    lines += _local_bus(["CBI", "GBI"])
+    lines += _local_bus(["CBI", "GBI"], data_width=data_width)
     lines += [
         "w_csb 8 CBI csb 7 0 SB csb_local 7 0",
         "w_csb 8 GBI csb_local %d %d SB csb_local %d %d"
@@ -290,10 +347,14 @@ def _ban_splitba() -> str:
     return _section("ban_splitba", lines)
 
 
-def global_ban_section(n_masters: int, mem_aw: int = 20) -> str:
+def global_ban_section(
+    n_masters: int, mem_aw: int = 20, data_width: int = 64, mem_data_width: int = 64
+) -> str:
     """The global-resource BAN (BAN G): arbiter + ABI + shared memory."""
     msb = n_masters - 1
     mem_msb = mem_aw - 1
+    lane = lane_width(data_width)
+    lmsb = lane - 1
     lines = [
         "w_arb_req %d ARB req_b %d 0 ABI0 arb_req_b %d 0" % (n_masters, msb, msb),
         "w_arb_gnt %d ARB gnt_b %d 0 ABI0 arb_gnt_b %d 0" % (n_masters, msb, msb),
@@ -303,17 +364,22 @@ def global_ban_section(n_masters: int, mem_aw: int = 20) -> str:
         "w_gnt %d EXT g_gnt_b %d 0 SBG gnt_b %d 0" % (n_masters, msb, msb),
         "w_gaddr 32 MBI0 addr_local %d 0 SBG addr_local 31 0" % mem_msb,
         "w_gaddr 32 EXT g_addr 31 0 SBG addr_local 31 0",
-        "w_gdh 32 MBI0 dh 31 0 SBG dh 31 0",
-        "w_gdh 32 EXT g_dh 31 0 SBG dh 31 0",
-        "w_gdl 32 MBI0 dl 31 0 SBG dl 31 0",
-        "w_gdl 32 EXT g_dl 31 0 SBG dl 31 0",
+    ]
+    if _has_dh(data_width):
+        lines += [
+            "w_gdh %d MBI0 dh %d 0 SBG dh %d 0" % (lane, lmsb, lmsb),
+            "w_gdh %d EXT g_dh %d 0 SBG dh %d 0" % (lane, lmsb, lmsb),
+        ]
+    lines += [
+        "w_gdl %d MBI0 dl %d 0 SBG dl %d 0" % (lane, lmsb, lmsb),
+        "w_gdl %d EXT g_dl %d 0 SBG dl %d 0" % (lane, lmsb, lmsb),
         "w_gweb 1 MBI0 web_local 0 0 SBG web_local 0 0",
         "w_gweb 1 EXT g_web 0 0 SBG web_local 0 0",
         "w_greb 1 MBI0 reb_local 0 0 SBG reb_local 0 0",
         "w_greb 1 EXT g_reb 0 0 SBG reb_local 0 0",
         "w_gcsb 1 MBI0 csb_local 0 0 EXT g_csb 0 0",
     ]
-    lines += _mbi_to_mem(mem_aw)
+    lines += _mbi_to_mem(mem_aw, mem_data_width)
     return _section("ban_global", lines)
 
 
@@ -322,18 +388,22 @@ def global_ban_section(n_masters: int, mem_aw: int = 20) -> str:
 # ----------------------------------------------------------------------
 
 
-def subsystem_section(kind: str, ban_names: List[str], global_ban: str = "G") -> str:
+def subsystem_section(
+    kind: str, ban_names: List[str], global_ban: str = "G", data_width: int = 64
+) -> str:
     if kind == "bfba":
-        return _subsys_bfba(ban_names)
+        return _subsys_bfba(ban_names, data_width=data_width)
     if kind == "gbavi":
-        return _subsys_gbavi(ban_names)
+        return _subsys_gbavi(ban_names, data_width)
     if kind == "gbavii":
-        return _subsys_gbavii(ban_names, global_ban)
+        return _subsys_gbavii(ban_names, global_ban, data_width)
     if kind in ("gbaviii", "splitba", "ggba", "ccba"):
-        return _subsys_global(kind, ban_names, global_ban)
+        return _subsys_global(kind, ban_names, global_ban, data_width=data_width)
     if kind == "hybrid":
-        chain = _subsys_bfba(ban_names, name=None, as_lines=True)
-        shared = _subsys_global("hybrid", ban_names, global_ban, as_lines=True)
+        chain = _subsys_bfba(ban_names, name=None, as_lines=True, data_width=data_width)
+        shared = _subsys_global(
+            "hybrid", ban_names, global_ban, as_lines=True, data_width=data_width
+        )
         return _section("subsys_hybrid", shared + chain)
     raise ValueError("unknown subsystem kind %r" % kind)
 
@@ -342,76 +412,121 @@ def _group(ban_names: List[str]) -> str:
     return "BAN[%s]" % ",".join(ban_names)
 
 
-def _subsys_bfba(ban_names: List[str], name: str = "subsys_bfba", as_lines: bool = False):
+def _subsys_bfba(
+    ban_names: List[str],
+    name: str = "subsys_bfba",
+    as_lines: bool = False,
+    data_width: int = 64,
+):
     """Example 8's chain list, verbatim in shape."""
     group = _group(ban_names)
+    data_msb = data_width - 1
     lines = [
         "w_done_op_cs 2 %s done_op_cs_dn 1 0 %s done_op_cs_up 1 0" % (group, group),
         "w_done_rv_cs 2 %s done_rv_cs_dn 1 0 %s done_rv_cs_up 1 0" % (group, group),
         "w_ban_web 1 %s web_dn 0 0 %s web_up 0 0" % (group, group),
         "w_ban_reb 1 %s reb_dn 0 0 %s reb_up 0 0" % (group, group),
         "w_fifo_cs 1 %s fifo_cs_dn 0 0 %s fifo_cs_up 0 0" % (group, group),
-        "w_data 64 %s data_dn 63 0 %s data_up 63 0" % (group, group),
+        "w_data %d %s data_dn %d 0 %s data_up %d 0"
+        % (data_width, group, data_msb, group, data_msb),
     ]
     if as_lines:
         return lines
     return _section(name, lines)
 
 
-def _gbavi_pair_lines(index: int, left_ban: str, right_ban: str, bridge: str) -> List[str]:
+def _gbavi_pair_lines(
+    index: int, left_ban: str, right_ban: str, bridge: str, data_width: int = 64
+) -> List[str]:
     """The wires attaching one BB between two GBAVI-style BAN segments."""
-    return [
-        "w_sa_%d 32 %s seg_addr 31 0 %s a_addr 31 0" % (index, left_ban, bridge),
-        "w_sah_%d 32 %s seg_dh 31 0 %s a_dh 31 0" % (index, left_ban, bridge),
-        "w_sal_%d 32 %s seg_dl 31 0 %s a_dl 31 0" % (index, left_ban, bridge),
+    lane = lane_width(data_width)
+    lmsb = lane - 1
+    lines = ["w_sa_%d 32 %s seg_addr 31 0 %s a_addr 31 0" % (index, left_ban, bridge)]
+    if _has_dh(data_width):
+        lines.append(
+            "w_sah_%d %d %s seg_dh %d 0 %s a_dh %d 0"
+            % (index, lane, left_ban, lmsb, bridge, lmsb)
+        )
+    lines += [
+        "w_sal_%d %d %s seg_dl %d 0 %s a_dl %d 0"
+        % (index, lane, left_ban, lmsb, bridge, lmsb),
         "w_saw_%d 1 %s seg_web 0 0 %s a_web 0 0" % (index, left_ban, bridge),
         "w_sar_%d 1 %s seg_reb 0 0 %s a_reb 0 0" % (index, left_ban, bridge),
         "w_sb_%d 32 %s seg_addr 31 0 %s b_addr 31 0" % (index, right_ban, bridge),
-        "w_sbh_%d 32 %s seg_dh 31 0 %s b_dh 31 0" % (index, right_ban, bridge),
-        "w_sbl_%d 32 %s seg_dl 31 0 %s b_dl 31 0" % (index, right_ban, bridge),
+    ]
+    if _has_dh(data_width):
+        lines.append(
+            "w_sbh_%d %d %s seg_dh %d 0 %s b_dh %d 0"
+            % (index, lane, right_ban, lmsb, bridge, lmsb)
+        )
+    lines += [
+        "w_sbl_%d %d %s seg_dl %d 0 %s b_dl %d 0"
+        % (index, lane, right_ban, lmsb, bridge, lmsb),
         "w_sbw_%d 1 %s seg_web 0 0 %s b_web 0 0" % (index, right_ban, bridge),
         "w_sbr_%d 1 %s seg_reb 0 0 %s b_reb 0 0" % (index, right_ban, bridge),
         "w_bben_%d 1 %s bb_req 0 0 %s bb_enable 0 0" % (index, left_ban, bridge),
     ]
+    return lines
 
 
-def _subsys_gbavi(ban_names: List[str]) -> str:
+def _subsys_gbavi(ban_names: List[str], data_width: int = 64) -> str:
     """Bridge-segmented chain: one BB between each adjacent BAN pair (ring)."""
     lines: List[str] = []
     count = len(ban_names)
     pairs = list(zip(range(count), list(range(1, count)) + ([0] if count > 2 else [])))
     for index, (left, right) in enumerate(pairs, start=1):
         lines += _gbavi_pair_lines(
-            index, "BAN_%s" % ban_names[left], "BAN_%s" % ban_names[right], "BB_%d" % index
+            index,
+            "BAN_%s" % ban_names[left],
+            "BAN_%s" % ban_names[right],
+            "BB_%d" % index,
+            data_width,
         )
     return _section("subsys_gbavi", lines)
 
 
-def _subsys_gbavii(ban_names: List[str], global_ban: str) -> str:
+def _subsys_gbavii(ban_names: List[str], global_ban: str, data_width: int = 64) -> str:
     """GBAVII (extension): GBAVI's segment chain, ring-closed through the
     global-memory BAN -- BB_n joins the last PE segment to BAN G's bus, and
     BB_n+1 joins BAN G back to the first PE segment."""
+    lane = lane_width(data_width)
+    lmsb = lane - 1
+    has_dh = _has_dh(data_width)
     lines: List[str] = []
     count = len(ban_names)
     for index in range(count - 1):
         left_ban = "BAN_%s" % ban_names[index]
         right_ban = "BAN_%s" % ban_names[index + 1]
         bridge = "BB_%d" % (index + 1)
-        lines += _gbavi_pair_lines(index + 1, left_ban, right_ban, bridge)
+        lines += _gbavi_pair_lines(index + 1, left_ban, right_ban, bridge, data_width)
     global_inst = "BAN_%s" % global_ban
     # Last PE segment -> BAN G.
     bridge_index = count
     bridge = "BB_%d" % bridge_index
     last_ban = "BAN_%s" % ban_names[-1]
+    lines.append(
+        "w_sa_%d 32 %s seg_addr 31 0 %s a_addr 31 0" % (bridge_index, last_ban, bridge)
+    )
+    if has_dh:
+        lines.append(
+            "w_sah_%d %d %s seg_dh %d 0 %s a_dh %d 0"
+            % (bridge_index, lane, last_ban, lmsb, bridge, lmsb)
+        )
     lines += [
-        "w_sa_%d 32 %s seg_addr 31 0 %s a_addr 31 0" % (bridge_index, last_ban, bridge),
-        "w_sah_%d 32 %s seg_dh 31 0 %s a_dh 31 0" % (bridge_index, last_ban, bridge),
-        "w_sal_%d 32 %s seg_dl 31 0 %s a_dl 31 0" % (bridge_index, last_ban, bridge),
+        "w_sal_%d %d %s seg_dl %d 0 %s a_dl %d 0"
+        % (bridge_index, lane, last_ban, lmsb, bridge, lmsb),
         "w_saw_%d 1 %s seg_web 0 0 %s a_web 0 0" % (bridge_index, last_ban, bridge),
         "w_sar_%d 1 %s seg_reb 0 0 %s a_reb 0 0" % (bridge_index, last_ban, bridge),
         "w_sb_%d 32 %s g_addr 31 0 %s b_addr 31 0" % (bridge_index, global_inst, bridge),
-        "w_sbh_%d 32 %s g_dh 31 0 %s b_dh 31 0" % (bridge_index, global_inst, bridge),
-        "w_sbl_%d 32 %s g_dl 31 0 %s b_dl 31 0" % (bridge_index, global_inst, bridge),
+    ]
+    if has_dh:
+        lines.append(
+            "w_sbh_%d %d %s g_dh %d 0 %s b_dh %d 0"
+            % (bridge_index, lane, global_inst, lmsb, bridge, lmsb)
+        )
+    lines += [
+        "w_sbl_%d %d %s g_dl %d 0 %s b_dl %d 0"
+        % (bridge_index, lane, global_inst, lmsb, bridge, lmsb),
         "w_sbw_%d 1 %s g_web 0 0 %s b_web 0 0" % (bridge_index, global_inst, bridge),
         "w_sbr_%d 1 %s g_reb 0 0 %s b_reb 0 0" % (bridge_index, global_inst, bridge),
         "w_bben_%d 1 %s bb_req 0 0 %s bb_enable 0 0" % (bridge_index, last_ban, bridge),
@@ -421,33 +536,59 @@ def _subsys_gbavii(ban_names: List[str], global_ban: str) -> str:
         bridge_index = count + 1
         bridge = "BB_%d" % bridge_index
         first_ban = "BAN_%s" % ban_names[0]
+        lines.append(
+            "w_sa_%d 32 %s g_addr 31 0 %s a_addr 31 0"
+            % (bridge_index, global_inst, bridge)
+        )
+        if has_dh:
+            lines.append(
+                "w_sah_%d %d %s g_dh %d 0 %s a_dh %d 0"
+                % (bridge_index, lane, global_inst, lmsb, bridge, lmsb)
+            )
         lines += [
-            "w_sa_%d 32 %s g_addr 31 0 %s a_addr 31 0" % (bridge_index, global_inst, bridge),
-            "w_sah_%d 32 %s g_dh 31 0 %s a_dh 31 0" % (bridge_index, global_inst, bridge),
-            "w_sal_%d 32 %s g_dl 31 0 %s a_dl 31 0" % (bridge_index, global_inst, bridge),
+            "w_sal_%d %d %s g_dl %d 0 %s a_dl %d 0"
+            % (bridge_index, lane, global_inst, lmsb, bridge, lmsb),
             "w_saw_%d 1 %s g_web 0 0 %s a_web 0 0" % (bridge_index, global_inst, bridge),
             "w_sar_%d 1 %s g_reb 0 0 %s a_reb 0 0" % (bridge_index, global_inst, bridge),
-            "w_sb_%d 32 %s seg_addr 31 0 %s b_addr 31 0" % (bridge_index, first_ban, bridge),
-            "w_sbh_%d 32 %s seg_dh 31 0 %s b_dh 31 0" % (bridge_index, first_ban, bridge),
-            "w_sbl_%d 32 %s seg_dl 31 0 %s b_dl 31 0" % (bridge_index, first_ban, bridge),
+            "w_sb_%d 32 %s seg_addr 31 0 %s b_addr 31 0"
+            % (bridge_index, first_ban, bridge),
+        ]
+        if has_dh:
+            lines.append(
+                "w_sbh_%d %d %s seg_dh %d 0 %s b_dh %d 0"
+                % (bridge_index, lane, first_ban, lmsb, bridge, lmsb)
+            )
+        lines += [
+            "w_sbl_%d %d %s seg_dl %d 0 %s b_dl %d 0"
+            % (bridge_index, lane, first_ban, lmsb, bridge, lmsb),
             "w_sbw_%d 1 %s seg_web 0 0 %s b_web 0 0" % (bridge_index, first_ban, bridge),
             "w_sbr_%d 1 %s seg_reb 0 0 %s b_reb 0 0" % (bridge_index, first_ban, bridge),
-            "w_bben_%d 1 %s bb_req 0 0 %s bb_enable 0 0" % (bridge_index, first_ban, bridge),
+            "w_bben_%d 1 %s bb_req 0 0 %s bb_enable 0 0"
+            % (bridge_index, first_ban, bridge),
         ]
     return _section("subsys_gbavii", lines)
 
 
 def _subsys_global(
-    kind: str, ban_names: List[str], global_ban: str, as_lines: bool = False
+    kind: str,
+    ban_names: List[str],
+    global_ban: str,
+    as_lines: bool = False,
+    data_width: int = 64,
 ):
     """Shared global bus: every PE BAN's GBI port onto BAN G's segment."""
     group = _group(ban_names)
     count = len(ban_names)
     global_inst = "BAN_%s" % global_ban
-    lines = [
-        "w_g_addr 32 %s g_addr 31 0 %s g_addr 31 0" % (group, global_inst),
-        "w_g_dh 32 %s g_dh 31 0 %s g_dh 31 0" % (group, global_inst),
-        "w_g_dl 32 %s g_dl 31 0 %s g_dl 31 0" % (group, global_inst),
+    lane = lane_width(data_width)
+    lmsb = lane - 1
+    lines = ["w_g_addr 32 %s g_addr 31 0 %s g_addr 31 0" % (group, global_inst)]
+    if _has_dh(data_width):
+        lines.append(
+            "w_g_dh %d %s g_dh %d 0 %s g_dh %d 0" % (lane, group, lmsb, global_inst, lmsb)
+        )
+    lines += [
+        "w_g_dl %d %s g_dl %d 0 %s g_dl %d 0" % (lane, group, lmsb, global_inst, lmsb),
         "w_g_web 1 %s g_web 0 0 %s g_web 0 0" % (group, global_inst),
         "w_g_reb 1 %s g_reb 0 0 %s g_reb 0 0" % (group, global_inst),
         "w_g_req %d %s g_req_b @ @ %s g_req_b %d 0" % (count, group, global_inst, count - 1),
@@ -457,10 +598,13 @@ def _subsys_global(
         # Expose the subsystem's shared bus for a possible inter-subsystem
         # bridge (Figure 7: SplitBA's two halves join through a BB; any
         # global-bus subsystem can be bridged the same way).
+        lines.append("w_g_addr 32 EXT sub_addr 31 0 %s g_addr 31 0" % global_inst)
+        if _has_dh(data_width):
+            lines.append(
+                "w_g_dh %d EXT sub_dh %d 0 %s g_dh %d 0" % (lane, lmsb, global_inst, lmsb)
+            )
         lines += [
-            "w_g_addr 32 EXT sub_addr 31 0 %s g_addr 31 0" % global_inst,
-            "w_g_dh 32 EXT sub_dh 31 0 %s g_dh 31 0" % global_inst,
-            "w_g_dl 32 EXT sub_dl 31 0 %s g_dl 31 0" % global_inst,
+            "w_g_dl %d EXT sub_dl %d 0 %s g_dl %d 0" % (lane, lmsb, global_inst, lmsb),
             "w_g_web 1 EXT sub_web 0 0 %s g_web 0 0" % global_inst,
             "w_g_reb 1 EXT sub_reb 0 0 %s g_reb 0 0" % global_inst,
         ]

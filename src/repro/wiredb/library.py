@@ -85,32 +85,72 @@ class WireLibrary:
 
     # -- built-in generation ------------------------------------------------
     def ban_section(
-        self, kind: str, mem_aw: int = 20, with_ip_port: bool = False
+        self,
+        kind: str,
+        mem_aw: int = 20,
+        with_ip_port: bool = False,
+        data_width: int = 64,
+        mem_data_width: int = 64,
     ) -> WireGroup:
         """Fetch (or generate and cache) the wire section for a BAN kind."""
-        key = "ban_%s_aw%d%s" % (kind, mem_aw, "_ip" if with_ip_port else "")
+        key = "ban_%s_aw%d_d%d_md%d%s" % (
+            kind,
+            mem_aw,
+            data_width,
+            mem_data_width,
+            "_ip" if with_ip_port else "",
+        )
         if key not in self.sections:
-            text = builtin.ban_section(kind, mem_aw, with_ip_port)
+            text = builtin.ban_section(
+                kind,
+                mem_aw,
+                with_ip_port,
+                data_width=data_width,
+                mem_data_width=mem_data_width,
+            )
             group = list(parse_wire_text(text).values())[0]
             group.name = key
             self.sections[key] = group
         return self.sections[key]
 
-    def global_ban_section(self, n_masters: int, mem_aw: int = 20) -> WireGroup:
-        key = "ban_global_n%d_aw%d" % (n_masters, mem_aw)
+    def global_ban_section(
+        self,
+        n_masters: int,
+        mem_aw: int = 20,
+        data_width: int = 64,
+        mem_data_width: int = 64,
+    ) -> WireGroup:
+        key = "ban_global_n%d_aw%d_d%d_md%d" % (
+            n_masters,
+            mem_aw,
+            data_width,
+            mem_data_width,
+        )
         if key not in self.sections:
-            text = builtin.global_ban_section(n_masters, mem_aw)
+            text = builtin.global_ban_section(
+                n_masters, mem_aw, data_width=data_width, mem_data_width=mem_data_width
+            )
             group = list(parse_wire_text(text).values())[0]
             group.name = key
             self.sections[key] = group
         return self.sections[key]
 
     def subsystem_section(
-        self, kind: str, ban_names: List[str], global_ban: str = "G"
+        self,
+        kind: str,
+        ban_names: List[str],
+        global_ban: str = "G",
+        data_width: int = 64,
     ) -> WireGroup:
-        key = "subsys_%s_%s" % (kind, "".join(ban_names))
+        # The global BAN's instance label is part of the section's content
+        # (its wires name BAN_<label>), so it must be part of the key:
+        # sharing one library across many generated systems would otherwise
+        # serve a section wired to another system's global BAN.
+        key = "subsys_%s_%s_g%s_d%d" % (kind, "".join(ban_names), global_ban, data_width)
         if key not in self.sections:
-            text = builtin.subsystem_section(kind, ban_names, global_ban)
+            text = builtin.subsystem_section(
+                kind, ban_names, global_ban, data_width=data_width
+            )
             group = list(parse_wire_text(text).values())[0]
             group.name = key
             self.sections[key] = group
